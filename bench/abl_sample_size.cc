@@ -1,0 +1,40 @@
+// Ablation — eviction sample size M (the paper fixes M = 16, Sec. III-D).
+//
+// Sweeps M on the saturated micro-benchmark. Small M picks victims from
+// too few candidates (poor score quality); large M burns more time per
+// eviction round. M = 16 sits near the knee.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/micro_run.h"
+
+using namespace clampi;
+
+int main() {
+  benchx::header("abl_sample_size", "eviction sample size M sweep (micro, saturated)",
+                 "M,completion_ms,hit_ratio,avg_visited_per_eviction,failing");
+
+  const std::size_t N = 1000;
+  const std::size_t Z = benchx::scaled(50000, 5000);
+  const auto wl = benchx::MicroWorkload::make(N, Z, 0xab1, /*pow2=*/false);
+
+  rmasim::Engine engine(benchx::default_engine(2));
+  engine.run([&](rmasim::Process& p) {
+    for (const int m : {1, 2, 4, 8, 16, 32, 64, 128}) {
+      Config cfg;
+      cfg.mode = Mode::kAlwaysCache;
+      cfg.index_entries = 2048;
+      cfg.storage_bytes = std::size_t{6} << 20;  // ~half the working set
+      cfg.sample_size = m;
+      const auto r = benchx::run_micro(p, wl, cfg);
+      if (p.rank() != 0) continue;
+      const double rounds = static_cast<double>(
+          r.stats.eviction_rounds > 0 ? r.stats.eviction_rounds : 1);
+      std::printf("%d,%.3f,%.3f,%.1f,%llu\n", m, r.completion_us / 1000.0,
+                  r.stats.hit_ratio(),
+                  static_cast<double>(r.stats.visited_slots) / rounds,
+                  static_cast<unsigned long long>(r.stats.failing));
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,211 @@
+// Harness producing each CLaMPI access type on demand and measuring its
+// get latency (used by the Fig. 7 cost characterization and the Fig. 8
+// overlap study).
+//
+// Per access case the cache geometry is chosen so that a measured access
+// of size D reliably falls into the wanted class:
+//   fompi        raw runtime get (the baseline)
+//   hit          key warmed once, then re-fetched
+//   direct       fresh keys, roomy index and storage
+//   conflicting  64-slot index (cuckoo conflicts), roomy storage
+//   capacity     storage prefilled with D-sized entries: one eviction frees
+//                exactly the needed room
+//   failing      storage capacity < D with one small evictable entry
+//                re-inserted per repetition (eviction happens, space still
+//                insufficient) — impossible for D at the minimum region
+//                size, matching the paper's missing small-size points
+// Samples whose achieved classification differs from the expectation are
+// discarded (they are counted and reported).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "clampi/clampi.h"
+
+namespace clampi::benchx {
+
+enum class AccessCase { kFompi, kHit, kDirect, kConflicting, kCapacity, kFailing };
+
+inline const char* name(AccessCase c) {
+  switch (c) {
+    case AccessCase::kFompi: return "foMPI";
+    case AccessCase::kHit: return "hit";
+    case AccessCase::kDirect: return "direct";
+    case AccessCase::kConflicting: return "conflicting";
+    case AccessCase::kCapacity: return "capacity";
+    case AccessCase::kFailing: return "failing";
+  }
+  return "?";
+}
+
+struct AccessResult {
+  bool feasible = false;
+  Summary latency;         ///< get+flush virtual-time latency (us)
+  double lookup_ns = 0.0;  ///< median real-time phase costs
+  double eviction_ns = 0.0;
+  double copy_ns = 0.0;
+  double insert_ns = 0.0;
+  std::size_t discarded = 0;
+};
+
+/// Collective over exactly 2 ranks. `overlap_compute_us > 0` inserts a
+/// modelled compute phase between get and flush (Fig. 8).
+inline AccessResult run_access_case(rmasim::Process& p, AccessCase c, std::size_t D,
+                                    double overlap_compute_us = 0.0) {
+  constexpr int kTarget = 1;
+  const std::size_t win_bytes = std::size_t{96} << 20;
+  void* base = nullptr;
+  const rmasim::Window w = p.win_allocate(win_bytes, &base);
+  AccessResult out;
+
+  if (p.rank() == 0) {
+    std::vector<std::byte> buf(D);
+    RepetitionController::Config rcfg;
+    rcfg.min_reps = 15;
+    rcfg.max_reps = 300;
+    RepetitionController rc(rcfg);
+
+    if (c == AccessCase::kFompi) {
+      std::size_t disp = 0;
+      while (!rc.done()) {
+        const double t0 = p.now_us();
+        p.get(buf.data(), D, kTarget, disp, w);
+        if (overlap_compute_us > 0.0) p.compute_us(overlap_compute_us);
+        p.flush(kTarget, w);
+        rc.add(p.now_us() - t0);
+        disp = (disp + D) % (win_bytes - D);
+      }
+      out.feasible = true;
+      out.latency = rc.summary();
+    } else {
+      Config cfg;
+      cfg.mode = Mode::kAlwaysCache;
+      cfg.adaptive = false;
+      cfg.collect_phase_timings = true;
+      AccessType expect = AccessType::kHit;
+      switch (c) {
+        case AccessCase::kHit:
+        case AccessCase::kDirect:
+          cfg.index_entries = std::size_t{1} << 17;
+          cfg.storage_bytes = std::size_t{80} << 20;
+          expect = c == AccessCase::kHit ? AccessType::kHit : AccessType::kDirect;
+          break;
+        case AccessCase::kConflicting:
+          cfg.index_entries = 64;
+          cfg.storage_bytes = std::size_t{80} << 20;
+          expect = AccessType::kConflicting;
+          break;
+        case AccessCase::kCapacity:
+          cfg.index_entries = std::size_t{1} << 17;
+          cfg.storage_bytes = std::max<std::size_t>(std::size_t{4} << 20, 16 * D);
+          expect = AccessType::kCapacity;
+          break;
+        case AccessCase::kFailing:
+          // Small, populated index: the victim scan terminates quickly
+          // (a near-empty huge index would degenerate the max(M, k_i)
+          // sweep into a pathological full-table scan).
+          cfg.index_entries = 1024;
+          cfg.storage_bytes = D / 2;  // cannot ever hold the request
+          expect = AccessType::kFailing;
+          break;
+        default: break;
+      }
+      if (c == AccessCase::kFailing && util::round_up(D / 2, 64) >= D) {
+        // The region granularity makes a too-small cache impossible: the
+        // access would be classified capacity. Not feasible (the paper's
+        // plots also lack these points).
+        p.barrier();
+        p.win_free(w);
+        return out;
+      }
+
+      if (c == AccessCase::kDirect) {
+        // Direct accesses retain every entry: cap the repetitions so the
+        // fresh keys (and the cached bytes) fit.
+        rcfg.max_reps = std::min<std::size_t>(rcfg.max_reps,
+                                              cfg.storage_bytes / (2 * D) + 1);
+        rcfg.max_reps = std::max<std::size_t>(rcfg.max_reps, rcfg.min_reps);
+        rc = RepetitionController(rcfg);
+      }
+
+      CachedWindow win(p, w, cfg);
+      win.lock_all();
+      std::size_t disp = 0;
+      const auto fresh = [&] {
+        // Wrap around when the window is exhausted; by then the cache has
+        // long evicted the early keys in the churn cases (a residual hit
+        // is simply discarded by the classification check).
+        if (disp + 2 * D >= win_bytes) disp = 0;
+        const std::size_t d = disp;
+        disp += D;
+        return d;
+      };
+
+      // --- case-specific warmup ---
+      if (c == AccessCase::kHit) {
+        win.get(buf.data(), D, kTarget, 0);
+        win.flush(kTarget);
+      } else if (c == AccessCase::kConflicting) {
+        // Fill the 64-slot index until inserts start conflicting.
+        for (int i = 0; i < 64; ++i) {
+          win.get(buf.data(), D, kTarget, fresh());
+          win.flush(kTarget);
+          if (win.last_access() == AccessType::kConflicting) break;
+        }
+      } else if (c == AccessCase::kCapacity) {
+        // Fill the storage with D-sized entries.
+        while (true) {
+          win.get(buf.data(), D, kTarget, fresh());
+          win.flush(kTarget);
+          if (win.last_access() != AccessType::kDirect) break;
+        }
+      } else if (c == AccessCase::kFailing) {
+        // Populate the (too-small) storage with small evictable entries.
+        while (true) {
+          win.get(buf.data(), 64, kTarget, fresh());
+          win.flush(kTarget);
+          if (win.last_access() != AccessType::kDirect) break;
+        }
+      }
+
+      std::vector<double> lookup, evict, copy, insert;
+      while (!rc.done() && out.discarded < 3000) {
+        if (c == AccessCase::kFailing) {
+          // Re-insert one small evictable entry (unmeasured).
+          win.get(buf.data(), 64, kTarget, 0);
+          win.flush(kTarget);
+        }
+        const std::size_t d = c == AccessCase::kHit ? 0 : fresh();
+        const double t0 = p.now_us();
+        win.get(buf.data(), D, kTarget, d);
+        if (overlap_compute_us > 0.0) p.compute_us(overlap_compute_us);
+        win.flush(kTarget);
+        const double dt = p.now_us() - t0;
+        if (win.last_access() != expect) {
+          ++out.discarded;
+          continue;
+        }
+        rc.add(dt);
+        const PhaseBreakdown& ph = win.last_phases();
+        lookup.push_back(ph.lookup_ns);
+        evict.push_back(ph.eviction_ns);
+        copy.push_back(ph.copy_ns);
+        insert.push_back(ph.insert_ns);
+      }
+      out.feasible = rc.samples().size() >= rcfg.min_reps;
+      out.latency = rc.summary();
+      out.lookup_ns = summarize(lookup).median;
+      out.eviction_ns = summarize(evict).median;
+      out.copy_ns = summarize(copy).median;
+      out.insert_ns = summarize(insert).median;
+      win.unlock_all();
+    }
+  }
+  p.barrier();
+  p.win_free(w);
+  return out;
+}
+
+}  // namespace clampi::benchx

@@ -1,0 +1,45 @@
+// Driver for the Barnes-Hut benchmarks (Figs. 12-14): runs one solver
+// configuration over a few timesteps and aggregates the per-body force
+// time (max over ranks, as the paper's completion-time metric).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "bh/solver.h"
+
+namespace clampi::benchx {
+
+struct BhRow {
+  double force_us_per_body = 0.0;  ///< max over ranks, median over steps
+  std::uint64_t remote_gets = 0;
+  Stats clampi;                     ///< zero-initialized unless kClampi
+  bh::NativeBlockCache::Stats native;
+  std::size_t final_index_entries = 0;
+  std::size_t final_storage_bytes = 0;
+};
+
+/// Collective: every rank calls with the same arguments.
+inline BhRow run_bh(rmasim::Process& p, std::shared_ptr<bh::SharedBodies> shared,
+                    const bh::SolverConfig& cfg, int steps) {
+  bh::DistributedBarnesHut solver(p, shared, cfg);
+  const std::size_t owned = solver.last_body() - solver.first_body();
+  std::vector<double> per_step;
+  BhRow row;
+  for (int s = 0; s < steps; ++s) {
+    const auto rep = solver.step();
+    double worst = rep.force_us;
+    p.allreduce_f64(&rep.force_us, &worst, 1, rmasim::ReduceOp::kMax);
+    per_step.push_back(worst / static_cast<double>(owned > 0 ? owned : 1));
+    row.remote_gets += rep.remote_gets;
+  }
+  row.force_us_per_body = summarize(per_step).median;
+  if (const auto* st = solver.clampi_stats()) row.clampi = *st;
+  if (const auto* st = solver.native_stats()) row.native = *st;
+  row.final_index_entries = solver.clampi_index_entries();
+  row.final_storage_bytes = solver.clampi_storage_bytes();
+  return row;
+}
+
+}  // namespace clampi::benchx

@@ -1,0 +1,72 @@
+// Fig. 1 — "Latency per message size and processes/nodes mappings."
+//
+// Reproduces the latency hierarchy that motivates CLaMPI: a local DRAM
+// copy vs a get to a rank on the same node / same Dragonfly group /
+// remote group, as a function of message size. The first series is the
+// analytic model; the `measured` series issues real gets through the
+// rmasim runtime at each distance and must coincide with the model.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "netmodel/hierarchy.h"
+#include "rt/engine.h"
+
+using namespace clampi;
+
+namespace {
+
+struct Mapping {
+  const char* name;
+  int a, b;
+};
+
+}  // namespace
+
+int main() {
+  benchx::header("fig01", "get latency per message size and rank mapping",
+                 "mapping,bytes,model_us,measured_us");
+
+  // 2 ranks per node, 4 nodes per group: ranks 0/1 share a node, rank 2 is
+  // in the same group, rank 8 is in another group.
+  auto cfg = net::aries_like(/*ranks_per_node=*/2);
+  cfg.topology.nodes_per_group = 4;
+  const auto model = std::make_shared<net::HierarchicalModel>(cfg);
+
+  const Mapping mappings[] = {
+      {"local_dram", 0, 0},
+      {"same_node", 0, 1},
+      {"same_group", 0, 2},
+      {"remote_group", 0, 8},
+  };
+
+  for (const auto& m : mappings) {
+    for (std::size_t bytes = 8; bytes <= (512u << 10); bytes <<= 2) {
+      const double model_us = model->transfer_us(m.a, m.b, bytes);
+
+      // Validate with a real run: rank a gets `bytes` from rank b.
+      rmasim::Engine::Config ecfg;
+      ecfg.nranks = 9;
+      ecfg.model = model;
+      ecfg.time_policy = rmasim::TimePolicy::kModeled;
+      rmasim::Engine engine(ecfg);
+      auto measured = std::make_shared<double>(0.0);
+      engine.run([&m, bytes, measured](rmasim::Process& p) {
+        void* base = nullptr;
+        const rmasim::Window w = p.win_allocate(512u << 10, &base);
+        if (p.rank() == m.a) {
+          std::vector<std::byte> buf(bytes);
+          const double t0 = p.now_us();
+          p.get(buf.data(), bytes, m.b, 0, w);
+          p.flush(m.b, w);
+          *measured = p.now_us() - t0;
+        }
+        p.barrier();
+        p.win_free(w);
+      });
+
+      std::printf("%s,%zu,%.3f,%.3f\n", m.name, bytes, model_us, *measured);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 8 — "Portion of the communication that can be overlapped with
+// computation as function of the data size."
+//
+// Methodology: T_comm is the median foMPI get+flush latency for the size;
+// a compute phase of exactly T_comm is inserted between get and flush and
+// the overlappable portion is (T_novl + T_comm - T_ovl) / T_comm.
+// Expected shape (paper): foMPI overlaps up to ~85% at 64 KiB and upper-
+// bounds CLaMPI; direct and capacity track each other (both pay the
+// copy-in at flush, which cannot be overlapped); failing overlaps more at
+// large sizes because it skips that copy; capacity/failing points are
+// missing below 512 B.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/access_harness.h"
+#include "bench/bench_common.h"
+
+using namespace clampi;
+using benchx::AccessCase;
+
+int main() {
+  benchx::header("fig08", "communication/computation overlap per access type",
+                 "access,bytes,overlap_fraction,t_comm_us,t_novl_us,t_ovl_us");
+
+  const std::size_t sizes[] = {64, 512, 4096, 16384, 65536, 262144};
+  const AccessCase cases[] = {AccessCase::kFompi, AccessCase::kDirect,
+                              AccessCase::kCapacity, AccessCase::kFailing};
+
+  rmasim::Engine engine(benchx::default_engine(2));
+  engine.run([&](rmasim::Process& p) {
+    for (const std::size_t D : sizes) {
+      // Reference communication time: uncached get+flush.
+      const auto ref = benchx::run_access_case(p, AccessCase::kFompi, D);
+      const double t_comm = ref.latency.median;
+      for (const AccessCase c : cases) {
+        const auto novl = benchx::run_access_case(p, c, D);
+        const auto ovl = benchx::run_access_case(p, c, D, /*overlap=*/t_comm);
+        if (p.rank() != 0) continue;
+        if (!novl.feasible || !ovl.feasible || t_comm <= 0.0) {
+          std::printf("%s,%zu,NA,%.3f,NA,NA\n", benchx::name(c), D, t_comm);
+          continue;
+        }
+        const double overlap =
+            std::clamp((novl.latency.median + t_comm - ovl.latency.median) / t_comm,
+                       0.0, 1.0);
+        std::printf("%s,%zu,%.3f,%.3f,%.3f,%.3f\n", benchx::name(c), D, overlap,
+                    t_comm, novl.latency.median, ovl.latency.median);
+      }
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 9 — "Completion time as function of hash table entries. The number
+// of hash table entries is the starting value for the adaptive strategy."
+//
+// Micro sequence with N = 1K distinct gets and Z = 20K total. Expected
+// shape (paper): the fixed strategy collapses when |I_w| < N (conflicting
+// accesses dominate); the adaptive strategy recovers by growing the index
+// at runtime and stays near the best fixed configuration everywhere.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/micro_run.h"
+
+using namespace clampi;
+
+int main() {
+  benchx::header("fig09", "micro-benchmark completion time: fixed vs adaptive |I_w|",
+                 "strategy,index_entries,completion_ms,hit_ratio,conflicting,failed,"
+                 "adjustments,invalidations,final_index_entries");
+
+  const std::size_t N = 1000;
+  const std::size_t Z = benchx::scaled(20000, 2000);
+  const auto wl = benchx::MicroWorkload::make(N, Z, 0xf19);
+
+  rmasim::Engine engine(benchx::default_engine(2));
+  engine.run([&](rmasim::Process& p) {
+    for (const std::size_t entries : {128u, 200u, 400u, 600u, 800u, 1000u, 2000u, 4000u}) {
+      for (const bool adaptive : {false, true}) {
+        Config cfg;
+        cfg.mode = Mode::kAlwaysCache;
+        cfg.index_entries = entries;
+        cfg.storage_bytes = std::size_t{16} << 20;  // index is the bottleneck
+        cfg.adaptive = adaptive;
+        cfg.adapt_interval = 1024;
+        cfg.min_index_entries = 64;
+        const auto r = benchx::run_micro(p, wl, cfg);
+        if (p.rank() == 0) {
+          std::printf("%s,%zu,%.3f,%.3f,%llu,%llu,%llu,%llu,%zu\n",
+                      adaptive ? "adaptive" : "fixed", entries,
+                      r.completion_us / 1000.0, r.stats.hit_ratio(),
+                      static_cast<unsigned long long>(r.stats.conflicting),
+                      static_cast<unsigned long long>(r.stats.failing),
+                      static_cast<unsigned long long>(r.stats.adjustments),
+                      static_cast<unsigned long long>(r.stats.invalidations),
+                      r.final_index_entries);
+        }
+      }
+    }
+  });
+  return 0;
+}

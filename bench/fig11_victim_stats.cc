@@ -1,0 +1,57 @@
+// Fig. 11 — victim-selection study as a function of |I_w| (M = 16):
+//   top:    average number of index slots visited per capacity/failed
+//           eviction search (grows with index sparsity);
+//   middle: hits per victim selection scheme (Full is best);
+//   bottom: average free space per scheme (Temporal highest = most
+//           external fragmentation) and non-empty entries visited.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/micro_run.h"
+
+using namespace clampi;
+
+int main() {
+  benchx::header("fig11", "eviction statistics vs |I_w| per victim scheme (M=16)",
+                 "workload,scheme,index_entries,avg_visited_per_eviction,hits,"
+                 "hit_ratio,avg_free_fraction,avg_nonempty_visited,evictions");
+
+  const std::size_t N = 1000;
+  const std::size_t Z = benchx::scaled(100000, 10000);
+
+  rmasim::Engine engine(benchx::modeled_engine(2));
+  engine.run([&](rmasim::Process& p) {
+    for (const bool pow2 : {true, false}) {
+      const auto wl = benchx::MicroWorkload::make(N, Z, 0xf11, pow2);
+      for (const std::size_t entries : {1536u, 2048u, 4096u, 8192u, 16384u, 32768u}) {
+      for (const ScoreKind scheme :
+           {ScoreKind::kTemporal, ScoreKind::kPositional, ScoreKind::kFull}) {
+        Config cfg;
+        cfg.mode = Mode::kAlwaysCache;
+        cfg.index_entries = entries;
+        cfg.storage_bytes = pow2 ? std::size_t{4} << 20 : std::size_t{6} << 20;
+        cfg.score = scheme;
+        cfg.sample_size = 16;  // M
+
+        // Track time-averaged free space via occupancy samples.
+        std::vector<std::pair<std::uint64_t, double>> trace;
+        const auto r = benchx::run_micro(p, wl, cfg, 16, &trace, 500);
+        if (p.rank() != 0) continue;
+        double free_sum = 0.0;
+        for (const auto& [i, occ] : trace) free_sum += 1.0 - occ;
+        const double rounds = static_cast<double>(
+            r.stats.eviction_rounds > 0 ? r.stats.eviction_rounds : 1);
+        std::printf("%s,%s,%zu,%.1f,%llu,%.3f,%.4f,%.2f,%llu\n",
+                    pow2 ? "pow2" : "irregular", to_string(scheme), entries,
+                    static_cast<double>(r.stats.visited_slots) / rounds,
+                    static_cast<unsigned long long>(r.stats.hitting()),
+                    r.stats.hit_ratio(),
+                    trace.empty() ? 0.0 : free_sum / static_cast<double>(trace.size()),
+                    static_cast<double>(r.stats.visited_nonempty) / rounds,
+                    static_cast<unsigned long long>(r.stats.evictions));
+      }
+      }
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 13 — "Barnes-Hut body force computation stats. |S_w| = 1MB,
+// N = 20K and P = 16. The y-axis is normalized w.r.t. the total number of
+// gets."
+//
+// Access-type breakdown for the Fig. 12 strategies at |S_w| = 1 MB.
+// Expected shape (paper): fixed |I_w| = 1K is dominated by conflicting
+// accesses; with a large/adapted index, hits dominate.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bh_run.h"
+
+using namespace clampi;
+
+int main() {
+  const std::size_t nbodies = benchx::scaled(20000, 2000);
+  const int nranks = 16;
+  benchx::header("fig13", "BH access-type fractions (|S_w|=1MB, N=20K, P=16)",
+                 "strategy,index_entries,hit,partial,direct,conflicting,capacity,"
+                 "failing,total_gets");
+
+  struct Setup {
+    const char* name;
+    std::size_t iw;
+    bool adaptive;
+  };
+  const Setup setups[] = {
+      {"fixed", std::size_t{1} << 10, false},
+      {"fixed", std::size_t{30} << 10, false},
+      {"adaptive", std::size_t{1} << 10, true},
+  };
+  // One body set per configuration (every rank must see the same one).
+  std::vector<std::shared_ptr<bh::SharedBodies>> bodies;
+  for (std::size_t i = 0; i < 3; ++i) {
+    bodies.push_back(std::make_shared<bh::SharedBodies>(nbodies, 2026));
+  }
+
+  rmasim::Engine engine(benchx::default_engine(nranks));
+  engine.run([&](rmasim::Process& p) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto& s = setups[i];
+      const auto shared = bodies[i];
+      bh::SolverConfig cfg;
+      cfg.nbodies = nbodies;
+      cfg.backend = bh::CacheBackend::kClampi;
+      cfg.clampi_cfg.mode = Mode::kUserDefined;
+      cfg.clampi_cfg.index_entries = s.iw;
+      cfg.clampi_cfg.storage_bytes = std::size_t{1} << 20;
+      cfg.clampi_cfg.adaptive = s.adaptive;
+      const auto r = benchx::run_bh(p, shared, cfg, /*steps=*/2);
+      if (p.rank() != 0) continue;
+      const auto& st = r.clampi;
+      const double total = static_cast<double>(st.total_gets > 0 ? st.total_gets : 1);
+      std::printf("%s,%zu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu\n", s.name, s.iw,
+                  static_cast<double>(st.hits_full + st.hits_pending) / total,
+                  static_cast<double>(st.hits_partial) / total,
+                  static_cast<double>(st.direct) / total,
+                  static_cast<double>(st.conflicting) / total,
+                  static_cast<double>(st.capacity) / total,
+                  static_cast<double>(st.failing) / total,
+                  static_cast<unsigned long long>(st.total_gets));
+    }
+  });
+  return 0;
+}

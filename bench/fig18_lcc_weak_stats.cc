@@ -1,0 +1,54 @@
+// Fig. 18 — "LCC weak scaling experiment statistics."
+//
+// Access-type fractions of the Fig. 17 weak-scaling runs (fixed and
+// adaptive strategies). Expected shape (paper): under the fixed strategy
+// capacity/failed accesses grow with P (the average get size grows with
+// the graph); under adaptive they stay below ~8% while direct accesses
+// grow — data reuse drops with P, which is why all strategies converge.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "bench/lcc_run.h"
+
+using namespace clampi;
+
+int main() {
+  benchx::header("fig18", "LCC weak scaling access-type fractions",
+                 "strategy,pes,hit,partial,direct,conflicting,capacity,failing,"
+                 "adjustments");
+
+  for (const int pes : {16, 32, 64, 128}) {
+    int log2p = 0;
+    while ((1 << log2p) < pes) ++log2p;
+    auto g = std::make_shared<graph::Csr>(
+        graph::rmat_graph({.scale = 11 + log2p, .edge_factor = 16, .seed = 77}));
+
+    rmasim::Engine engine(benchx::default_engine(pes));
+    engine.run([&](rmasim::Process& p) {
+      for (const bool adaptive : {false, true}) {
+        graph::LccConfig cfg;
+        cfg.backend = graph::LccBackend::kClampi;
+        cfg.clampi_cfg.mode = Mode::kAlwaysCache;
+        cfg.clampi_cfg.index_entries = std::size_t{8} << 10;
+        cfg.clampi_cfg.storage_bytes = std::size_t{8} << 20;
+        cfg.clampi_cfg.adaptive = adaptive;
+        cfg.clampi_cfg.adapt_interval = 4096;
+        const auto r = benchx::run_lcc(p, g, cfg);
+        if (p.rank() != 0) continue;
+        const auto& st = r.clampi;
+        const double total = static_cast<double>(st.total_gets > 0 ? st.total_gets : 1);
+        std::printf("%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%llu\n",
+                    adaptive ? "adaptive" : "fixed", pes,
+                    static_cast<double>(st.hits_full + st.hits_pending) / total,
+                    static_cast<double>(st.hits_partial) / total,
+                    static_cast<double>(st.direct) / total,
+                    static_cast<double>(st.conflicting) / total,
+                    static_cast<double>(st.capacity) / total,
+                    static_cast<double>(st.failing) / total,
+                    static_cast<unsigned long long>(st.adjustments));
+      }
+    });
+  }
+  return 0;
+}

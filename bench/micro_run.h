@@ -1,0 +1,67 @@
+// Driver for the Sec. IV-A micro-benchmark sequence (used by Figs. 9-11
+// and the ablations): rank 0 replays the Z-get sequence against rank 1
+// through a caching-enabled window.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/micro_workload.h"
+#include "clampi/clampi.h"
+
+namespace clampi::benchx {
+
+struct MicroRunResult {
+  double completion_us = 0.0;
+  Stats stats;
+  std::size_t final_index_entries = 0;
+  std::size_t final_storage_bytes = 0;
+};
+
+/// Collective over 2 ranks. `flush_interval` gets share one epoch.
+/// `occupancy` (optional) receives (get id, used-fraction of S_w) samples
+/// every `sample_every` gets once the buffer has saturated for the first
+/// time (Fig. 10's measurement rule).
+inline MicroRunResult run_micro(rmasim::Process& p, const MicroWorkload& wl,
+                                const Config& cfg, int flush_interval = 16,
+                                std::vector<std::pair<std::uint64_t, double>>* occupancy =
+                                    nullptr,
+                                std::size_t sample_every = 250) {
+  void* base = nullptr;
+  const rmasim::Window w = p.win_allocate(wl.window_bytes, &base);
+  MicroRunResult out;
+  if (p.rank() == 0) {
+    CachedWindow win(p, w, cfg);
+    win.lock_all();
+    std::vector<std::byte> buf(std::size_t{1} << 17);
+    bool saturated = false;
+    const double t0 = p.now_us();
+    for (std::size_t i = 0; i < wl.seq.size(); ++i) {
+      const std::uint32_t g = wl.seq[i];
+      win.get(buf.data(), wl.size[g], 1, wl.disp[g]);
+      if ((i + 1) % static_cast<std::size_t>(flush_interval) == 0) win.flush_all();
+      if (occupancy != nullptr) {
+        if (!saturated) {
+          saturated = win.stats().capacity + win.stats().failing > 0;
+        }
+        if (saturated && i % sample_every == 0) {
+          const auto& core = win.core();
+          occupancy->emplace_back(i, 1.0 - static_cast<double>(core.free_bytes()) /
+                                             static_cast<double>(core.storage_bytes()));
+        }
+      }
+    }
+    win.flush_all();
+    out.completion_us = p.now_us() - t0;
+    out.stats = win.stats();
+    out.final_index_entries = win.index_entries();
+    out.final_storage_bytes = win.storage_bytes();
+    win.unlock_all();
+  }
+  p.barrier();
+  p.win_free(w);
+  return out;
+}
+
+}  // namespace clampi::benchx

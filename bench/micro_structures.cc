@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks of CLaMPI's core data structures:
+// the per-operation costs that bound the cache-hit and miss overheads
+// (Sec. III: "minimize the cost of the cache hit ... minimal overhead in
+// the cache-miss case").
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "clampi/cache.h"
+#include "clampi/cuckoo_index.h"
+#include "clampi/storage.h"
+#include "util/avl_tree.h"
+#include "util/rng.h"
+
+using namespace clampi;
+
+namespace {
+
+struct RawOps {
+  std::vector<std::uint64_t> keys;
+  std::uint64_t hash_key(std::uint32_t id) const { return keys[id]; }
+};
+
+void BM_CuckooLookupHit(benchmark::State& state) {
+  const auto slots = static_cast<std::size_t>(state.range(0));
+  RawOps ops;
+  CuckooIndex<RawOps> idx(slots, 4, 64, 42, &ops);
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < slots / 2; ++i) {
+    const std::uint64_t k = rng();
+    ops.keys.push_back(k);
+    if (idx.insert(k, static_cast<std::uint32_t>(ops.keys.size() - 1), nullptr)) {
+      keys.push_back(k);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t k = keys[i++ % keys.size()];
+    benchmark::DoNotOptimize(
+        idx.lookup(k, [&](std::uint32_t id) { return ops.keys[id] == k; }));
+  }
+}
+BENCHMARK(BM_CuckooLookupHit)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_CuckooLookupMiss(benchmark::State& state) {
+  RawOps ops;
+  CuckooIndex<RawOps> idx(1 << 14, 4, 64, 42, &ops);
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < (1 << 13); ++i) {
+    const std::uint64_t k = rng();
+    ops.keys.push_back(k);
+    idx.insert(k, static_cast<std::uint32_t>(ops.keys.size() - 1), nullptr);
+  }
+  std::uint64_t probe = 0xdead;
+  for (auto _ : state) {
+    probe += 0x9e3779b97f4a7c15ull;
+    benchmark::DoNotOptimize(
+        idx.lookup(probe, [&](std::uint32_t id) { return ops.keys[id] == probe; }));
+  }
+}
+BENCHMARK(BM_CuckooLookupMiss);
+
+void BM_StorageAllocDealloc(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Storage s(std::size_t{64} << 20);
+  std::vector<Storage::Region*> live;
+  util::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    if (live.size() < 1000 && (live.empty() || rng.uniform() < 0.55)) {
+      if (auto* r = s.alloc(bytes)) live.push_back(r);
+    } else {
+      const std::size_t i = rng.bounded(live.size());
+      s.dealloc(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+}
+BENCHMARK(BM_StorageAllocDealloc)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AvlBestFitSearch(benchmark::State& state) {
+  util::AvlTree<std::pair<std::size_t, std::size_t>, int> t;
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 4096; ++i) t.insert({rng.bounded(1 << 20), i}, i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.lower_bound({rng.bounded(1 << 20), 0}));
+  }
+}
+BENCHMARK(BM_AvlBestFitSearch);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Config cfg;
+  cfg.index_entries = 1 << 14;
+  cfg.storage_bytes = std::size_t{32} << 20;
+  CacheCore c(cfg);
+  std::vector<std::byte> payload(bytes);
+  const auto r = c.access({1, 0}, bytes);
+  std::memcpy(c.entry_data(r.entry), payload.data(), bytes);
+  c.mark_cached(r.entry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access({1, 0}, bytes));
+  }
+}
+BENCHMARK(BM_CacheAccessHit)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_CacheAccessMissEvict(benchmark::State& state) {
+  // Steady-state miss with one capacity eviction per access.
+  Config cfg;
+  cfg.index_entries = 1 << 14;
+  cfg.storage_bytes = std::size_t{1} << 20;
+  CacheCore c(cfg);
+  std::uint64_t disp = 0;
+  std::vector<std::byte> payload(1024);
+  for (auto _ : state) {
+    const auto r = c.access({1, disp}, 1024);
+    if (r.inserted) {
+      std::memcpy(c.entry_data(r.entry), payload.data(), 1024);
+      c.mark_cached(r.entry);
+    }
+    disp += 4096;
+  }
+}
+BENCHMARK(BM_CacheAccessMissEvict);
+
+void BM_ScoreComputation(benchmark::State& state) {
+  Config cfg;
+  cfg.index_entries = 1 << 12;
+  cfg.storage_bytes = std::size_t{4} << 20;
+  CacheCore c(cfg);
+  std::vector<std::uint32_t> ids;
+  std::vector<std::byte> payload(2048);
+  for (int i = 0; i < 512; ++i) {
+    const auto r = c.access({1, static_cast<std::uint64_t>(i) * 8192}, 2048);
+    if (r.inserted) {
+      std::memcpy(c.entry_data(r.entry), payload.data(), 2048);
+      c.mark_cached(r.entry);
+      ids.push_back(r.entry);
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.score(ids[i++ % ids.size()]));
+  }
+}
+BENCHMARK(BM_ScoreComputation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

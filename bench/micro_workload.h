@@ -1,0 +1,67 @@
+// The micro-benchmark workload of Sec. IV-A:
+//   1. N distinct gets with sizes drawn uniformly from {2^0 .. 2^16} bytes,
+//      laid out disjointly in the target window;
+//   2. a sequence of Z >= N gets sampled from the distinct set with a
+//      normal distribution N(N/2, N/4), so a subset of gets is more
+//      frequent than the rest.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace clampi::benchx {
+
+struct MicroWorkload {
+  std::vector<std::size_t> size;  ///< N distinct request sizes (bytes)
+  std::vector<std::size_t> disp;  ///< their displacements in the window
+  std::vector<std::uint32_t> seq; ///< Z indices into the distinct set
+  std::size_t window_bytes = 0;
+
+  /// `pow2_sizes = true` is the paper's distribution (2^0..2^16 uniform in
+  /// the exponent). `false` draws log-uniform *irregular* sizes in the same
+  /// range — used by the fragmentation ablation, since power-of-two sizes
+  /// under a best-fit coalescing allocator barely fragment at all.
+  static MicroWorkload make(std::size_t n, std::size_t z, std::uint64_t seed,
+                            bool pow2_sizes = true) {
+    MicroWorkload w;
+    util::Xoshiro256 rng(seed);
+    w.size.resize(n);
+    w.disp.resize(n);
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t p2 = std::size_t{1} << rng.bounded(17);  // 2^0 .. 2^16
+      w.size[i] = pow2_sizes ? p2 : p2 + rng.bounded(p2);        // log-uniform
+      w.disp[i] = cursor;
+      cursor += w.size[i];
+    }
+    w.window_bytes = cursor;
+
+    // Normal(N/2, N/4) sampling via Box-Muller, resampling out-of-range
+    // draws (the paper samples indices of the distinct set).
+    w.seq.reserve(z);
+    const double mu = static_cast<double>(n) / 2.0;
+    const double sigma = static_cast<double>(n) / 4.0;
+    while (w.seq.size() < z) {
+      const double u1 = rng.uniform();
+      const double u2 = rng.uniform();
+      if (u1 <= 0.0) continue;
+      const double g = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const double v = mu + sigma * g;
+      if (v < 0.0 || v >= static_cast<double>(n)) continue;
+      w.seq.push_back(static_cast<std::uint32_t>(v));
+    }
+    return w;
+  }
+
+  /// Total bytes a perfect cache would have to hold (the working set).
+  std::size_t total_distinct_bytes() const {
+    std::size_t s = 0;
+    for (const auto b : size) s += b;
+    return s;
+  }
+};
+
+}  // namespace clampi::benchx

@@ -1,0 +1,82 @@
+// Quickstart: transparent RMA caching in ~60 lines.
+//
+// Two simulated ranks; rank 0 repeatedly reads a table exposed by rank 1.
+// The first read of each row goes over the (modelled) network; every
+// repeat is served from CLaMPI's cache by a local memcpy. The printed
+// virtual times show the three-orders-of-magnitude gap the paper's Fig. 1
+// is about — and how caching closes it.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "clampi/clampi.h"
+#include "netmodel/hierarchy.h"
+#include "rt/engine.h"
+
+using namespace clampi;
+
+int main() {
+  rmasim::Engine::Config ecfg;
+  ecfg.nranks = 2;
+  ecfg.model = net::make_aries_model();  // Piz-Daint-like latencies
+  ecfg.time_policy = rmasim::TimePolicy::kModeled;
+
+  rmasim::Engine engine(ecfg);
+  engine.run([](rmasim::Process& p) {
+    constexpr std::size_t kRows = 256;
+    constexpr std::size_t kRowBytes = 1024;
+
+    // Collective window creation; rank 1's memory holds the table.
+    void* base = nullptr;
+    Config cfg;
+    cfg.mode = Mode::kAlwaysCache;  // the table is read-only: never invalidate
+    cfg.index_entries = 1024;       // |I_w|
+    cfg.storage_bytes = 1 << 20;    // |S_w|
+    auto win = CachedWindow::allocate(p, kRows * kRowBytes, &base, cfg);
+
+    if (p.rank() == 1) {
+      auto* table = static_cast<unsigned char*>(base);
+      for (std::size_t i = 0; i < kRows * kRowBytes; ++i) {
+        table[i] = static_cast<unsigned char>(i % 251);
+      }
+    }
+    p.barrier();
+
+    if (p.rank() == 0) {
+      std::vector<unsigned char> row(kRowBytes);
+      win.lock_all();
+
+      // Data-dependent access pattern: each row is consumed before the
+      // next request is issued (get + flush per row).
+      const double t0 = p.now_us();
+      for (std::size_t r = 0; r < kRows; ++r) {
+        win.get(row.data(), kRowBytes, /*target=*/1, /*disp=*/r * kRowBytes);
+        win.flush_all();  // miss: pays the network round trip
+      }
+      const double cold_us = p.now_us() - t0;
+
+      const double t1 = p.now_us();
+      for (std::size_t r = 0; r < kRows; ++r) {
+        win.get(row.data(), kRowBytes, 1, r * kRowBytes);  // hit: local memcpy
+        win.flush_all();
+      }
+      const double warm_us = p.now_us() - t1;
+
+      const auto& st = win.stats();
+      std::printf("cold pass: %8.1f us  (%zu remote gets)\n", cold_us, kRows);
+      std::printf("warm pass: %8.1f us  (served from cache)\n", warm_us);
+      std::printf("speedup:   %8.1fx\n", cold_us / warm_us);
+      std::printf("stats: %llu gets, %llu hits, %llu misses, %.1f%% hit ratio\n",
+                  static_cast<unsigned long long>(st.total_gets),
+                  static_cast<unsigned long long>(st.hitting()),
+                  static_cast<unsigned long long>(st.direct),
+                  100.0 * st.hit_ratio());
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+  return 0;
+}

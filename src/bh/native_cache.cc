@@ -1,0 +1,61 @@
+#include "bh/native_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace clampi::bh {
+
+NativeBlockCache::NativeBlockCache(rmasim::Process& p, rmasim::Window win,
+                                   std::size_t mem_bytes, std::size_t block_bytes)
+    : p_(&p), win_(win), block_(block_bytes) {
+  CLAMPI_REQUIRE(block_bytes > 0, "block size must be positive");
+  CLAMPI_REQUIRE(mem_bytes >= block_bytes, "cache smaller than one block");
+  const std::size_t nlines = mem_bytes / block_bytes;
+  tags_.assign(nlines, Tag{});
+  data_.resize(nlines * block_bytes);
+}
+
+std::size_t NativeBlockCache::line_of(int target, std::uint64_t block) const {
+  const std::uint64_t h =
+      block + static_cast<std::uint64_t>(static_cast<std::uint32_t>(target)) *
+                  0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(h % tags_.size());
+}
+
+void NativeBlockCache::get(void* origin, std::size_t bytes, int target, std::size_t disp) {
+  ++stats_.gets;
+  auto* out = static_cast<std::byte*>(origin);
+  const std::size_t win_bytes = p_->win_size(win_, target);
+  std::size_t copied = 0;
+  while (copied < bytes) {
+    const std::uint64_t blk = (disp + copied) / block_;
+    const std::size_t blk_start = static_cast<std::size_t>(blk) * block_;
+    const std::size_t off_in_blk = disp + copied - blk_start;
+    const std::size_t n = std::min(bytes - copied, block_ - off_in_blk);
+
+    const std::size_t line = line_of(target, blk);
+    Tag& tag = tags_[line];
+    std::byte* line_data = data_.data() + line * block_;
+    if (tag.target != target || tag.block != blk) {
+      ++stats_.block_misses;
+      // Fetch the whole block (clamped to the window end).
+      const std::size_t fetch = std::min(block_, win_bytes - blk_start);
+      p_->get(line_data, fetch, target, blk_start, win_);
+      p_->flush(target, win_);
+      tag.target = target;
+      tag.block = blk;
+    } else {
+      ++stats_.block_hits;
+    }
+    std::memcpy(out + copied, line_data + off_in_blk, n);
+    p_->charge_local_copy(n);
+    copied += n;
+  }
+}
+
+void NativeBlockCache::invalidate() {
+  std::fill(tags_.begin(), tags_.end(), Tag{});
+  ++stats_.invalidations;
+}
+
+}  // namespace clampi::bh

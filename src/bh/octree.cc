@@ -1,0 +1,126 @@
+#include "bh/octree.h"
+
+#include <algorithm>
+
+namespace clampi::bh {
+
+namespace {
+constexpr int kMaxDepth = 64;  // duplicate-position safety net
+}
+
+std::int32_t Octree::new_node(const Vec3& center, double half) {
+  nodes_.push_back(Node{});
+  nodes_.back().center = center;
+  nodes_.back().half = half;
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+int Octree::octant_of(const Vec3& center, const Vec3& p) const {
+  return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) | (p.z >= center.z ? 4 : 0);
+}
+
+Vec3 Octree::child_center(const Vec3& center, double half, int oct) const {
+  const double q = half / 2.0;
+  return Vec3{center.x + ((oct & 1) != 0 ? q : -q), center.y + ((oct & 2) != 0 ? q : -q),
+              center.z + ((oct & 4) != 0 ? q : -q)};
+}
+
+void Octree::insert(std::int32_t node, std::int32_t body, const std::vector<Vec3>& pos,
+                    int depth) {
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.count == 0) {
+    n.body = body;
+    n.count = 1;
+    return;
+  }
+  if (depth >= kMaxDepth) {
+    // Coincident positions: keep the cell as a (multi-body) pseudo-leaf;
+    // payload aggregation handles it like an internal node.
+    ++n.count;
+    return;
+  }
+  if (n.count == 1) {
+    // Split: push the resident body down first.
+    const std::int32_t resident = n.body;
+    n.body = -1;
+    const int oct_resident = octant_of(n.center, pos[static_cast<std::size_t>(resident)]);
+    const std::int32_t c =
+        new_node(child_center(nodes_[static_cast<std::size_t>(node)].center,
+                              nodes_[static_cast<std::size_t>(node)].half, oct_resident),
+                 nodes_[static_cast<std::size_t>(node)].half / 2.0);
+    nodes_[static_cast<std::size_t>(node)].child[oct_resident] = c;
+    insert(c, resident, pos, depth + 1);
+  }
+  Node& n2 = nodes_[static_cast<std::size_t>(node)];  // re-read: vector may have grown
+  const int oct = octant_of(n2.center, pos[static_cast<std::size_t>(body)]);
+  std::int32_t c = n2.child[oct];
+  if (c < 0) {
+    c = new_node(child_center(n2.center, n2.half, oct), n2.half / 2.0);
+    nodes_[static_cast<std::size_t>(node)].child[oct] = c;
+  }
+  ++nodes_[static_cast<std::size_t>(node)].count;
+  insert(c, body, pos, depth + 1);
+}
+
+void Octree::compute_payloads(const std::vector<Vec3>& pos,
+                              const std::vector<double>& mass) {
+  payloads_.assign(nodes_.size(), NodePayload{});
+  // Nodes are created parents-first, so a reverse sweep aggregates
+  // children before parents.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const Node& n = nodes_[i];
+    NodePayload& p = payloads_[i];
+    if (n.body >= 0) {
+      const auto b = static_cast<std::size_t>(n.body);
+      p.comx = pos[b].x;
+      p.comy = pos[b].y;
+      p.comz = pos[b].z;
+      p.mass = mass[b];
+      continue;
+    }
+    double m = 0.0;
+    Vec3 c{};
+    for (const std::int32_t ch : n.child) {
+      if (ch < 0) continue;
+      const NodePayload& cp = payloads_[static_cast<std::size_t>(ch)];
+      m += cp.mass;
+      c += Vec3{cp.comx, cp.comy, cp.comz} * cp.mass;
+    }
+    if (m > 0.0) {
+      c *= 1.0 / m;
+      p.comx = c.x;
+      p.comy = c.y;
+      p.comz = c.z;
+      p.mass = m;
+    }
+  }
+}
+
+void Octree::build(const std::vector<Vec3>& positions, const std::vector<double>& masses) {
+  CLAMPI_REQUIRE(positions.size() == masses.size(), "positions/masses size mismatch");
+  nodes_.clear();
+  payloads_.clear();
+  if (positions.empty()) return;
+
+  Vec3 lo = positions[0], hi = positions[0];
+  for (const Vec3& p : positions) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  const Vec3 center = 0.5 * (lo + hi);
+  const double half =
+      0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-12}) * 1.0001;
+
+  nodes_.reserve(positions.size() * 2);
+  new_node(center, half);
+  for (std::size_t b = 0; b < positions.size(); ++b) {
+    insert(kRoot, static_cast<std::int32_t>(b), positions, 0);
+  }
+  compute_payloads(positions, masses);
+}
+
+}  // namespace clampi::bh

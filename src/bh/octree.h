@@ -1,0 +1,62 @@
+// Barnes-Hut octree (paper Sec. IV-B; Barnes & Hut [3]).
+//
+// The tree *topology* (geometry + child links) is replicated across ranks
+// in the paper's Global-Trees-style implementation; node *payloads*
+// (center of mass + mass, 32 bytes) are distributed and fetched with RMA
+// gets during the force phase. This module builds the topology and the
+// payload array; the distributed solver (solver.h) owns the windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bh/vec3.h"
+#include "util/error.h"
+
+namespace clampi::bh {
+
+/// The 32-byte record fetched via (cached) RMA gets during force
+/// computation: the node's center of mass and total mass. For a leaf it
+/// coincides with the body's position and mass.
+struct NodePayload {
+  double comx = 0.0, comy = 0.0, comz = 0.0;
+  double mass = 0.0;
+};
+static_assert(sizeof(NodePayload) == 32);
+
+class Octree {
+ public:
+  struct Node {
+    Vec3 center{};
+    double half = 0.0;        ///< half of the cell edge length
+    std::int32_t child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    std::int32_t body = -1;   ///< body index if leaf with one body
+    std::int32_t count = 0;   ///< bodies in the subtree
+    bool is_leaf() const { return count == 1; }
+  };
+
+  /// Deterministically build the tree over `positions` (same input =>
+  /// same node ids on every rank). `masses` sizes the payloads.
+  void build(const std::vector<Vec3>& positions, const std::vector<double>& masses);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<NodePayload>& payloads() const { return payloads_; }
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  /// Root node id (0 when non-empty).
+  static constexpr std::int32_t kRoot = 0;
+
+ private:
+  std::int32_t new_node(const Vec3& center, double half);
+  void insert(std::int32_t node, std::int32_t body, const std::vector<Vec3>& pos,
+              int depth);
+  int octant_of(const Vec3& center, const Vec3& p) const;
+  Vec3 child_center(const Vec3& center, double half, int oct) const;
+  void compute_payloads(const std::vector<Vec3>& pos, const std::vector<double>& mass);
+
+  std::vector<Node> nodes_;
+  std::vector<NodePayload> payloads_;
+};
+
+}  // namespace clampi::bh

@@ -1,0 +1,444 @@
+#include "clampi/cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ctime>
+#include <limits>
+
+namespace clampi {
+
+namespace {
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(bool enabled) : enabled_(enabled) {
+    if (enabled_) last_ = phase_clock_ns();
+  }
+  void lap(double* accum) {
+    if (!enabled_) return;
+    const double now = phase_clock_ns();
+    *accum += now - last_;
+    last_ = now;
+  }
+
+ private:
+  bool enabled_;
+  double last_ = 0.0;
+};
+
+}  // namespace
+
+double phase_clock_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // vDSO: cheap enough to time phases
+  return static_cast<double>(ts.tv_sec) * 1e9 + static_cast<double>(ts.tv_nsec);
+}
+
+const char* to_string(AccessType t) {
+  switch (t) {
+    case AccessType::kHit: return "hit";
+    case AccessType::kHitPending: return "hit_pending";
+    case AccessType::kPartialHit: return "partial_hit";
+    case AccessType::kDirect: return "direct";
+    case AccessType::kConflicting: return "conflicting";
+    case AccessType::kCapacity: return "capacity";
+    case AccessType::kFailing: return "failing";
+  }
+  return "?";
+}
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kTransparent: return "transparent";
+    case Mode::kAlwaysCache: return "always_cache";
+    case Mode::kUserDefined: return "user_defined";
+  }
+  return "?";
+}
+
+const char* to_string(ScoreKind s) {
+  switch (s) {
+    case ScoreKind::kFull: return "full";
+    case ScoreKind::kTemporal: return "temporal";
+    case ScoreKind::kPositional: return "positional";
+  }
+  return "?";
+}
+
+CacheCore::CacheCore(const Config& cfg)
+    : cfg_(cfg),
+      ops_{this},
+      index_(cfg.index_entries, cfg.cuckoo_arity, cfg.max_insert_iters, cfg.seed, &ops_),
+      storage_(cfg.storage_bytes),
+      sample_rng_(cfg.seed ^ 0xa5a5a5a5a5a5a5a5ull) {
+  CLAMPI_REQUIRE(cfg.sample_size >= 1, "eviction sample size must be >= 1");
+}
+
+std::uint64_t CacheCore::make_hkey(Key k) {
+  // SplitMix-style mix of (target, disp); exact matching is done on the
+  // stored Key, so this only needs to spread well.
+  std::uint64_t z = k.disp * 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.target)) *
+                        0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t CacheCore::alloc_entry() {
+  if (!free_ids_.empty()) {
+    const std::uint32_t id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  entries_.emplace_back();
+  return static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+void CacheCore::release_entry(std::uint32_t id) {
+  Entry& e = entries_[id];
+  CLAMPI_ASSERT(!e.pending, "releasing a PENDING entry");
+  e.live = false;
+  e.region = nullptr;
+  free_ids_.push_back(id);
+}
+
+void CacheCore::evict_entry(std::uint32_t id) {
+  Entry& e = entries_[id];
+  CLAMPI_ASSERT(e.live, "evicting a dead entry");
+  CLAMPI_ASSERT(!e.pending, "evicting a PENDING entry");
+  const bool erased = index_.erase(id);
+  CLAMPI_ASSERT(erased, "live entry missing from the index");
+  storage_.dealloc(e.region);
+  --live_entries_;
+  release_entry(id);
+  ++stats_.evictions;
+}
+
+double CacheCore::score(std::uint32_t id) const {
+  const Entry& e = entries_[id];
+  CLAMPI_ASSERT(e.live, "scoring a dead entry");
+  const double rt =
+      g_ == 0 ? 1.0 : static_cast<double>(e.last) / static_cast<double>(g_);
+  double rp = 1.0;
+  if (ags_ > 0.0) {
+    const double dc = static_cast<double>(storage_.adjacent_free(e.region));
+    rp = std::min(std::abs(ags_ - dc) / ags_, 1.0);
+  }
+  switch (cfg_.score) {
+    case ScoreKind::kFull: return rp * rt;
+    case ScoreKind::kTemporal: return rt;
+    case ScoreKind::kPositional: return rp;
+  }
+  return rp * rt;
+}
+
+bool CacheCore::capacity_eviction_round() {
+  ++stats_.eviction_rounds;
+  const auto& slots = index_.slots();
+  const std::size_t n = slots.size();
+  const std::size_t start = sample_rng_.bounded(n);
+  const auto sample = static_cast<std::size_t>(cfg_.sample_size);
+
+  std::uint32_t best = kNoEntry;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t nonempty = 0;
+  std::size_t scanned = 0;
+  // Scan M slots; if they were all empty, keep scanning until the first
+  // non-empty one (v_i = max(M, k_i), Sec. III-D).
+  while (scanned < n) {
+    const std::uint32_t id = slots[(start + scanned) % n];
+    ++scanned;
+    ++stats_.visited_slots;
+    if (id != kNoEntry) {
+      ++stats_.visited_nonempty;
+      ++nonempty;
+      if (!entries_[id].pending) {
+        const double s = score(id);
+        if (s < best_score) {
+          best_score = s;
+          best = id;
+        }
+      }
+    }
+    if (scanned >= sample && nonempty >= 1) break;
+  }
+  if (best == kNoEntry) return false;  // nothing evictable (e.g. all pending)
+  evict_entry(best);
+  return true;
+}
+
+bool CacheCore::insert_with_conflict_handling(std::uint32_t id, bool& conflicted) {
+  conflicted = false;
+  Entry& e = entries_[id];
+  if (index_.insert(e.hkey, id, &path_)) return true;
+  conflicted = true;
+  for (int attempt = 0; attempt < cfg_.max_conflict_evictions; ++attempt) {
+    // Victim: the lowest-scoring evictable entry on the insertion path.
+    std::uint32_t victim = kNoEntry;
+    double victim_score = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t cand : path_) {
+      if (cand == kNoEntry || !entries_[cand].live || entries_[cand].pending) continue;
+      const double s = score(cand);
+      if (s < victim_score) {
+        victim_score = s;
+        victim = cand;
+      }
+    }
+    if (victim == kNoEntry) return false;
+    evict_entry(victim);
+    if (index_.insert(e.hkey, id, &path_)) return true;
+  }
+  return false;
+}
+
+CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dtype_sig,
+                                    PhaseBreakdown* phases) {
+  CLAMPI_REQUIRE(bytes > 0, "zero-byte get_c");
+  PhaseTimer timer(phases != nullptr && cfg_.collect_phase_timings);
+
+  ++g_;
+  ++stats_.total_gets;
+  ags_ += (static_cast<double>(bytes) - ags_) / static_cast<double>(g_);
+
+  const std::uint64_t hkey = make_hkey(key);
+  const std::uint32_t found =
+      index_.lookup(hkey, [&](std::uint32_t id) { return entries_[id].key == key; });
+  if (phases != nullptr) timer.lap(&phases->lookup_ns);
+
+  Result res;
+  if (found != kNoEntry) {
+    Entry& e = entries_[found];
+    e.last = g_;
+    res.entry = found;
+    if (bytes <= e.size) {
+      // --- full hit ---
+      res.cached_bytes = bytes;
+      stats_.bytes_from_cache += bytes;
+      if (e.pending) {
+        ++stats_.hits_pending;
+        res.type = AccessType::kHitPending;
+        res.serve_now = false;
+      } else {
+        ++stats_.hits_full;
+        res.type = AccessType::kHit;
+        res.serve_now = true;
+      }
+      if (phases != nullptr) phases->type = res.type;
+      return res;
+    }
+    // --- partial hit: prefix from cache, tail from the network ---
+    ++stats_.hits_partial;
+    res.type = AccessType::kPartialHit;
+    res.cached_bytes = e.size;
+    res.serve_now = !e.pending;
+    stats_.bytes_from_cache += e.size;
+    stats_.bytes_from_network += bytes - e.size;
+    // Extend only if S_w has room (no evictions for extensions: keeps the
+    // weak-caching overhead bound). Try in place first, then relocate.
+    bool extended = storage_.try_extend(e.region, bytes);
+    if (!extended) {
+      Storage::Region* moved = storage_.alloc(bytes);
+      if (moved != nullptr) {
+        if (!e.pending && e.size > 0) {
+          std::memcpy(storage_.data(moved), storage_.data(e.region), e.size);
+        }
+        storage_.dealloc(e.region);
+        e.region = moved;
+        extended = true;
+      }
+    }
+    if (extended) {
+      e.size = bytes;
+      if (!e.pending) {
+        e.pending = true;  // tail arrives at flush
+        ++pending_entries_;
+      }
+      res.extended = true;
+      // The (possibly different) requester layout now defines the entry's
+      // contents; without extension the stored data and signature stay.
+      e.sig = dtype_sig;
+    }
+    if (phases != nullptr) {
+      timer.lap(&phases->insert_ns);
+      phases->type = res.type;
+    }
+    return res;
+  }
+
+  // --- miss ---
+  stats_.bytes_from_network += bytes;
+  const std::uint32_t id = alloc_entry();
+  // Born PENDING so the eviction rounds below never consider the entry a
+  // victim while it has no region yet.
+  entries_[id] =
+      Entry{key, hkey, dtype_sig, bytes, nullptr, g_, /*pending=*/true, /*live=*/true};
+  ++pending_entries_;
+  const auto discard_new_entry = [&] {
+    entries_[id].pending = false;
+    --pending_entries_;
+    entries_[id].live = false;
+    release_entry(id);
+  };
+
+  bool conflicted = false;
+  if (!insert_with_conflict_handling(id, conflicted)) {
+    discard_new_entry();
+    ++stats_.failing;
+    ++stats_.failed_index;
+    res.type = AccessType::kFailing;
+    res.entry = kNoEntry;
+    if (phases != nullptr) {
+      timer.lap(&phases->eviction_ns);
+      phases->type = res.type;
+    }
+    return res;
+  }
+  if (phases != nullptr) {
+    if (conflicted) {
+      timer.lap(&phases->eviction_ns);
+    } else {
+      timer.lap(&phases->insert_ns);
+    }
+  }
+
+  Storage::Region* region = storage_.alloc(bytes);
+  bool capacity_evicted = false;
+  if (region == nullptr) {
+    // One sampled eviction round: constant per-access overhead ("weak
+    // caching", Sec. III-D2). If space still cannot be made, fail.
+    capacity_evicted = capacity_eviction_round();
+    if (capacity_evicted) region = storage_.alloc(bytes);
+    if (phases != nullptr) timer.lap(&phases->eviction_ns);
+  }
+  if (region == nullptr) {
+    const bool erased = index_.erase(id);
+    CLAMPI_ASSERT(erased, "fresh entry missing from the index");
+    discard_new_entry();
+    ++stats_.failing;
+    ++stats_.failed_capacity;
+    res.type = AccessType::kFailing;
+    res.entry = kNoEntry;
+    if (phases != nullptr) phases->type = res.type;
+    return res;
+  }
+
+  Entry& e = entries_[id];
+  e.region = region;  // pending already set at creation
+  ++live_entries_;
+  res.entry = id;
+  res.inserted = true;
+  if (conflicted) {
+    ++stats_.conflicting;
+    res.type = AccessType::kConflicting;
+  } else if (capacity_evicted) {
+    ++stats_.capacity;
+    res.type = AccessType::kCapacity;
+  } else {
+    ++stats_.direct;
+    res.type = AccessType::kDirect;
+  }
+  if (phases != nullptr) {
+    timer.lap(&phases->insert_ns);
+    phases->type = res.type;
+  }
+  return res;
+}
+
+std::byte* CacheCore::entry_data(std::uint32_t id) {
+  Entry& e = entries_[id];
+  CLAMPI_ASSERT(e.live, "entry_data on a dead entry");
+  return storage_.data(e.region);
+}
+
+const std::byte* CacheCore::entry_data(std::uint32_t id) const {
+  const Entry& e = entries_[id];
+  CLAMPI_ASSERT(e.live, "entry_data on a dead entry");
+  return storage_.data(e.region);
+}
+
+std::size_t CacheCore::entry_bytes(std::uint32_t id) const {
+  CLAMPI_ASSERT(entries_[id].live, "entry_bytes on a dead entry");
+  return entries_[id].size;
+}
+
+Key CacheCore::entry_key(std::uint32_t id) const {
+  CLAMPI_ASSERT(entries_[id].live, "entry_key on a dead entry");
+  return entries_[id].key;
+}
+
+std::uint64_t CacheCore::entry_signature(std::uint32_t id) const {
+  CLAMPI_ASSERT(entries_[id].live, "entry_signature on a dead entry");
+  return entries_[id].sig;
+}
+
+bool CacheCore::entry_pending(std::uint32_t id) const {
+  CLAMPI_ASSERT(entries_[id].live, "entry_pending on a dead entry");
+  return entries_[id].pending;
+}
+
+void CacheCore::mark_cached(std::uint32_t id) {
+  Entry& e = entries_[id];
+  CLAMPI_ASSERT(e.live, "mark_cached on a dead entry");
+  if (e.pending) {
+    e.pending = false;
+    CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
+    --pending_entries_;
+  }
+}
+
+void CacheCore::invalidate() {
+  CLAMPI_REQUIRE(pending_entries_ == 0,
+                 "invalidate with PENDING entries outstanding (flush first)");
+  index_.clear();
+  storage_.reset();
+  entries_.clear();
+  free_ids_.clear();
+  live_entries_ = 0;
+  ++stats_.invalidations;
+  // g_ and ags_ deliberately persist: C_w.G counts gets over the window's
+  // lifetime (Sec. III-A/III-D1).
+}
+
+void CacheCore::resize(std::size_t index_entries, std::size_t storage_bytes) {
+  CLAMPI_REQUIRE(pending_entries_ == 0,
+                 "resize with PENDING entries outstanding (flush first)");
+  cfg_.index_entries = index_entries;
+  cfg_.storage_bytes = storage_bytes;
+  index_ = CuckooIndex<EntryOps>(index_entries, cfg_.cuckoo_arity, cfg_.max_insert_iters,
+                                 cfg_.seed, &ops_);
+  storage_.rebuild(storage_bytes);
+  entries_.clear();
+  free_ids_.clear();
+  live_entries_ = 0;
+  ++stats_.invalidations;
+  ++stats_.adjustments;
+}
+
+bool CacheCore::validate() const {
+  if (!index_.validate()) return false;
+  if (!storage_.validate()) return false;
+  if (index_.occupied() != live_entries_) return false;
+  std::size_t live = 0;
+  std::size_t pending = 0;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    const Entry& e = entries_[id];
+    if (!e.live) continue;
+    ++live;
+    if (e.pending) ++pending;
+    if (e.region == nullptr || e.region->free) return false;
+    if (e.region->size < e.size) return false;
+    if (e.hkey != make_hkey(e.key)) return false;
+    // The entry must be findable through the index.
+    const std::uint32_t found = index_.lookup(
+        e.hkey, [&](std::uint32_t cand) { return entries_[cand].key == e.key; });
+    if (found != id) return false;
+  }
+  if (live != live_entries_) return false;
+  if (pending != pending_entries_) return false;
+  if (storage_.allocated_regions() != live_entries_) return false;
+  return true;
+}
+
+}  // namespace clampi

@@ -1,0 +1,135 @@
+// CacheCore: the runtime-independent heart of CLaMPI.
+//
+// Implements the get_c processing of Sec. III-B (states MISSING / PENDING
+// / CACHED; full and partial hits; direct / conflicting / capacity /
+// failing accesses), the index and storage of Sec. III-C, the scored
+// eviction of Sec. III-D, and the statistics feeding the adaptive tuner
+// of Sec. III-E. It owns metadata and the S_w byte buffer but performs no
+// communication: the CachedWindow wrapper drives it against the rmasim
+// runtime, and tests drive it directly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "clampi/config.h"
+#include "clampi/cuckoo_index.h"
+#include "clampi/stats.h"
+#include "clampi/storage.h"
+#include "util/rng.h"
+
+namespace clampi {
+
+/// Identity of a get with respect to the cache: the paper defines a hit as
+/// matching target and displacement (Sec. III-B1); datatype and count only
+/// determine the size.
+struct Key {
+  std::int32_t target = -1;
+  std::uint64_t disp = 0;
+
+  friend bool operator==(const Key&, const Key&) = default;
+};
+
+class CacheCore {
+ public:
+  /// What the caller must do to serve the access.
+  struct Result {
+    AccessType type = AccessType::kFailing;
+    std::uint32_t entry = kNoEntry;   ///< involved entry (kNoEntry if failing)
+    std::size_t cached_bytes = 0;     ///< prefix available from the cache
+    bool inserted = false;            ///< a new entry now awaits its data
+    bool extended = false;            ///< partial hit: entry grew to `bytes`
+    bool serve_now = false;           ///< cached prefix may be copied immediately
+  };
+
+  explicit CacheCore(const Config& cfg);
+
+  /// Process a get_c of `bytes` payload at `key`. `dtype_sig` is recorded
+  /// for layout-compatibility diagnostics. May evict entries.
+  Result access(Key key, std::size_t bytes, std::uint64_t dtype_sig = 0,
+                PhaseBreakdown* phases = nullptr);
+
+  // --- entry accessors (valid until eviction/invalidation) ---
+  std::byte* entry_data(std::uint32_t id);
+  const std::byte* entry_data(std::uint32_t id) const;
+  std::size_t entry_bytes(std::uint32_t id) const;
+  Key entry_key(std::uint32_t id) const;
+  std::uint64_t entry_signature(std::uint32_t id) const;
+  bool entry_pending(std::uint32_t id) const;
+
+  /// PENDING -> CACHED (the entry's data arrived and was copied in).
+  void mark_cached(std::uint32_t id);
+
+  /// Drop every entry. Must not be called with PENDING entries
+  /// outstanding (callers flush first).
+  void invalidate();
+
+  /// Replace I_w and S_w with new sizes; implies an invalidation and is
+  /// counted as an adjustment (adaptive strategy, Sec. III-E1).
+  void resize(std::size_t index_entries, std::size_t storage_bytes);
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return cfg_; }
+  std::size_t index_entries() const { return index_.nslots(); }
+  std::size_t storage_bytes() const { return storage_.capacity(); }
+  std::size_t free_bytes() const { return storage_.free_bytes(); }
+  std::size_t cached_entries() const { return live_entries_; }
+  std::size_t pending_entries() const { return pending_entries_; }
+  std::uint64_t processed_gets() const { return g_; }
+  /// Running average get size C_w.ags (Sec. III-C2).
+  double average_get_size() const { return ags_; }
+
+  /// Score R^i(x) of a live entry under the configured ScoreKind
+  /// (exposed for the eviction-policy tests and the Fig. 10/11 benches).
+  double score(std::uint32_t id) const;
+
+  /// Cross-structure invariants (index <-> entries <-> storage). O(N).
+  bool validate() const;
+
+ private:
+  struct Entry {
+    Key key;
+    std::uint64_t hkey = 0;
+    std::uint64_t sig = 0;
+    std::size_t size = 0;  ///< payload bytes (region may be larger: alignment)
+    Storage::Region* region = nullptr;
+    std::uint64_t last = 0;  ///< index in C_w.G of the last matching get_c
+    bool pending = false;
+    bool live = false;
+  };
+
+  struct EntryOps {
+    const CacheCore* self = nullptr;
+    std::uint64_t hash_key(std::uint32_t id) const {
+      return self->entries_[id].hkey;
+    }
+  };
+
+  static std::uint64_t make_hkey(Key k);
+  std::uint32_t alloc_entry();
+  void release_entry(std::uint32_t id);
+  void evict_entry(std::uint32_t id);
+  /// One sampled victim-selection round (Sec. III-D); false if no
+  /// evictable entry was found.
+  bool capacity_eviction_round();
+  /// Insert `id` into the index, evicting from the insertion path on
+  /// conflicts. Returns false if it still cannot be placed.
+  bool insert_with_conflict_handling(std::uint32_t id, bool& conflicted);
+
+  Config cfg_;
+  Stats stats_;
+  EntryOps ops_;
+  CuckooIndex<EntryOps> index_;
+  Storage storage_;
+  util::Xoshiro256 sample_rng_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_ids_;
+  std::vector<std::uint32_t> path_;  // scratch: cuckoo insertion path
+  std::size_t live_entries_ = 0;
+  std::size_t pending_entries_ = 0;
+  std::uint64_t g_ = 0;   ///< |C_w.G|: get_c sequence counter
+  double ags_ = 0.0;      ///< running average get size
+};
+
+}  // namespace clampi

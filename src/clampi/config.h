@@ -1,0 +1,86 @@
+// CLaMPI configuration (paper Secs. III-A, III-D, III-E).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace clampi {
+
+/// Operational modes of a caching-enabled window (Sec. III-A).
+enum class Mode {
+  kTransparent,  ///< cache invalidated at every epoch closure
+  kAlwaysCache,  ///< window is read-only for its whole lifespan
+  kUserDefined,  ///< read-only epochs; user calls clampi_invalidate()
+};
+
+/// Which scores the eviction procedure combines (Sec. IV-A3 evaluates
+/// Temporal-only, Positional-only and the Full product).
+enum class ScoreKind {
+  kFull,        ///< R = R_P * R_T (the paper's proposal)
+  kTemporal,    ///< LRU-like
+  kPositional,  ///< fragmentation-only
+};
+
+/// Outcome classes of a get_c (Sec. III-B, Fig. 5).
+enum class AccessType {
+  kHit,          ///< full hit on a CACHED entry: local copy only
+  kHitPending,   ///< hit on a PENDING entry: copy-out deferred to flush
+  kPartialHit,   ///< prefix served from cache, tail fetched remotely
+  kDirect,       ///< miss, inserted without any eviction
+  kConflicting,  ///< miss, insertion required evicting from the cuckoo path
+  kCapacity,     ///< miss, insertion required evicting for space
+  kFailing,      ///< miss, data could not be cached (weak caching)
+};
+
+const char* to_string(AccessType t);
+const char* to_string(Mode m);
+const char* to_string(ScoreKind s);
+
+/// Tunables. `index_entries` is |I_w| (hash-table slots) and
+/// `storage_bytes` is |S_w| (cache memory buffer size); with
+/// `adaptive = true` these are starting values that the runtime adjusts
+/// (Sec. III-E1).
+struct Config {
+  Mode mode = Mode::kTransparent;
+  std::size_t index_entries = 4096;
+  std::size_t storage_bytes = std::size_t{4} << 20;
+  bool adaptive = false;
+
+  // --- cuckoo index (Sec. III-C1) ---
+  int cuckoo_arity = 4;       ///< p hash functions (97% utilization at p=4)
+  int max_insert_iters = 64;  ///< walk bound before declaring a conflict
+  int max_conflict_evictions = 4;  ///< path evictions before giving up
+
+  // --- eviction (Sec. III-D) ---
+  int sample_size = 16;  ///< M, entries sampled per capacity eviction
+  ScoreKind score = ScoreKind::kFull;
+
+  // --- adaptive parameter selection (Sec. III-E1) ---
+  double conflict_threshold = 0.05;   ///< conflicting/total to grow |I_w|
+  double capacity_threshold = 0.10;   ///< (capacity+failed)/total to grow |S_w|
+  /// hits/total above which the working set counts as stable (a shrink
+  /// precondition). Deliberately high: right after a resize-invalidation
+  /// the cache refills with a moderate hit ratio and lots of free space,
+  /// which must not read as "over-provisioned" or |S_w| oscillates.
+  double stable_threshold = 0.90;
+  double sparsity_threshold = 0.25;   ///< q below this shrinks |I_w|
+  double free_threshold = 0.75;       ///< free/|S_w| above this allows shrink
+  int shrink_patience = 2;  ///< consecutive qualifying windows before shrinking
+  double index_increase_factor = 2.0;
+  double index_decrease_factor = 2.0;
+  double memory_increase_factor = 2.0;
+  double memory_decrease_factor = 2.0;
+  std::size_t min_index_entries = 64;
+  std::size_t max_index_entries = std::size_t{1} << 24;
+  std::size_t min_storage_bytes = std::size_t{64} << 10;
+  std::size_t max_storage_bytes = std::size_t{1} << 30;
+  std::uint64_t adapt_interval = 2048;  ///< gets between adaptation checks
+
+  // --- instrumentation ---
+  bool collect_phase_timings = false;  ///< real-time phase breakdown (Fig. 7)
+  bool trace_adaptation = false;       ///< print every adaptive resize to stderr
+
+  std::uint64_t seed = 0x5eedc1a3ca11edull;  ///< hash functions + sampling
+};
+
+}  // namespace clampi

@@ -1,0 +1,175 @@
+// I_w: the cache index (paper Sec. III-C1).
+//
+// A cuckoo hash table [11, 17] with p hash functions drawn from a
+// universal family [5]. Lookup probes at most p slots (constant time).
+// Insertion is the random-walk scheme of Fotakis et al.: the new element
+// kicks an occupant to another of the occupant's p candidate slots, up to
+// a bound. CLaMPI deliberately does NOT rehash on insertion failure;
+// instead the failure is surfaced as a *conflicting access* and the
+// caller evicts one of the entries on the insertion path.
+//
+// The table stores 32-bit entry ids; key material lives in the caller's
+// entry table, accessed through the EntryOps policy:
+//
+//   struct EntryOps {
+//     std::uint64_t hash_key(std::uint32_t id) const;  // stable per entry
+//   };
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/universal_hash.h"
+
+namespace clampi {
+
+inline constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
+template <class EntryOps>
+class CuckooIndex {
+ public:
+  CuckooIndex(std::size_t nslots, int arity, int max_iters, std::uint64_t seed,
+              const EntryOps* ops)
+      : arity_(arity), max_iters_(max_iters), ops_(ops), rng_(seed) {
+    CLAMPI_REQUIRE(nslots >= static_cast<std::size_t>(arity), "index too small for arity");
+    CLAMPI_REQUIRE(arity >= 2 && arity <= 8, "cuckoo arity out of range");
+    table_.assign(nslots, kNoEntry);
+    hashes_.reserve(static_cast<std::size_t>(arity));
+    for (int i = 0; i < arity; ++i) hashes_.emplace_back(rng_);
+  }
+
+  std::size_t nslots() const { return table_.size(); }
+  std::size_t occupied() const { return occupied_; }
+  int arity() const { return arity_; }
+
+  /// Raw slot array (entry ids or kNoEntry); the eviction procedure samples
+  /// it directly (Sec. III-D).
+  const std::vector<std::uint32_t>& slots() const { return table_; }
+
+  /// Find the entry whose exact key matches, probing the p candidate slots
+  /// of `hkey`. `pred(id)` performs the exact comparison.
+  template <class Pred>
+  std::uint32_t lookup(std::uint64_t hkey, Pred&& pred) const {
+    for (int i = 0; i < arity_; ++i) {
+      const std::uint32_t id = table_[slot_of(hkey, i)];
+      if (id != kNoEntry && pred(id)) return id;
+    }
+    return kNoEntry;
+  }
+
+  /// Insert `id` (with hash key `hkey`). On success returns true. On
+  /// failure the table is left exactly as before (the walk is rolled
+  /// back), false is returned, and `path` (if non-null) receives the ids
+  /// of the entries encountered on the insertion path — the candidate
+  /// victims for a *conflicting* eviction.
+  bool insert(std::uint64_t hkey, std::uint32_t id, std::vector<std::uint32_t>* path) {
+    if (path != nullptr) path->clear();
+    // Fast path: any of the p candidate slots free?
+    for (int i = 0; i < arity_; ++i) {
+      const std::size_t s = slot_of(hkey, i);
+      if (table_[s] == kNoEntry) {
+        table_[s] = id;
+        ++occupied_;
+        return true;
+      }
+    }
+    // Random-walk with a rollback journal. Following Fotakis et al., a
+    // kicked element re-inserts into one of its p-1 *other* candidate
+    // slots (never the one it was just displaced from).
+    journal_.clear();
+    std::uint32_t cur = id;
+    std::uint64_t cur_hkey = hkey;
+    std::size_t from_slot = static_cast<std::size_t>(-1);
+    for (int iter = 0; iter < max_iters_; ++iter) {
+      // Pick a candidate slot != from_slot (all-equal degenerate case:
+      // fall back to any candidate).
+      std::size_t s = slot_of(cur_hkey, static_cast<int>(rng_.bounded(arity_)));
+      for (int retry = 0; retry < 4 && s == from_slot; ++retry) {
+        s = slot_of(cur_hkey, static_cast<int>(rng_.bounded(arity_)));
+      }
+      const std::uint32_t occupant = table_[s];
+      if (occupant == kNoEntry) {
+        table_[s] = cur;
+        ++occupied_;
+        return true;
+      }
+      if (occupant == cur) continue;  // picked the slot we already sit in
+      // The walk may displace the element being inserted; it is not a
+      // valid eviction victim, so keep it off the reported path.
+      if (path != nullptr && occupant != id) path->push_back(occupant);
+      journal_.push_back({s, occupant});
+      table_[s] = cur;
+      cur = occupant;
+      cur_hkey = ops_->hash_key(occupant);
+      from_slot = s;
+    }
+    // Roll back so the structure is unchanged on a conflicting access.
+    for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+      table_[it->slot] = it->occupant;
+    }
+    return false;
+  }
+
+  /// Remove `id`. Returns false if the id is not in the table.
+  bool erase(std::uint32_t id) {
+    const std::uint64_t hkey = ops_->hash_key(id);
+    for (int i = 0; i < arity_; ++i) {
+      const std::size_t s = slot_of(hkey, i);
+      if (table_[s] == id) {
+        table_[s] = kNoEntry;
+        --occupied_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void clear() {
+    table_.assign(table_.size(), kNoEntry);
+    occupied_ = 0;
+  }
+
+  /// Invariant check for tests: every stored id sits in one of its p
+  /// candidate slots, no id appears twice, occupancy count is exact.
+  bool validate() const {
+    std::size_t count = 0;
+    std::vector<std::uint32_t> seen;
+    for (std::size_t s = 0; s < table_.size(); ++s) {
+      const std::uint32_t id = table_[s];
+      if (id == kNoEntry) continue;
+      ++count;
+      seen.push_back(id);
+      bool candidate = false;
+      const std::uint64_t hkey = ops_->hash_key(id);
+      for (int i = 0; i < arity_; ++i) candidate |= slot_of(hkey, i) == s;
+      if (!candidate) return false;
+    }
+    std::sort(seen.begin(), seen.end());
+    if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) return false;
+    return count == occupied_;
+  }
+
+ private:
+  struct JournalEntry {
+    std::size_t slot;
+    std::uint32_t occupant;
+  };
+
+  std::size_t slot_of(std::uint64_t hkey, int i) const {
+    return hashes_[static_cast<std::size_t>(i)](hkey, table_.size());
+  }
+
+  int arity_;
+  int max_iters_;
+  const EntryOps* ops_;
+  util::Xoshiro256 rng_;
+  std::vector<util::UniversalHash> hashes_;
+  std::vector<std::uint32_t> table_;
+  std::vector<JournalEntry> journal_;
+  std::size_t occupied_ = 0;
+};
+
+}  // namespace clampi

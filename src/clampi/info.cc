@@ -1,0 +1,106 @@
+#include "clampi/info.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace clampi {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& key, const std::string& s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  CLAMPI_REQUIRE(end != s.c_str() && *end == '\0', "info key " + key + ": bad integer '" + s + "'");
+  return v;
+}
+
+double parse_f64(const std::string& key, const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  CLAMPI_REQUIRE(end != s.c_str() && *end == '\0', "info key " + key + ": bad number '" + s + "'");
+  return v;
+}
+
+bool parse_bool(const std::string& key, const std::string& s) {
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  CLAMPI_REQUIRE(false, "info key " + key + ": bad boolean '" + s + "'");
+  return false;
+}
+
+}  // namespace
+
+std::size_t parse_size(const std::string& s) {
+  CLAMPI_REQUIRE(!s.empty(), "empty size string");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  CLAMPI_REQUIRE(end != s.c_str(), "bad size '" + s + "'");
+  std::size_t mult = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': mult = std::size_t{1} << 10; break;
+      case 'm': case 'M': mult = std::size_t{1} << 20; break;
+      case 'g': case 'G': mult = std::size_t{1} << 30; break;
+      default: CLAMPI_REQUIRE(false, "bad size suffix in '" + s + "'");
+    }
+    CLAMPI_REQUIRE(end[1] == '\0', "trailing junk in size '" + s + "'");
+  }
+  return static_cast<std::size_t>(v) * mult;
+}
+
+Config config_from_info(const Info& info, Config cfg) {
+  for (const auto& [key, value] : info) {
+    if (key.rfind("clampi_", 0) != 0) continue;  // foreign keys are ignored
+    if (key == "clampi_mode") {
+      if (value == "transparent") {
+        cfg.mode = Mode::kTransparent;
+      } else if (value == "always_cache") {
+        cfg.mode = Mode::kAlwaysCache;
+      } else if (value == "user_defined") {
+        cfg.mode = Mode::kUserDefined;
+      } else {
+        CLAMPI_REQUIRE(false, "unknown clampi_mode '" + value + "'");
+      }
+    } else if (key == "clampi_index_entries") {
+      cfg.index_entries = parse_u64(key, value);
+    } else if (key == "clampi_storage_bytes") {
+      cfg.storage_bytes = parse_size(value);
+    } else if (key == "clampi_adaptive") {
+      cfg.adaptive = parse_bool(key, value);
+    } else if (key == "clampi_score") {
+      if (value == "full") {
+        cfg.score = ScoreKind::kFull;
+      } else if (value == "temporal") {
+        cfg.score = ScoreKind::kTemporal;
+      } else if (value == "positional") {
+        cfg.score = ScoreKind::kPositional;
+      } else {
+        CLAMPI_REQUIRE(false, "unknown clampi_score '" + value + "'");
+      }
+    } else if (key == "clampi_sample_size") {
+      cfg.sample_size = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_arity") {
+      cfg.cuckoo_arity = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_conflict_threshold") {
+      cfg.conflict_threshold = parse_f64(key, value);
+    } else if (key == "clampi_capacity_threshold") {
+      cfg.capacity_threshold = parse_f64(key, value);
+    } else if (key == "clampi_stable_threshold") {
+      cfg.stable_threshold = parse_f64(key, value);
+    } else if (key == "clampi_sparsity_threshold") {
+      cfg.sparsity_threshold = parse_f64(key, value);
+    } else if (key == "clampi_free_threshold") {
+      cfg.free_threshold = parse_f64(key, value);
+    } else if (key == "clampi_adapt_interval") {
+      cfg.adapt_interval = parse_u64(key, value);
+    } else if (key == "clampi_seed") {
+      cfg.seed = parse_u64(key, value);
+    } else {
+      CLAMPI_REQUIRE(false, "unknown info key '" + key + "'");
+    }
+  }
+  return cfg;
+}
+
+}  // namespace clampi

@@ -1,0 +1,38 @@
+// MPI_Info-style configuration (paper Sec. III-A: the operational mode
+// "can be communicated to CLaMPI as an MPI_INFO key passed at window
+// creation time").
+//
+// Keys (all optional; unknown keys starting with "clampi_" are an error,
+// other keys are ignored exactly like MPI ignores foreign info keys):
+//
+//   clampi_mode             transparent | always_cache | user_defined
+//   clampi_index_entries    |I_w|, integer
+//   clampi_storage_bytes    |S_w|, integer with optional K/M/G suffix
+//   clampi_adaptive         true | false
+//   clampi_score            full | temporal | positional
+//   clampi_sample_size      eviction sample M
+//   clampi_arity            cuckoo hash functions p
+//   clampi_conflict_threshold / clampi_capacity_threshold /
+//   clampi_stable_threshold / clampi_sparsity_threshold /
+//   clampi_free_threshold   floating point in [0, 1]
+//   clampi_adapt_interval   gets between adaptation checks
+//   clampi_seed             integer
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "clampi/config.h"
+
+namespace clampi {
+
+using Info = std::map<std::string, std::string>;
+
+/// Parse a size string with optional K/M/G (binary) suffix: "64M" etc.
+std::size_t parse_size(const std::string& s);
+
+/// Apply info keys on top of `base`. Throws util::ContractError on
+/// malformed values or unknown clampi_* keys.
+Config config_from_info(const Info& info, Config base = Config{});
+
+}  // namespace clampi

@@ -1,0 +1,99 @@
+// Access statistics and phase timings collected per caching-enabled window.
+// These counters drive the adaptive parameter selection (Sec. III-E1) and
+// the evaluation figures (Figs. 11, 13, 16, 18).
+#pragma once
+
+#include <cstdint>
+
+#include "clampi/config.h"
+
+namespace clampi {
+
+struct Stats {
+  // --- access classification ---
+  std::uint64_t total_gets = 0;
+  std::uint64_t hits_full = 0;
+  std::uint64_t hits_pending = 0;
+  std::uint64_t hits_partial = 0;
+  std::uint64_t direct = 0;
+  std::uint64_t conflicting = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t failing = 0;
+  // Cause split of `failing` (failing == failed_index + failed_capacity).
+  // The adaptive tuner needs it: index-induced failures ask for a larger
+  // |I_w|, space-induced ones for a larger |S_w| (Sec. III-E1).
+  std::uint64_t failed_index = 0;
+  std::uint64_t failed_capacity = 0;
+
+  // --- eviction machinery ---
+  std::uint64_t evictions = 0;
+  std::uint64_t eviction_rounds = 0;      ///< capacity/failed victim searches
+  std::uint64_t visited_slots = 0;        ///< index slots scanned by searches
+  std::uint64_t visited_nonempty = 0;     ///< of which held an entry
+
+  // --- lifecycle ---
+  std::uint64_t invalidations = 0;
+  std::uint64_t adjustments = 0;  ///< adaptive parameter changes
+
+  // --- volume ---
+  std::uint64_t bytes_from_cache = 0;
+  std::uint64_t bytes_from_network = 0;
+
+  /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
+  /// PENDING (full and partial hits alike).
+  std::uint64_t hitting() const { return hits_full + hits_pending + hits_partial; }
+
+  double hit_ratio() const {
+    return total_gets == 0 ? 0.0
+                           : static_cast<double>(hitting()) / static_cast<double>(total_gets);
+  }
+
+  /// q: fraction of visited slots that were non-empty (victim-selection
+  /// quality signal used to shrink a sparse index, Sec. III-E1).
+  double q() const {
+    return visited_slots == 0
+               ? 1.0
+               : static_cast<double>(visited_nonempty) / static_cast<double>(visited_slots);
+  }
+
+  /// Per-field difference (this - base); used for adaptation windows.
+  Stats delta_since(const Stats& base) const {
+    Stats d;
+    d.total_gets = total_gets - base.total_gets;
+    d.hits_full = hits_full - base.hits_full;
+    d.hits_pending = hits_pending - base.hits_pending;
+    d.hits_partial = hits_partial - base.hits_partial;
+    d.direct = direct - base.direct;
+    d.conflicting = conflicting - base.conflicting;
+    d.capacity = capacity - base.capacity;
+    d.failing = failing - base.failing;
+    d.failed_index = failed_index - base.failed_index;
+    d.failed_capacity = failed_capacity - base.failed_capacity;
+    d.evictions = evictions - base.evictions;
+    d.eviction_rounds = eviction_rounds - base.eviction_rounds;
+    d.visited_slots = visited_slots - base.visited_slots;
+    d.visited_nonempty = visited_nonempty - base.visited_nonempty;
+    d.invalidations = invalidations - base.invalidations;
+    d.adjustments = adjustments - base.adjustments;
+    d.bytes_from_cache = bytes_from_cache - base.bytes_from_cache;
+    d.bytes_from_network = bytes_from_network - base.bytes_from_network;
+    return d;
+  }
+};
+
+/// Real-time cost breakdown of the most recent get_c, in nanoseconds
+/// (populated when Config::collect_phase_timings is set; Fig. 7).
+struct PhaseBreakdown {
+  double lookup_ns = 0.0;
+  double eviction_ns = 0.0;
+  double copy_ns = 0.0;   ///< cache->user copy (hits) at access time
+  double insert_ns = 0.0; ///< index insert + storage allocation
+  AccessType type = AccessType::kDirect;
+
+  double total_ns() const { return lookup_ns + eviction_ns + copy_ns + insert_ns; }
+};
+
+/// Monotonic thread-CPU clock used for the phase breakdown (ns).
+double phase_clock_ns();
+
+}  // namespace clampi

@@ -1,0 +1,175 @@
+#include "clampi/storage.h"
+
+#include <algorithm>
+
+namespace clampi {
+
+Storage::Storage(std::size_t capacity_bytes) {
+  capacity_ = util::round_up(capacity_bytes, util::kCacheLineBytes);
+  CLAMPI_REQUIRE(capacity_ > 0, "storage capacity must be positive");
+  buf_ = std::make_unique<std::byte[]>(capacity_);
+  head_ = new Region{0, capacity_, /*free=*/true, nullptr, nullptr};
+  free_bytes_ = capacity_;
+  tree_insert(head_);
+}
+
+Storage::~Storage() {
+  Region* r = head_;
+  while (r != nullptr) {
+    Region* next = r->next;
+    delete r;
+    r = next;
+  }
+}
+
+void Storage::tree_insert(Region* r) {
+  const bool ok = free_tree_.insert({r->size, r->offset}, r);
+  CLAMPI_ASSERT(ok, "duplicate free region in tree");
+}
+
+void Storage::tree_erase(Region* r) {
+  const bool ok = free_tree_.erase({r->size, r->offset});
+  CLAMPI_ASSERT(ok, "free region missing from tree");
+}
+
+void Storage::unlink(Region* r) {
+  if (r->prev != nullptr) r->prev->next = r->next;
+  if (r->next != nullptr) r->next->prev = r->prev;
+  if (head_ == r) head_ = r->next;
+}
+
+Storage::Region* Storage::alloc(std::size_t bytes) {
+  const std::size_t need = util::round_up(std::max<std::size_t>(bytes, 1), util::kCacheLineBytes);
+  auto* node = free_tree_.lower_bound({need, 0});
+  if (node == nullptr) return nullptr;
+  Region* f = node->value;
+  tree_erase(f);
+  free_bytes_ -= need;
+  ++allocated_regions_;
+  if (f->size == need) {
+    f->free = false;
+    return f;
+  }
+  // Carve the entry from the front of the free region; the free remainder
+  // keeps its descriptor (so its AVL key changes but its list position
+  // does not).
+  auto* e = new Region{f->offset, need, /*free=*/false, f->prev, f};
+  if (f->prev != nullptr) f->prev->next = e;
+  if (head_ == f) head_ = e;
+  f->prev = e;
+  f->offset += need;
+  f->size -= need;
+  tree_insert(f);
+  return e;
+}
+
+void Storage::dealloc(Region* r) {
+  CLAMPI_ASSERT(r != nullptr && !r->free, "dealloc of a free region");
+  free_bytes_ += r->size;
+  --allocated_regions_;
+  r->free = true;
+  Region* merged = r;
+  if (r->prev != nullptr && r->prev->free) {
+    Region* p = r->prev;
+    tree_erase(p);
+    p->size += r->size;
+    unlink(r);
+    delete r;
+    merged = p;
+  }
+  if (merged->next != nullptr && merged->next->free) {
+    Region* n = merged->next;
+    tree_erase(n);
+    merged->size += n->size;
+    unlink(n);
+    delete n;
+  }
+  tree_insert(merged);
+}
+
+bool Storage::try_extend(Region* r, std::size_t new_bytes) {
+  CLAMPI_ASSERT(!r->free, "extend of a free region");
+  const std::size_t target = util::round_up(new_bytes, util::kCacheLineBytes);
+  if (target <= r->size) return true;  // already large enough
+  const std::size_t need = target - r->size;
+  Region* n = r->next;
+  if (n == nullptr || !n->free || n->size < need) return false;
+  tree_erase(n);
+  if (n->size == need) {
+    unlink(n);
+    delete n;
+  } else {
+    n->offset += need;
+    n->size -= need;
+    tree_insert(n);
+  }
+  r->size = target;
+  free_bytes_ -= need;
+  return true;
+}
+
+std::size_t Storage::adjacent_free(const Region* r) const {
+  std::size_t d = 0;
+  if (r->prev != nullptr && r->prev->free) d += r->prev->size;
+  if (r->next != nullptr && r->next->free) d += r->next->size;
+  return d;
+}
+
+std::size_t Storage::largest_free() const {
+  const auto* node = free_tree_.max();
+  return node == nullptr ? 0 : node->key.first;
+}
+
+void Storage::rebuild(std::size_t capacity_bytes) {
+  const std::size_t cap = util::round_up(capacity_bytes, util::kCacheLineBytes);
+  CLAMPI_REQUIRE(cap > 0, "storage capacity must be positive");
+  auto buf = std::make_unique<std::byte[]>(cap);  // may throw; state untouched
+  capacity_ = cap;
+  buf_ = std::move(buf);
+  reset();
+}
+
+void Storage::reset() {
+  Region* r = head_;
+  while (r != nullptr) {
+    Region* next = r->next;
+    delete r;
+    r = next;
+  }
+  free_tree_.clear();
+  head_ = new Region{0, capacity_, /*free=*/true, nullptr, nullptr};
+  free_bytes_ = capacity_;
+  allocated_regions_ = 0;
+  tree_insert(head_);
+}
+
+bool Storage::validate() const {
+  std::size_t cursor = 0;
+  std::size_t free_sum = 0;
+  std::size_t free_count = 0;
+  std::size_t alloc_count = 0;
+  const Region* prev = nullptr;
+  for (const Region* r = head_; r != nullptr; r = r->next) {
+    if (r->offset != cursor) return false;
+    if (r->size == 0 || r->size % util::kCacheLineBytes != 0) return false;
+    if (r->prev != prev) return false;
+    if (prev != nullptr && prev->free && r->free) return false;  // not coalesced
+    if (r->free) {
+      free_sum += r->size;
+      ++free_count;
+      const auto* node = free_tree_.find({r->size, r->offset});
+      if (node == nullptr || node->value != r) return false;
+    } else {
+      ++alloc_count;
+    }
+    cursor += r->size;
+    prev = r;
+  }
+  if (cursor != capacity_) return false;
+  if (free_sum != free_bytes_) return false;
+  if (free_count != free_tree_.size()) return false;
+  if (alloc_count != allocated_regions_) return false;
+  return free_tree_.validate();
+}
+
+}  // namespace clampi

@@ -1,0 +1,99 @@
+// S_w: the cache storage buffer (paper Secs. III-C2 and III-C3).
+//
+// Cache entries live contiguously in one memory buffer. Free regions are
+// indexed by an AVL tree keyed by (size, offset), so allocation is
+// best-fit in O(log N). Every entry/free region has a descriptor; the
+// descriptors form a doubly linked list in buffer order, which makes the
+// adjacent-free-space d_c of an entry (the input to the positional score)
+// an O(1) query, and makes coalescing on eviction O(1).
+//
+// All region sizes are multiples of the CPU cache-line size to preserve
+// alignment inside S_w.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/align.h"
+#include "util/avl_tree.h"
+#include "util/error.h"
+
+namespace clampi {
+
+class Storage {
+ public:
+  /// Descriptor of one region (a cache entry's data or a free region).
+  struct Region {
+    std::size_t offset = 0;
+    std::size_t size = 0;   ///< always a multiple of the cache-line size
+    bool free = true;
+    Region* prev = nullptr;
+    Region* next = nullptr;
+  };
+
+  explicit Storage(std::size_t capacity_bytes);
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  /// Best-fit allocation of (at least) `bytes`; returns nullptr when no
+  /// free region is large enough (external fragmentation or exhaustion).
+  Region* alloc(std::size_t bytes);
+
+  /// Return `r` to the free pool, coalescing with free neighbours.
+  void dealloc(Region* r);
+
+  /// Grow `r` in place to hold `new_bytes`, consuming the following free
+  /// region if possible. Returns false (no change) otherwise. Used for
+  /// partial-hit entry extension (Sec. III-B1).
+  bool try_extend(Region* r, std::size_t new_bytes);
+
+  /// d_c: total free memory adjacent to `r` (Sec. III-C3).
+  std::size_t adjacent_free(const Region* r) const;
+
+  /// Pointer to the data of an allocated region.
+  std::byte* data(const Region* r) {
+    CLAMPI_ASSERT(!r->free, "data() on a free region");
+    return buf_.get() + r->offset;
+  }
+  const std::byte* data(const Region* r) const {
+    CLAMPI_ASSERT(!r->free, "data() on a free region");
+    return buf_.get() + r->offset;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t free_bytes() const { return free_bytes_; }
+  std::size_t used_bytes() const { return capacity_ - free_bytes_; }
+  std::size_t largest_free() const;
+  std::size_t allocated_regions() const { return allocated_regions_; }
+
+  /// Drop every allocation; one maximal free region remains. O(#regions).
+  void reset();
+
+  /// Drop everything and reallocate the buffer with a new capacity
+  /// (adaptive |S_w| adjustment, Sec. III-E1).
+  void rebuild(std::size_t capacity_bytes);
+
+  /// Structural invariants (descriptor list covers [0, capacity) without
+  /// gaps/overlap, no adjacent free regions, AVL matches the list, byte
+  /// accounting is exact). O(N); for tests.
+  bool validate() const;
+
+ private:
+  using FreeKey = std::pair<std::size_t, std::size_t>;  // (size, offset)
+
+  void tree_insert(Region* r);
+  void tree_erase(Region* r);
+  void unlink(Region* r);
+
+  std::size_t capacity_ = 0;
+  std::size_t free_bytes_ = 0;
+  std::size_t allocated_regions_ = 0;
+  std::unique_ptr<std::byte[]> buf_;
+  Region* head_ = nullptr;
+  util::AvlTree<FreeKey, Region*> free_tree_;
+};
+
+}  // namespace clampi

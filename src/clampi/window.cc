@@ -1,0 +1,309 @@
+#include "clampi/window.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace clampi {
+
+CachedWindow::CachedWindow(rmasim::Process& p, rmasim::Window win, const Config& cfg)
+    : p_(&p),
+      win_(win),
+      cfg_(cfg),
+      core_(std::make_unique<CacheCore>(cfg)),
+      tuner_(cfg) {}
+
+CachedWindow CachedWindow::allocate(rmasim::Process& p, std::size_t bytes, void** base,
+                                    const Config& cfg) {
+  const rmasim::Window w = p.win_allocate(bytes, base);
+  return CachedWindow(p, w, cfg);
+}
+
+CachedWindow CachedWindow::create(rmasim::Process& p, void* base, std::size_t bytes,
+                                  const Config& cfg) {
+  const rmasim::Window w = p.win_create(base, bytes);
+  return CachedWindow(p, w, cfg);
+}
+
+void CachedWindow::free_window() { p_->win_free(win_); }
+
+void CachedWindow::serve_cached(void* origin, std::uint32_t entry, std::size_t bytes) {
+  const double t0 = cfg_.collect_phase_timings ? phase_clock_ns() : 0.0;
+  std::memcpy(origin, core_->entry_data(entry), bytes);
+  p_->charge_local_copy(bytes);
+  if (cfg_.collect_phase_timings) last_phases_.copy_ns += phase_clock_ns() - t0;
+}
+
+void CachedWindow::issue_network_get(void* origin, std::size_t bytes, int target,
+                                     std::size_t disp) {
+  p_->get(origin, bytes, target, disp, win_);
+}
+
+void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
+                                 std::size_t bytes, int target, std::size_t disp) {
+  last_access_ = res.type;
+  switch (res.type) {
+    case AccessType::kHit:
+      serve_cached(origin, res.entry, bytes);
+      break;  // no network, no flush dependency
+    case AccessType::kHitPending:
+      pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
+                          static_cast<std::byte*>(origin), 0, bytes});
+      break;
+    case AccessType::kPartialHit: {
+      const std::size_t head = res.cached_bytes;
+      if (res.serve_now) {
+        serve_cached(origin, res.entry, head);
+      } else {
+        pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
+                            static_cast<std::byte*>(origin), 0, head});
+      }
+      auto* tail_dst = static_cast<std::byte*>(origin) + head;
+      issue_network_get(tail_dst, bytes - head, target, disp + head);
+      if (res.extended) {
+        pending_.push_back(
+            {PendingOp::Kind::kCopyIn, res.entry, target, tail_dst, head, bytes - head});
+      }
+      break;
+    }
+    case AccessType::kDirect:
+    case AccessType::kConflicting:
+    case AccessType::kCapacity:
+      issue_network_get(origin, bytes, target, disp);
+      pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target,
+                          static_cast<std::byte*>(origin), 0, bytes});
+      break;
+    case AccessType::kFailing:
+      issue_network_get(origin, bytes, target, disp);
+      break;
+  }
+}
+
+void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t disp) {
+  CLAMPI_REQUIRE(bytes > 0, "zero-byte get");
+  last_phases_ = PhaseBreakdown{};
+  const CacheCore::Result res =
+      core_->access(Key{target, disp}, bytes, /*dtype_sig=*/0,
+                    cfg_.collect_phase_timings ? &last_phases_ : nullptr);
+  handle_result(res, origin, bytes, target, disp);
+}
+
+void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t count,
+                       int target, std::size_t disp) {
+  const std::size_t bytes = dtype.size_of(count);
+  CLAMPI_REQUIRE(bytes > 0, "zero-byte typed get");
+  if (dtype.is_contiguous()) {
+    get(origin, bytes, target, disp);
+    return;
+  }
+  last_phases_ = PhaseBreakdown{};
+  const std::uint64_t sig = dtype.signature();
+  const CacheCore::Result res =
+      core_->access(Key{target, disp}, bytes, sig,
+                    cfg_.collect_phase_timings ? &last_phases_ : nullptr);
+  last_access_ = res.type;
+
+  // A cached prefix of the packed payload is reusable only if it was
+  // produced by the same element layout and covers whole elements.
+  const std::size_t esz = dtype.size();
+  const bool layout_ok =
+      res.entry == kNoEntry || core_->entry_signature(res.entry) == sig;
+  const bool prefix_ok = layout_ok && res.cached_bytes % esz == 0;
+
+  switch (res.type) {
+    case AccessType::kHit:
+      if (layout_ok) {
+        serve_cached(origin, res.entry, bytes);
+        return;
+      }
+      break;  // incompatible layout: fall through to a plain network fetch
+    case AccessType::kHitPending:
+      if (layout_ok) {
+        pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
+                            static_cast<std::byte*>(origin), 0, bytes});
+        return;
+      }
+      break;
+    case AccessType::kPartialHit: {
+      if (prefix_ok) {
+        const std::size_t head = res.cached_bytes;
+        const std::size_t head_elems = head / esz;
+        if (res.serve_now) {
+          serve_cached(origin, res.entry, head);
+        } else {
+          pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
+                              static_cast<std::byte*>(origin), 0, head});
+        }
+        // Fetch the remaining elements' blocks, packed after the head.
+        std::vector<rmasim::Process::Block> blocks;
+        const std::size_t tail_start = head_elems * dtype.extent();
+        for (const auto& b : dtype.flatten(count)) {
+          if (b.offset + b.size <= tail_start) continue;
+          const std::size_t off = std::max(b.offset, tail_start);
+          blocks.push_back({off, b.size - (off - b.offset)});
+        }
+        auto* tail_dst = static_cast<std::byte*>(origin) + head;
+        p_->get_blocks(tail_dst, target, disp, blocks.data(), blocks.size(), win_);
+        if (res.extended) {
+          pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target, tail_dst, head,
+                              bytes - head});
+        }
+        return;
+      }
+      break;
+    }
+    case AccessType::kDirect:
+    case AccessType::kConflicting:
+    case AccessType::kCapacity: {
+      const auto blocks = dtype.flatten(count);
+      std::vector<rmasim::Process::Block> rb;
+      rb.reserve(blocks.size());
+      for (const auto& b : blocks) rb.push_back({b.offset, b.size});
+      p_->get_blocks(origin, target, disp, rb.data(), rb.size(), win_);
+      pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target,
+                          static_cast<std::byte*>(origin), 0, bytes});
+      return;
+    }
+    case AccessType::kFailing:
+      break;
+  }
+  // Fallback: fetch the full payload over the network (incompatible
+  // layout or failing access).
+  const auto blocks = dtype.flatten(count);
+  std::vector<rmasim::Process::Block> rb;
+  rb.reserve(blocks.size());
+  for (const auto& b : blocks) rb.push_back({b.offset, b.size});
+  p_->get_blocks(origin, target, disp, rb.data(), rb.size(), win_);
+  if (res.type == AccessType::kPartialHit && res.extended) {
+    // The core grew the entry for the *new* layout and left it PENDING;
+    // repopulate it wholesale from the freshly fetched packed payload,
+    // or it would stay PENDING (and unevictable) forever.
+    pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target,
+                        static_cast<std::byte*>(origin), 0, bytes});
+  }
+}
+
+void CachedWindow::get_nocache(void* origin, std::size_t bytes, int target,
+                               std::size_t disp) {
+  ++bypassed_;
+  p_->get(origin, bytes, target, disp, win_);
+}
+
+void CachedWindow::put(const void* origin, std::size_t bytes, int target,
+                       std::size_t disp) {
+  p_->put(origin, bytes, target, disp, win_);
+}
+
+void CachedWindow::process_pending(int target) {
+  if (pending_.empty()) return;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    PendingOp& op = pending_[i];
+    if (target >= 0 && op.target != target) {
+      pending_[kept++] = op;
+      continue;
+    }
+    if (op.kind == PendingOp::Kind::kCopyIn) {
+      std::memcpy(core_->entry_data(op.entry) + op.entry_off, op.user, op.bytes);
+      p_->charge_local_copy(op.bytes);
+      core_->mark_cached(op.entry);
+    } else {
+      std::memcpy(op.user, core_->entry_data(op.entry), op.bytes);
+      p_->charge_local_copy(op.bytes);
+    }
+  }
+  pending_.resize(kept);
+}
+
+void CachedWindow::close_epoch(bool all_complete) {
+  ++epoch_;
+  if (cfg_.mode == Mode::kTransparent) {
+    CLAMPI_ASSERT(all_complete, "transparent epoch closure requires full completion");
+    process_pending(-1);
+    if (core_->cached_entries() > 0) core_->invalidate();
+    return;  // nothing to adapt: the cache restarts from scratch each epoch
+  }
+  maybe_adapt();
+}
+
+void CachedWindow::maybe_adapt() {
+  if (!cfg_.adaptive) return;
+  if (core_->pending_entries() != 0 || !pending_.empty()) return;
+  const Stats delta = core_->stats().delta_since(adapt_base_);
+  if (delta.total_gets < cfg_.adapt_interval) return;
+  const AdaptiveTuner::Decision d = tuner_.evaluate(
+      delta, core_->index_entries(), core_->storage_bytes(), core_->free_bytes());
+  if (d.change) {
+    if (cfg_.trace_adaptation) {
+      std::fprintf(stderr,
+                   "clampi-adapt: %s |I_w| %zu->%zu |S_w| %zu->%zu "
+                   "(conf=%llu cap=%llu fail=%llu hit=%.2f free=%.2f over %llu gets)\n",
+                   d.reason, core_->index_entries(), d.index_entries,
+                   core_->storage_bytes(), d.storage_bytes,
+                   static_cast<unsigned long long>(delta.conflicting),
+                   static_cast<unsigned long long>(delta.capacity),
+                   static_cast<unsigned long long>(delta.failing),
+                   static_cast<double>(delta.hitting()) /
+                       static_cast<double>(delta.total_gets),
+                   static_cast<double>(core_->free_bytes()) /
+                       static_cast<double>(core_->storage_bytes()),
+                   static_cast<unsigned long long>(delta.total_gets));
+    }
+    core_->resize(d.index_entries, d.storage_bytes);
+  }
+  adapt_base_ = core_->stats();
+}
+
+void CachedWindow::flush(int target) {
+  if (cfg_.mode == Mode::kTransparent) {
+    // Transparent invalidation needs every in-flight get materialized.
+    p_->flush_all(win_);
+    close_epoch(/*all_complete=*/true);
+    return;
+  }
+  p_->flush(target, win_);
+  process_pending(target);
+  close_epoch(/*all_complete=*/false);
+}
+
+void CachedWindow::flush_all() {
+  p_->flush_all(win_);
+  process_pending(-1);
+  close_epoch(/*all_complete=*/true);
+}
+
+void CachedWindow::lock(rmasim::LockType type, int target) { p_->lock(type, target, win_); }
+
+void CachedWindow::unlock(int target) {
+  if (cfg_.mode == Mode::kTransparent) p_->flush_all(win_);
+  p_->unlock(target, win_);
+  process_pending(cfg_.mode == Mode::kTransparent ? -1 : target);
+  close_epoch(/*all_complete=*/cfg_.mode == Mode::kTransparent);
+}
+
+void CachedWindow::lock_all() { p_->lock_all(win_); }
+
+void CachedWindow::unlock_all() {
+  p_->unlock_all(win_);
+  process_pending(-1);
+  close_epoch(/*all_complete=*/true);
+}
+
+void CachedWindow::fence() {
+  p_->fence(win_);
+  process_pending(-1);
+  close_epoch(/*all_complete=*/true);
+}
+
+void CachedWindow::invalidate() {
+  if (!pending_.empty() || core_->pending_entries() != 0) {
+    p_->flush_all(win_);
+    process_pending(-1);
+  }
+  core_->invalidate();
+  // Restart the adaptation window: refilling a freshly invalidated cache
+  // looks like both capacity pressure and (early on) a shrinkable state.
+  adapt_base_ = core_->stats();
+  tuner_.reset();
+}
+
+}  // namespace clampi

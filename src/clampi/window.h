@@ -1,0 +1,142 @@
+// CachedWindow: a caching-enabled MPI window (paper Sec. III-A).
+//
+// Wraps an rmasim window and routes every get through the CLaMPI cache:
+//   - full hits on CACHED entries are served by one local memcpy and
+//     never touch the network;
+//   - hits on PENDING entries register a copy-out that is performed when
+//     the epoch's data has arrived (flush);
+//   - partial hits copy the cached prefix and fetch only the tail;
+//   - misses issue the remote get into the user buffer and register a
+//     copy-in (user buffer -> S_w) executed at flush, because RDMA cannot
+//     deliver one payload to two destinations (Sec. II).
+//
+// Operational modes: transparent (invalidate at every epoch closure),
+// always-cache (never invalidate) and user-defined (explicit
+// clampi_invalidate), Sec. III-A. Epoch-closure events are flush,
+// flush_all, unlock, unlock_all and fence; in transparent mode a
+// per-target flush must close the whole epoch, so it completes all
+// targets (documented deviation: MPI's flush is per-target, but a
+// transparently-invalidated cache cannot keep entries whose data is still
+// in flight).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "clampi/adaptive.h"
+#include "clampi/cache.h"
+#include "clampi/config.h"
+#include "clampi/info.h"
+#include "clampi/stats.h"
+#include "datatype/datatype.h"
+#include "rt/engine.h"
+
+namespace clampi {
+
+class CachedWindow {
+ public:
+  /// Wrap an existing window. `cfg` plays the role of the MPI_Info keys
+  /// passed at window creation (Sec. III-A).
+  CachedWindow(rmasim::Process& p, rmasim::Window win, const Config& cfg);
+
+  /// MPI-flavoured construction: configuration through info keys
+  /// ("clampi_mode", "clampi_storage_bytes", ... — see clampi/info.h).
+  CachedWindow(rmasim::Process& p, rmasim::Window win, const Info& info)
+      : CachedWindow(p, win, config_from_info(info)) {}
+
+  /// Collectively allocate a window of `bytes` and wrap it.
+  static CachedWindow allocate(rmasim::Process& p, std::size_t bytes, void** base,
+                               const Config& cfg);
+  /// Collectively expose caller memory and wrap it.
+  static CachedWindow create(rmasim::Process& p, void* base, std::size_t bytes,
+                             const Config& cfg);
+
+  CachedWindow(CachedWindow&&) = default;
+  CachedWindow& operator=(CachedWindow&&) = default;
+
+  // --- cached one-sided reads (get_c) ---
+  void get(void* origin, std::size_t bytes, int target, std::size_t disp);
+  /// Typed get: fetches `count` elements laid out as `dtype` at the
+  /// target; `origin` receives the *packed* payload (dtype.size_of(count)
+  /// bytes).
+  void get(void* origin, const dt::Datatype& dtype, std::size_t count, int target,
+           std::size_t disp);
+
+  /// Per-operation cache bypass (Sec. III-A discusses it as a possible
+  /// MPI extension: "a special get call, allowing the user to use/bypass
+  /// the caching on a per-operation basis"). Never touches I_w or S_w.
+  void get_nocache(void* origin, std::size_t bytes, int target, std::size_t disp);
+
+  /// Number of gets served through the bypass path.
+  std::uint64_t bypassed_gets() const { return bypassed_; }
+
+  /// Uncached write (puts are not cached: the epoch model forbids the
+  /// read-after-write patterns that would profit, Sec. II).
+  void put(const void* origin, std::size_t bytes, int target, std::size_t disp);
+
+  // --- synchronization / epochs ---
+  void flush(int target);
+  void flush_all();
+  void lock(rmasim::LockType type, int target);
+  void unlock(int target);
+  void lock_all();
+  void unlock_all();
+  void fence();
+
+  /// CLAMPI_Invalidate (user-defined mode, Sec. III-A). Completes any
+  /// outstanding epoch data first.
+  void invalidate();
+
+  // --- introspection ---
+  const Stats& stats() const { return core_->stats(); }
+  AccessType last_access() const { return last_access_; }
+  const PhaseBreakdown& last_phases() const { return last_phases_; }
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t index_entries() const { return core_->index_entries(); }
+  std::size_t storage_bytes() const { return core_->storage_bytes(); }
+  Mode mode() const { return cfg_.mode; }
+  rmasim::Window raw() const { return win_; }
+  rmasim::Process& process() { return *p_; }
+  CacheCore& core() { return *core_; }
+  const CacheCore& core() const { return *core_; }
+
+  /// Free the underlying window (collective).
+  void free_window();
+
+ private:
+  struct PendingOp {
+    enum class Kind { kCopyIn, kCopyOut } kind;
+    std::uint32_t entry;
+    int target;
+    std::byte* user;        // source (copy-in) or destination (copy-out)
+    std::size_t entry_off;  // offset inside the entry (copy-in tails)
+    std::size_t bytes;
+  };
+
+  void serve_cached(void* origin, std::uint32_t entry, std::size_t bytes);
+  void handle_result(const CacheCore::Result& res, void* origin, std::size_t bytes,
+                     int target, std::size_t disp);
+  void issue_network_get(void* origin, std::size_t bytes, int target, std::size_t disp);
+  /// Run pending copy-ins/outs; target < 0 means all targets.
+  void process_pending(int target);
+  void close_epoch(bool all_complete);
+  void maybe_adapt();
+
+  rmasim::Process* p_;
+  rmasim::Window win_;
+  Config cfg_;
+  std::unique_ptr<CacheCore> core_;
+  AdaptiveTuner tuner_;
+  std::vector<PendingOp> pending_;
+  std::uint64_t epoch_ = 0;
+  Stats adapt_base_{};
+  AccessType last_access_ = AccessType::kDirect;
+  PhaseBreakdown last_phases_{};
+  std::uint64_t bypassed_ = 0;
+};
+
+/// Paper-style spelling of the user-defined-mode invalidation call.
+inline void clampi_invalidate(CachedWindow& win) { win.invalidate(); }
+
+}  // namespace clampi

@@ -1,0 +1,83 @@
+// Distributed pull-based PageRank over RMA gets.
+//
+// A third application class (beyond the paper's Barnes-Hut and LCC)
+// exercising the *user-defined* operational mode on a BSP workload, the
+// pattern Sec. III-A motivates: within one iteration the rank vector is
+// read-only and remote scores are fetched many times (every occurrence
+// of u in an owned adjacency list), so CLaMPI caches them; at the end of
+// the iteration every process updates its owned scores — a write phase —
+// and the cache is invalidated (Listing 1's shape, one invalidation per
+// iteration).
+//
+// Each rank owns a contiguous vertex range and exposes its current
+// scores (one double per owned vertex) through a window. The update is
+//   pr'(v) = (1-d)/|V| + d * sum_{u in adj(v)} pr(u) / deg(u)
+// for undirected graphs (deg is the out-degree in the symmetric view).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "clampi/clampi.h"
+#include "graph/rmat.h"
+#include "rt/engine.h"
+
+namespace clampi::graph {
+
+enum class PrBackend {
+  kNone,    ///< direct gets: the foMPI baseline
+  kClampi,  ///< CLaMPI, user-defined mode with per-iteration invalidation
+};
+
+struct PagerankConfig {
+  double damping = 0.85;
+  int iterations = 10;
+  PrBackend backend = PrBackend::kNone;
+  clampi::Config clampi_cfg{};
+};
+
+/// Serial reference (same fixed iteration count). Returns the scores.
+std::vector<double> pagerank_reference(const Csr& g, double damping, int iterations);
+
+class DistributedPagerank {
+ public:
+  struct Report {
+    double total_us = 0.0;     ///< this rank's total virtual time
+    double comm_us = 0.0;      ///< get+flush time only
+    std::uint64_t remote_gets = 0;
+    std::uint64_t local_reads = 0;
+  };
+
+  DistributedPagerank(rmasim::Process& p, std::shared_ptr<const Csr> graph,
+                      const PagerankConfig& cfg);
+
+  /// Run cfg.iterations iterations (collective).
+  Report run();
+
+  Vertex first_vertex() const { return first_; }
+  Vertex last_vertex() const { return last_; }
+  /// Scores of the owned range after run().
+  const double* local_scores() const;
+  const clampi::Stats* clampi_stats() const {
+    return cached_.has_value() ? &cached_->stats() : nullptr;
+  }
+
+ private:
+  int owner_of(Vertex v) const;
+  double fetch_score(Vertex u);
+
+  rmasim::Process* p_;
+  std::shared_ptr<const Csr> g_;
+  PagerankConfig cfg_;
+  Vertex first_ = 0, last_ = 0;
+  std::vector<Vertex> range_first_;
+  rmasim::Window win_{};
+  double* win_scores_ = nullptr;  ///< this rank's exposed scores
+  std::vector<double> next_;      ///< staging for the new iteration
+  std::optional<clampi::CachedWindow> cached_;
+  Report current_{};
+};
+
+}  // namespace clampi::graph

@@ -1,0 +1,96 @@
+// Hierarchical LogGP model: distance-dependent parameters.
+//
+// Reproduces the latency hierarchy of Fig. 1 in the paper: accesses span
+// three orders of magnitude from cached local DRAM to a different Dragonfly
+// group. Ranks are mapped onto a (group, node, slot) topology and each
+// transfer is charged the parameters of the *distance class* between the
+// two ranks.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "netmodel/model.h"
+#include "util/error.h"
+
+namespace clampi::net {
+
+/// Distance classes, nearest first.
+enum class Distance : int {
+  kSelf = 0,       ///< same rank (pure local copy)
+  kSameNode = 1,   ///< shared-memory neighbour
+  kSameGroup = 2,  ///< same Dragonfly group, over the fabric
+  kRemoteGroup = 3 ///< different Dragonfly group
+};
+
+inline constexpr int kNumDistances = 4;
+
+/// How ranks are laid out on the machine.
+struct Topology {
+  int ranks_per_node = 1;
+  int nodes_per_group = 96;  // Cray XC group = 96 nodes
+
+  int node_of(int rank) const { return rank / ranks_per_node; }
+  int group_of(int rank) const { return node_of(rank) / nodes_per_group; }
+
+  Distance distance(int a, int b) const {
+    if (a == b) return Distance::kSelf;
+    if (node_of(a) == node_of(b)) return Distance::kSameNode;
+    if (group_of(a) == group_of(b)) return Distance::kSameGroup;
+    return Distance::kRemoteGroup;
+  }
+};
+
+/// LogGP per distance class + a local-copy model.
+class HierarchicalModel final : public Model {
+ public:
+  struct Config {
+    Topology topology{};
+    std::array<LogGPParams, kNumDistances> level{};
+    double local_copy_base_us = 0.05;
+    double local_copy_gib_per_s = 30.0;
+    double barrier_stage_us = 1.6;  ///< per dissemination stage
+  };
+
+  explicit HierarchicalModel(Config cfg) : cfg_(cfg) {}
+
+  double transfer_us(int src, int dst, std::size_t bytes) const override {
+    const auto d = cfg_.topology.distance(src, dst);
+    if (d == Distance::kSelf) return local_copy_us(bytes);
+    return cfg_.level[static_cast<int>(d)].transfer_us(bytes);
+  }
+
+  double issue_us(int src, int dst, std::size_t) const override {
+    const auto d = cfg_.topology.distance(src, dst);
+    return cfg_.level[static_cast<int>(d)].o_us;
+  }
+
+  double barrier_us(int nranks) const override {
+    if (nranks <= 1) return 0.0;
+    const double stages = std::ceil(std::log2(static_cast<double>(nranks)));
+    return stages * cfg_.barrier_stage_us;
+  }
+
+  double local_copy_us(std::size_t bytes) const override {
+    return cfg_.local_copy_base_us +
+           static_cast<double>(bytes) / (cfg_.local_copy_gib_per_s * 1024.0 * 1024.0 * 1024.0) *
+               1e6;
+  }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+/// Preset calibrated to the Piz Daint / Aries numbers visible in Fig. 1 of
+/// the paper and the published foMPI get latencies: ~0.1us DRAM copy
+/// overhead, ~0.8us same-node, ~1.9us same-group, ~2.4us remote-group
+/// small-message latency; ~10 GB/s fabric bandwidth; ~20 GB/s on-node.
+HierarchicalModel::Config aries_like(int ranks_per_node = 1);
+
+/// Factory returning the default model used by the benchmarks.
+std::shared_ptr<const Model> make_aries_model(int ranks_per_node = 1);
+
+}  // namespace clampi::net

@@ -1,0 +1,75 @@
+// Network cost models for the rmasim runtime.
+//
+// The paper runs on Piz Daint (Cray Aries, Dragonfly). CLaMPI's benefit is
+// driven by the gap between the remote-get cost and a local memcpy, so the
+// substitute for real hardware is a LogGP-style analytical model
+//
+//     T(bytes) = o + L + G * bytes
+//
+// with parameters chosen per *distance* in the machine hierarchy
+// (same node / same group / remote group), reproducing the latency spread
+// shown in Fig. 1 of the paper (~0.1us .. ~2-3us for small messages).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace clampi::net {
+
+/// Parameters of one LogGP level. Times in microseconds.
+struct LogGPParams {
+  double o_us = 0.0;  ///< CPU overhead to issue the operation.
+  double L_us = 0.0;  ///< Wire latency.
+  double G_us_per_kib = 0.0;  ///< Gap per KiB (inverse bandwidth).
+
+  double transfer_us(std::size_t bytes) const {
+    return o_us + L_us + G_us_per_kib * (static_cast<double>(bytes) / 1024.0);
+  }
+};
+
+/// Abstract cost model consulted by the runtime for every remote operation.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// End-to-end time for moving `bytes` from rank `src` to rank `dst`
+  /// (get and put are symmetric at this level).
+  virtual double transfer_us(int src, int dst, std::size_t bytes) const = 0;
+
+  /// CPU-side cost charged to the initiator at issue time (the part of a
+  /// nonblocking operation that cannot be overlapped).
+  virtual double issue_us(int src, int dst, std::size_t bytes) const = 0;
+
+  /// Cost of a dissemination barrier across `nranks` ranks.
+  virtual double barrier_us(int nranks) const = 0;
+
+  /// Cost of a local DRAM copy of `bytes` (used by the modelled-time
+  /// policy; under the measured policy real memcpys are timed instead).
+  virtual double local_copy_us(std::size_t bytes) const = 0;
+};
+
+/// Trivial model for unit tests: every transfer costs `alpha + beta*bytes`
+/// regardless of the ranks involved.
+class FlatModel final : public Model {
+ public:
+  FlatModel(double alpha_us, double beta_us_per_byte, double issue_us = 0.0)
+      : alpha_us_(alpha_us), beta_us_per_byte_(beta_us_per_byte), issue_us_(issue_us) {}
+
+  double transfer_us(int, int, std::size_t bytes) const override {
+    return alpha_us_ + beta_us_per_byte_ * static_cast<double>(bytes);
+  }
+  double issue_us(int, int, std::size_t) const override { return issue_us_; }
+  double barrier_us(int nranks) const override {
+    return nranks > 1 ? alpha_us_ * 2.0 : 0.0;
+  }
+  double local_copy_us(std::size_t bytes) const override {
+    return 0.05 + static_cast<double>(bytes) / (30.0 * 1024.0);  // ~30 GiB/s
+  }
+
+ private:
+  double alpha_us_;
+  double beta_us_per_byte_;
+  double issue_us_;
+};
+
+}  // namespace clampi::net

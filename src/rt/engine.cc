@@ -1,0 +1,1133 @@
+#include "rt/engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <tuple>
+
+#include "util/align.h"
+
+namespace clampi::rmasim {
+
+// ---------------------------------------------------------------------------
+// PendingCompletions
+// ---------------------------------------------------------------------------
+
+void Engine::PendingCompletions::ensure(std::size_t win_id, int nranks) {
+  if (per_window_target.size() <= win_id) per_window_target.resize(win_id + 1);
+  if (per_window_target[win_id].empty()) {
+    per_window_target[win_id].assign(static_cast<std::size_t>(nranks), 0.0);
+  }
+}
+
+void Engine::PendingCompletions::note(std::size_t win_id, int target, double t, int nranks) {
+  ensure(win_id, nranks);
+  auto& v = per_window_target[win_id][static_cast<std::size_t>(target)];
+  v = std::max(v, t);
+}
+
+double Engine::PendingCompletions::take_target(std::size_t win_id, int target) {
+  if (per_window_target.size() <= win_id || per_window_target[win_id].empty()) return 0.0;
+  auto& v = per_window_target[win_id][static_cast<std::size_t>(target)];
+  const double r = v;
+  v = 0.0;
+  return r;
+}
+
+double Engine::PendingCompletions::take_all(std::size_t win_id) {
+  if (per_window_target.size() <= win_id) return 0.0;
+  double r = 0.0;
+  for (auto& v : per_window_target[win_id]) {
+    r = std::max(r, v);
+    v = 0.0;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+// ---------------------------------------------------------------------------
+
+Engine::Engine(Config cfg) : cfg_(std::move(cfg)) {
+  CLAMPI_REQUIRE(cfg_.nranks >= 1, "engine needs at least one rank");
+  CLAMPI_REQUIRE(cfg_.model != nullptr, "engine needs a network model");
+  ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    ranks_.push_back(std::make_unique<RankCtx>(cfg_.time_policy, cfg_.measured_scale));
+    ranks_.back()->rank = r;
+  }
+  pending_.resize(static_cast<std::size_t>(cfg_.nranks));
+  nic_free_us_.assign(static_cast<std::size_t>(cfg_.nranks), 0.0);
+  auto world = std::make_unique<CommObj>();
+  world->alive = true;
+  world->members.resize(static_cast<std::size_t>(cfg_.nranks));
+  world->local_of_world.resize(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r) {
+    world->members[static_cast<std::size_t>(r)] = r;
+    world->local_of_world[static_cast<std::size_t>(r)] = r;
+  }
+  comms_.push_back(std::move(world));
+  split_color_key_.resize(static_cast<std::size_t>(cfg_.nranks));
+  split_result_.resize(static_cast<std::size_t>(cfg_.nranks));
+  coll_.src.resize(static_cast<std::size_t>(cfg_.nranks));
+  coll_.dst.resize(static_cast<std::size_t>(cfg_.nranks));
+  coll_.bytes.resize(static_cast<std::size_t>(cfg_.nranks));
+  wincreate_base_.resize(static_cast<std::size_t>(cfg_.nranks));
+  wincreate_bytes_.resize(static_cast<std::size_t>(cfg_.nranks));
+  wincreate_owned_.resize(static_cast<std::size_t>(cfg_.nranks));
+  wincreate_result_.resize(static_cast<std::size_t>(cfg_.nranks));
+}
+
+Engine::~Engine() {
+  for (auto& w : windows_) {
+    if (w == nullptr) continue;
+    for (std::size_t r = 0; r < w->base.size(); ++r) {
+      if (w->owned[r] && w->base[r] != nullptr) std::free(w->base[r]);
+      w->base[r] = nullptr;
+    }
+  }
+}
+
+void Engine::run(const std::function<void(Process&)>& rank_main) {
+  CLAMPI_REQUIRE(!started_, "Engine::run is single-shot");
+  started_ = true;
+  for (auto& rc : ranks_) {
+    RankCtx* ctx = rc.get();
+    ctx->thread = std::thread([this, ctx, &rank_main] { thread_main(ctx->rank, rank_main); });
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    schedule_next(lk);  // hands the baton to rank 0 (all clocks are zero)
+    all_done_cv_.wait(lk, [&] { return done_count_ == cfg_.nranks; });
+  }
+  for (auto& rc : ranks_) rc->thread.join();
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+double Engine::final_time_us(int rank) const {
+  CLAMPI_REQUIRE(rank >= 0 && rank < cfg_.nranks, "rank out of range");
+  return ranks_[static_cast<std::size_t>(rank)]->final_time_us;
+}
+
+double Engine::max_final_time_us() const {
+  double m = 0.0;
+  for (auto& rc : ranks_) m = std::max(m, rc->final_time_us);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+void Engine::thread_main(int rank, const std::function<void(Process&)>& rank_main) {
+  RankCtx& me = *ranks_[static_cast<std::size_t>(rank)];
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    me.cv.wait(lk, [&] { return me.state == RunState::kRunning || aborted_; });
+  }
+  bool clean_entry = false;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    clean_entry = !aborted_ && me.state == RunState::kRunning;
+  }
+  if (clean_entry) {
+    me.clock.start_measurement();
+    try {
+      Process p(this, rank);
+      rank_main(p);
+    } catch (const AbortError&) {
+      // unwound because another rank failed; nothing to record
+    } catch (...) {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      aborted_ = true;
+      for (auto& rc : ranks_) {
+        if (rc->rank != rank && rc->state != RunState::kDone) rc->cv.notify_all();
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  me.state = RunState::kDone;
+  me.final_time_us = me.clock.now_us();
+  ++done_count_;
+  if (done_count_ == cfg_.nranks) {
+    all_done_cv_.notify_all();
+  } else {
+    schedule_next(lk);
+  }
+}
+
+void Engine::schedule_next(std::unique_lock<std::mutex>&) {
+  if (aborted_) {
+    for (auto& rc : ranks_) {
+      if (rc->state != RunState::kDone) rc->cv.notify_all();
+    }
+    return;
+  }
+  RankCtx* best = nullptr;
+  for (auto& rc : ranks_) {
+    if (rc->state != RunState::kReady) continue;
+    if (best == nullptr || rc->clock.now_us() < best->clock.now_us()) best = rc.get();
+  }
+  if (best != nullptr) {
+    current_ = best->rank;
+    best->state = RunState::kRunning;
+    best->cv.notify_all();
+    return;
+  }
+  current_ = -1;
+  if (done_count_ == cfg_.nranks) return;
+  bool any_blocked = false;
+  for (auto& rc : ranks_) any_blocked |= rc->state == RunState::kBlocked;
+  if (any_blocked) {
+    // Every live rank is blocked: the simulated program deadlocked (e.g. a
+    // rank exited while others wait in a barrier, or mismatched locks).
+    if (!first_error_) {
+      first_error_ = std::make_exception_ptr(
+          util::ContractError("rmasim: deadlock — all live ranks are blocked"));
+    }
+    aborted_ = true;
+    for (auto& rc : ranks_) {
+      if (rc->state != RunState::kDone) rc->cv.notify_all();
+    }
+  }
+}
+
+void Engine::switch_out(std::unique_lock<std::mutex>& lk, RankCtx& me, RunState state) {
+  me.state = state;
+  schedule_next(lk);
+  me.cv.wait(lk, [&] { return me.state == RunState::kRunning || aborted_; });
+  check_abort(me);
+}
+
+void Engine::check_abort(RankCtx& me) {
+  if (aborted_ && me.state != RunState::kRunning) throw AbortError{};
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+const Engine::CommObj& Engine::comm_obj(Comm c) const {
+  CLAMPI_REQUIRE(c.valid() && static_cast<std::size_t>(c.id) < comms_.size(),
+                 "invalid communicator handle");
+  const CommObj& co = *comms_[static_cast<std::size_t>(c.id)];
+  CLAMPI_REQUIRE(co.alive, "communicator has been freed");
+  return co;
+}
+
+void Engine::collective(RankCtx& me, int comm_id, int kind, const void* src, void* dst,
+                        std::size_t bytes,
+                        const std::function<void(CollectiveCtx&)>& complete,
+                        const std::function<double()>& cost_us) {
+  std::unique_lock<std::mutex> lk(mu_);
+  check_abort(me);
+  const CommObj& co = comm_obj(Comm{comm_id});
+  CLAMPI_REQUIRE(co.local_of_world[static_cast<std::size_t>(me.rank)] >= 0,
+                 "collective on a communicator this rank is not part of");
+  CollectiveCtx* ctx = &coll_;
+  if (comm_id != 0) {
+    if (coll_by_comm_.size() <= static_cast<std::size_t>(comm_id)) {
+      coll_by_comm_.resize(static_cast<std::size_t>(comm_id) + 1);
+    }
+    auto& slot = coll_by_comm_[static_cast<std::size_t>(comm_id)];
+    if (slot == nullptr) {
+      slot = std::make_unique<CollectiveCtx>();
+      slot->src.resize(static_cast<std::size_t>(cfg_.nranks));
+      slot->dst.resize(static_cast<std::size_t>(cfg_.nranks));
+      slot->bytes.resize(static_cast<std::size_t>(cfg_.nranks));
+    }
+    ctx = slot.get();
+  }
+  if (ctx->arrived == 0) {
+    ctx->kind = kind;
+    ctx->max_arrival_us = 0.0;
+    ctx->waiters.clear();
+  } else {
+    CLAMPI_REQUIRE(ctx->kind == kind, "ranks entered mismatched collectives");
+  }
+  const auto r = static_cast<std::size_t>(me.rank);
+  ctx->src[r] = src;
+  ctx->dst[r] = dst;
+  ctx->bytes[r] = bytes;
+  ctx->max_arrival_us = std::max(ctx->max_arrival_us, me.clock.now_us());
+  if (++ctx->arrived < co.size()) {
+    ctx->waiters.push_back(me.rank);
+    switch_out(lk, me, RunState::kBlocked);
+    // Released: the releaser already advanced our clock.
+    return;
+  }
+  // Last arriver: perform the data movement and release everyone.
+  complete(*ctx);
+  const double release = ctx->max_arrival_us + cost_us();
+  for (int w : ctx->waiters) {
+    RankCtx& rc = *ranks_[static_cast<std::size_t>(w)];
+    rc.clock.advance_to_us(release);
+    rc.state = RunState::kReady;
+  }
+  ctx->waiters.clear();
+  ctx->arrived = 0;
+  ++ctx->generation;
+  me.clock.advance_to_us(release);
+}
+
+namespace {
+// Cost of a recursive-doubling collective moving `bytes` per stage pair,
+// growing payloads for allgather-style patterns.
+double doubling_cost_us(const net::Model& m, int nranks, std::size_t bytes, bool growing) {
+  if (nranks <= 1) return 0.0;
+  double cost = 0.0;
+  std::size_t msg = bytes;
+  for (int span = 1; span < nranks; span <<= 1) {
+    cost += m.transfer_us(0, std::min(span, nranks - 1), msg);
+    if (growing) msg *= 2;
+  }
+  return cost;
+}
+}  // namespace
+
+void Process::barrier(Comm comm) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const int csize = engine_->comm_obj(comm).size();
+  engine_->collective(
+      me, comm.id, /*kind=*/1, nullptr, nullptr, 0, [](Engine::CollectiveCtx&) {},
+      [this, csize] { return engine_->model().barrier_us(csize); });
+  me.clock.exit_runtime();
+}
+
+void Process::allgather(const void* src, void* dst, std::size_t bytes_per_rank,
+                        Comm comm) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const auto& members = engine_->comm_obj(comm).members;
+  const int n = static_cast<int>(members.size());
+  engine_->collective(
+      me, comm.id, /*kind=*/2, src, dst, bytes_per_rank,
+      [&members, n, bytes_per_rank](Engine::CollectiveCtx& c) {
+        for (int r = 0; r < n; ++r) {
+          auto* out = static_cast<std::byte*>(c.dst[static_cast<std::size_t>(members[r])]);
+          if (out == nullptr) continue;
+          for (int s = 0; s < n; ++s) {
+            std::memcpy(out + static_cast<std::size_t>(s) * bytes_per_rank,
+                        c.src[static_cast<std::size_t>(members[s])], bytes_per_rank);
+          }
+        }
+      },
+      [this, n, bytes_per_rank] {
+        return doubling_cost_us(engine_->model(), n, bytes_per_rank, /*growing=*/true);
+      });
+  me.clock.exit_runtime();
+}
+
+void Process::allgatherv(const void* src, std::size_t my_bytes, void* dst,
+                         const std::size_t* counts, Comm comm) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const auto& co = engine_->comm_obj(comm);
+  const auto& members = co.members;
+  const int n = static_cast<int>(members.size());
+  const int my_local = co.local_of_world[static_cast<std::size_t>(rank_)];
+  CLAMPI_REQUIRE(my_local >= 0 && counts[my_local] == my_bytes,
+                 "allgatherv counts must match contributions");
+  std::size_t total = 0;
+  for (int r = 0; r < n; ++r) total += counts[r];
+  engine_->collective(
+      me, comm.id, /*kind=*/3, src, dst, my_bytes,
+      [&members, n, counts](Engine::CollectiveCtx& c) {
+        for (int r = 0; r < n; ++r) {
+          auto* out = static_cast<std::byte*>(c.dst[static_cast<std::size_t>(members[r])]);
+          if (out == nullptr) continue;
+          std::size_t off = 0;
+          for (int s = 0; s < n; ++s) {
+            std::memcpy(out + off, c.src[static_cast<std::size_t>(members[s])], counts[s]);
+            off += counts[s];
+          }
+        }
+      },
+      [this, n, total] {
+        return doubling_cost_us(engine_->model(), n, total / static_cast<std::size_t>(n),
+                                /*growing=*/true);
+      });
+  me.clock.exit_runtime();
+}
+
+namespace {
+template <typename T>
+void reduce_into(const Engine::CollectiveCtx& c, const std::vector<int>& members,
+                 std::size_t count, ReduceOp op, std::vector<T>& acc) {
+  acc.assign(count, T{});
+  for (std::size_t i = 0; i < count; ++i) {
+    T v = static_cast<const T*>(c.src[static_cast<std::size_t>(members[0])])[i];
+    for (std::size_t s = 1; s < members.size(); ++s) {
+      const T x = static_cast<const T*>(c.src[static_cast<std::size_t>(members[s])])[i];
+      switch (op) {
+        case ReduceOp::kSum: v += x; break;
+        case ReduceOp::kMax: v = std::max(v, x); break;
+        case ReduceOp::kMin: v = std::min(v, x); break;
+      }
+    }
+    acc[i] = v;
+  }
+}
+
+template <typename T>
+void scatter_result(const Engine::CollectiveCtx& c, const std::vector<int>& members,
+                    const std::vector<T>& acc) {
+  for (const int r : members) {
+    auto* out = static_cast<T*>(c.dst[static_cast<std::size_t>(r)]);
+    if (out != nullptr) std::copy(acc.begin(), acc.end(), out);
+  }
+}
+}  // namespace
+
+void Process::allreduce_f64(const double* src, double* dst, std::size_t n_elems,
+                            ReduceOp op, Comm comm) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const auto& members = engine_->comm_obj(comm).members;
+  const int n = static_cast<int>(members.size());
+  engine_->collective(
+      me, comm.id, /*kind=*/4, src, dst, n_elems * sizeof(double),
+      [&members, n_elems, op](Engine::CollectiveCtx& c) {
+        std::vector<double> acc;
+        reduce_into(c, members, n_elems, op, acc);
+        scatter_result(c, members, acc);
+      },
+      [this, n, n_elems] {
+        return 2.0 * doubling_cost_us(engine_->model(), n, n_elems * sizeof(double),
+                                      /*growing=*/false);
+      });
+  me.clock.exit_runtime();
+}
+
+void Process::allreduce_u64(const std::uint64_t* src, std::uint64_t* dst,
+                            std::size_t n_elems, ReduceOp op, Comm comm) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const auto& members = engine_->comm_obj(comm).members;
+  const int n = static_cast<int>(members.size());
+  engine_->collective(
+      me, comm.id, /*kind=*/5, src, dst, n_elems * sizeof(std::uint64_t),
+      [&members, n_elems, op](Engine::CollectiveCtx& c) {
+        std::vector<std::uint64_t> acc;
+        reduce_into(c, members, n_elems, op, acc);
+        scatter_result(c, members, acc);
+      },
+      [this, n, n_elems] {
+        return 2.0 * doubling_cost_us(engine_->model(), n, n_elems * sizeof(std::uint64_t),
+                                      /*growing=*/false);
+      });
+  me.clock.exit_runtime();
+}
+
+// ---------------------------------------------------------------------------
+// Windows
+// ---------------------------------------------------------------------------
+
+Engine::WindowObj& Engine::window(Window w) {
+  CLAMPI_REQUIRE(w.valid() && static_cast<std::size_t>(w.id) < windows_.size(),
+                 "invalid window handle");
+  WindowObj& wo = *windows_[static_cast<std::size_t>(w.id)];
+  CLAMPI_REQUIRE(wo.alive, "window has been freed");
+  return wo;
+}
+
+const Engine::WindowObj& Engine::window(Window w) const {
+  return const_cast<Engine*>(this)->window(w);
+}
+
+void Engine::validate_target(const WindowObj& wo, int target, std::size_t disp,
+                             std::size_t bytes) const {
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.base.size(),
+                 "target rank out of range for the window's communicator");
+  const std::size_t wsize = wo.size[static_cast<std::size_t>(target)];
+  CLAMPI_REQUIRE(disp <= wsize && bytes <= wsize - disp,
+                 "RMA access outside the target window");
+}
+
+Window Engine::win_register(int rank, void* base, std::size_t bytes, bool owned,
+                            Comm comm) {
+  RankCtx& me = ctx(rank);
+  const auto r = static_cast<std::size_t>(rank);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    check_abort(me);
+  }
+  wincreate_base_[r] = base;
+  wincreate_bytes_[r] = bytes;
+  wincreate_owned_[r] = owned;
+  const int csize = comm_obj(comm).size();
+  collective(
+      me, comm.id, /*kind=*/6, nullptr, nullptr, 0,
+      [this, comm](CollectiveCtx&) {
+        // Window slots are indexed by *communicator-local* rank.
+        const CommObj& co = comm_obj(comm);
+        auto wo = std::make_unique<WindowObj>();
+        wo->alive = true;
+        wo->comm_id = comm.id;
+        const auto n = static_cast<std::size_t>(co.size());
+        wo->base.resize(n);
+        wo->size.resize(n);
+        wo->owned.resize(n);
+        wo->locks.resize(n);
+        wo->pscw.resize(n);
+        wo->started.resize(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto w = static_cast<std::size_t>(co.members[i]);
+          wo->base[i] = static_cast<std::byte*>(wincreate_base_[w]);
+          wo->size[i] = wincreate_bytes_[w];
+          wo->owned[i] = wincreate_owned_[w];
+        }
+        windows_.push_back(std::move(wo));
+        // Per-rank result slots: disjoint communicators may create
+        // windows concurrently, so a single shared "last window" would
+        // race between their rendezvous.
+        const Window handle{static_cast<int>(windows_.size()) - 1};
+        for (const int wr : co.members) {
+          wincreate_result_[static_cast<std::size_t>(wr)] = handle;
+        }
+      },
+      [this, csize] { return cfg_.model->barrier_us(csize); });
+  // Safe without re-locking: this rank's slot cannot change until it has
+  // entered another window-creation collective.
+  return wincreate_result_[r];
+}
+
+Window Process::win_allocate(std::size_t bytes, void** base, Comm comm) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  void* buf = nullptr;
+  if (bytes > 0) {
+    const std::size_t rounded = util::round_up(bytes, util::kCacheLineBytes);
+    buf = std::aligned_alloc(util::kCacheLineBytes, rounded);
+    CLAMPI_ASSERT(buf != nullptr, "window allocation failed");
+    std::memset(buf, 0, rounded);
+  }
+  const Window w = engine_->win_register(rank_, buf, bytes, /*owned=*/true, comm);
+  if (base != nullptr) *base = buf;
+  me.clock.exit_runtime();
+  return w;
+}
+
+Window Process::win_create(void* base, std::size_t bytes, Comm comm) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  CLAMPI_REQUIRE(bytes == 0 || base != nullptr, "win_create with null memory");
+  const Window w = engine_->win_register(rank_, base, bytes, /*owned=*/false, comm);
+  me.clock.exit_runtime();
+  return w;
+}
+
+Comm Process::win_comm(Window w) const {
+  return Comm{engine_->window(w).comm_id};
+}
+
+void Process::win_free(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const int comm_id = engine_->window(w).comm_id;  // also validates
+  engine_->collective(
+      me, comm_id, /*kind=*/7, nullptr, nullptr, static_cast<std::size_t>(w.id),
+      [this, w](Engine::CollectiveCtx&) {
+        Engine::WindowObj& wo = *engine_->windows_[static_cast<std::size_t>(w.id)];
+        for (std::size_t r = 0; r < wo.base.size(); ++r) {
+          if (wo.owned[r] && wo.base[r] != nullptr) std::free(wo.base[r]);
+          wo.base[r] = nullptr;
+        }
+        wo.alive = false;
+      },
+      [this] { return engine_->model().barrier_us(engine_->nranks()); });
+  me.clock.exit_runtime();
+}
+
+std::size_t Process::win_size(Window w, int target) const {
+  const auto& wo = engine_->window(w);
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.size.size(),
+                 "target rank out of range");
+  return wo.size[static_cast<std::size_t>(target)];
+}
+
+std::byte* Process::win_raw(Window w, int target) const {
+  const auto& wo = engine_->window(w);
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.base.size(),
+                 "target rank out of range");
+  return wo.base[static_cast<std::size_t>(target)];
+}
+
+// ---------------------------------------------------------------------------
+// One-sided operations
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Completion time of a transfer of duration `xfer_us` issued at `t0`
+/// against world rank `remote`. With injection serialization the remote
+/// NIC is a unit-capacity server: the transfer waits for it.
+double completion_time(Engine::Config& cfg, std::vector<double>& nic_free, int remote,
+                       double t0, double xfer_us) {
+  if (!cfg.serialize_injection) return t0 + xfer_us;
+  auto& free_at = nic_free[static_cast<std::size_t>(remote)];
+  const double start = std::max(t0, free_at);
+  free_at = start + xfer_us;
+  return free_at;
+}
+}  // namespace
+
+void Process::get(void* origin, std::size_t bytes, int target, std::size_t disp, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  auto& wo = engine_->window(w);
+  engine_->validate_target(wo, target, disp, bytes);
+  // Data is copied eagerly (legal under the epoch model: the source may not
+  // be concurrently modified within the epoch); the completion time is what
+  // the network model says, so flush shows the true overlap window.
+  std::memcpy(origin, wo.base[static_cast<std::size_t>(target)] + disp, bytes);
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const double t0 = me.clock.now_us();
+  const auto& m = engine_->model();
+  me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+  engine_->pending_[static_cast<std::size_t>(rank_)].note(
+      static_cast<std::size_t>(w.id), target,
+      completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
+                      m.transfer_us(wt, rank_, bytes)),
+      engine_->nranks());
+  me.clock.exit_runtime();
+}
+
+void Process::put(const void* origin, std::size_t bytes, int target, std::size_t disp,
+                  Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  auto& wo = engine_->window(w);
+  engine_->validate_target(wo, target, disp, bytes);
+  std::memcpy(wo.base[static_cast<std::size_t>(target)] + disp, origin, bytes);
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const double t0 = me.clock.now_us();
+  const auto& m = engine_->model();
+  me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+  engine_->pending_[static_cast<std::size_t>(rank_)].note(
+      static_cast<std::size_t>(w.id), target,
+      completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
+                      m.transfer_us(rank_, wt, bytes)),
+      engine_->nranks());
+  me.clock.exit_runtime();
+}
+
+void Process::get_blocks(void* origin, int target, std::size_t disp, const Block* blocks,
+                         std::size_t nblocks, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  auto& wo = engine_->window(w);
+  auto* out = static_cast<std::byte*>(origin);
+  const std::byte* in = wo.base[static_cast<std::size_t>(target)];
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    engine_->validate_target(wo, target, disp + blocks[i].offset, blocks[i].size);
+    std::memcpy(out + total, in + disp + blocks[i].offset, blocks[i].size);
+    total += blocks[i].size;
+  }
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const double t0 = me.clock.now_us();
+  const auto& m = engine_->model();
+  me.clock.advance_us(m.issue_us(rank_, wt, total));
+  engine_->pending_[static_cast<std::size_t>(rank_)].note(
+      static_cast<std::size_t>(w.id), target,
+      completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
+                      m.transfer_us(wt, rank_, total)),
+      engine_->nranks());
+  me.clock.exit_runtime();
+}
+
+void Process::flush(int target, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const auto& wo = engine_->window(w);
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.base.size(),
+                 "target rank out of range");
+  const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_target(
+      static_cast<std::size_t>(w.id), target);
+  me.clock.advance_to_us(done);
+  me.clock.exit_runtime();
+}
+
+void Process::flush_all(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  engine_->window(w);  // validates
+  const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_all(
+      static_cast<std::size_t>(w.id));
+  me.clock.advance_to_us(done);
+  me.clock.exit_runtime();
+}
+
+
+// ---------------------------------------------------------------------------
+// One-sided atomics (accumulate family)
+// ---------------------------------------------------------------------------
+
+std::size_t accumulate_type_size(AccumulateType t) {
+  switch (t) {
+    case AccumulateType::kInt32: return 4;
+    case AccumulateType::kInt64:
+    case AccumulateType::kUInt64:
+    case AccumulateType::kDouble: return 8;
+  }
+  return 0;
+}
+
+namespace {
+
+template <typename T>
+T apply_op(AccumulateOp op, T window_value, T origin_value) {
+  switch (op) {
+    case AccumulateOp::kSum: return static_cast<T>(window_value + origin_value);
+    case AccumulateOp::kMax: return std::max(window_value, origin_value);
+    case AccumulateOp::kMin: return std::min(window_value, origin_value);
+    case AccumulateOp::kReplace: return origin_value;
+    case AccumulateOp::kNoOp: return window_value;
+  }
+  return window_value;
+}
+
+template <typename T>
+void accumulate_typed(std::byte* win_data, const void* origin, void* result,
+                      std::size_t count, AccumulateOp op) {
+  auto* w = reinterpret_cast<T*>(win_data);
+  const auto* o = static_cast<const T*>(origin);
+  auto* r = static_cast<T*>(result);
+  for (std::size_t i = 0; i < count; ++i) {
+    const T old = w[i];
+    if (r != nullptr) r[i] = old;
+    if (op != AccumulateOp::kNoOp) {
+      CLAMPI_REQUIRE(o != nullptr, "accumulate without origin data");
+      w[i] = apply_op(op, old, o[i]);
+    }
+  }
+}
+
+void accumulate_dispatch(AccumulateType type, std::byte* win_data, const void* origin,
+                         void* result, std::size_t count, AccumulateOp op) {
+  switch (type) {
+    case AccumulateType::kInt32:
+      accumulate_typed<std::int32_t>(win_data, origin, result, count, op);
+      break;
+    case AccumulateType::kInt64:
+      accumulate_typed<std::int64_t>(win_data, origin, result, count, op);
+      break;
+    case AccumulateType::kUInt64:
+      accumulate_typed<std::uint64_t>(win_data, origin, result, count, op);
+      break;
+    case AccumulateType::kDouble:
+      accumulate_typed<double>(win_data, origin, result, count, op);
+      break;
+  }
+}
+
+}  // namespace
+
+void Process::get_accumulate(const void* origin, void* result, std::size_t count,
+                             AccumulateType type, AccumulateOp op, int target,
+                             std::size_t disp, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  auto& wo = engine_->window(w);
+  const std::size_t bytes = count * accumulate_type_size(type);
+  engine_->validate_target(wo, target, disp, bytes);
+  // Element-wise atomicity is free: the scheduler serializes ranks, and
+  // accumulates (unlike put/get) are permitted to race per MPI-3.
+  accumulate_dispatch(type, wo.base[static_cast<std::size_t>(target)] + disp, origin,
+                      result, count, op);
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const double t0 = me.clock.now_us();
+  const auto& m = engine_->model();
+  me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+  // Fetching variants pay a round trip (payload out + old values back).
+  const double xfer = m.transfer_us(rank_, wt, bytes) +
+                      (result != nullptr ? m.transfer_us(wt, rank_, bytes) : 0.0);
+  engine_->pending_[static_cast<std::size_t>(rank_)].note(
+      static_cast<std::size_t>(w.id), target,
+      completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0, xfer),
+      engine_->nranks());
+  me.clock.exit_runtime();
+}
+
+void Process::accumulate(const void* origin, std::size_t count, AccumulateType type,
+                         AccumulateOp op, int target, std::size_t disp, Window w) {
+  CLAMPI_REQUIRE(op != AccumulateOp::kNoOp, "accumulate with MPI_NO_OP has no effect");
+  get_accumulate(origin, nullptr, count, type, op, target, disp, w);
+}
+
+void Process::fetch_and_op(const void* origin, void* result, AccumulateType type,
+                           AccumulateOp op, int target, std::size_t disp, Window w) {
+  get_accumulate(origin, result, 1, type, op, target, disp, w);
+}
+
+void Process::compare_and_swap(const void* desired, const void* expected, void* result,
+                               AccumulateType type, int target, std::size_t disp,
+                               Window w) {
+  CLAMPI_REQUIRE(type != AccumulateType::kDouble,
+                 "compare_and_swap requires an integer type");
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  auto& wo = engine_->window(w);
+  const std::size_t bytes = accumulate_type_size(type);
+  engine_->validate_target(wo, target, disp, bytes);
+  std::byte* slot = wo.base[static_cast<std::size_t>(target)] + disp;
+  std::memcpy(result, slot, bytes);
+  if (std::memcmp(slot, expected, bytes) == 0) std::memcpy(slot, desired, bytes);
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const double t0 = me.clock.now_us();
+  const auto& m = engine_->model();
+  me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+  engine_->pending_[static_cast<std::size_t>(rank_)].note(
+      static_cast<std::size_t>(w.id), target,
+      completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
+                      m.transfer_us(rank_, wt, bytes) + m.transfer_us(wt, rank_, bytes)),
+      engine_->nranks());
+  me.clock.exit_runtime();
+}
+
+// ---------------------------------------------------------------------------
+// flush_local
+// ---------------------------------------------------------------------------
+
+void Process::flush_local(int target, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const auto& wo = engine_->window(w);
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.base.size(),
+                 "target rank out of range");
+  // Data movement is eager in rmasim: origin buffers are already reusable.
+  // Only the (tiny) local-completion overhead is charged; the modelled
+  // transfer keeps running and a later flush() still waits for it.
+  me.clock.advance_us(engine_->model().issue_us(rank_, rank_, 0));
+  me.clock.exit_runtime();
+}
+
+void Process::flush_local_all(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  engine_->window(w);  // validates
+  me.clock.advance_us(engine_->model().issue_us(rank_, rank_, 0));
+  me.clock.exit_runtime();
+}
+
+// ---------------------------------------------------------------------------
+// PSCW generalized active-target synchronization
+// ---------------------------------------------------------------------------
+
+void Process::post(const std::vector<int>& origin_group, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->check_abort(me);
+  auto& wo = engine_->window(w);
+  const auto& co = engine_->comm_obj(Comm{wo.comm_id});
+  const int my_local = co.local_of_world[static_cast<std::size_t>(rank_)];
+  CLAMPI_REQUIRE(my_local >= 0, "post on a window of a foreign communicator");
+  auto& ps = wo.pscw[static_cast<std::size_t>(my_local)];
+  CLAMPI_REQUIRE(!ps.exposed, "post: exposure epoch already open");
+  for (const int o : origin_group) {
+    CLAMPI_REQUIRE(o >= 0 && o < co.size(), "post: origin rank out of range");
+  }
+  ps.exposed = true;
+  ps.origins = origin_group;
+  ps.outstanding = static_cast<int>(origin_group.size());
+  // Wake origins already blocked in start() on this target.
+  for (const int o : ps.waiting_origins) {
+    auto& rc = engine_->ctx(o);
+    rc.clock.advance_to_us(me.clock.now_us());
+    rc.state = Engine::RunState::kReady;
+  }
+  ps.waiting_origins.clear();
+  lk.unlock();
+  me.clock.exit_runtime();
+}
+
+void Process::start(const std::vector<int>& target_group, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->check_abort(me);
+  auto& wo = engine_->window(w);
+  const auto& co = engine_->comm_obj(Comm{wo.comm_id});
+  const int my_local = co.local_of_world[static_cast<std::size_t>(rank_)];
+  CLAMPI_REQUIRE(my_local >= 0, "start on a window of a foreign communicator");
+  CLAMPI_REQUIRE(wo.started[static_cast<std::size_t>(my_local)].empty(),
+                 "start: access epoch already open");
+  for (const int t : target_group) {
+    CLAMPI_REQUIRE(t >= 0 && t < co.size(), "start: target rank out of range");
+    auto& ps = wo.pscw[static_cast<std::size_t>(t)];
+    const auto posted_to_me = [&] {
+      return ps.exposed && std::find(ps.origins.begin(), ps.origins.end(), my_local) !=
+                               ps.origins.end();
+    };
+    while (!posted_to_me()) {
+      ps.waiting_origins.push_back(rank_);  // world rank: used to wake us
+      engine_->switch_out(lk, me, Engine::RunState::kBlocked);
+    }
+  }
+  wo.started[static_cast<std::size_t>(my_local)] = target_group;
+  lk.unlock();
+  me.clock.exit_runtime();
+}
+
+void Process::complete(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->check_abort(me);
+  auto& wo = engine_->window(w);
+  const auto& co = engine_->comm_obj(Comm{wo.comm_id});
+  const int my_local = co.local_of_world[static_cast<std::size_t>(rank_)];
+  CLAMPI_REQUIRE(my_local >= 0, "complete on a window of a foreign communicator");
+  auto& targets = wo.started[static_cast<std::size_t>(my_local)];
+  CLAMPI_REQUIRE(!targets.empty(), "complete without a matching start");
+  lk.unlock();
+  // Complete all RMA operations of this access epoch (per target).
+  for (const int t : targets) {
+    const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_target(
+        static_cast<std::size_t>(w.id), t);
+    me.clock.advance_to_us(done);
+  }
+  lk.lock();
+  for (const int t : targets) {
+    auto& ps = wo.pscw[static_cast<std::size_t>(t)];
+    CLAMPI_ASSERT(ps.outstanding > 0, "PSCW completion imbalance");
+    if (--ps.outstanding == 0 && ps.target_waiting) {
+      auto& rc = engine_->ctx(co.members[static_cast<std::size_t>(t)]);
+      rc.clock.advance_to_us(me.clock.now_us());
+      rc.state = Engine::RunState::kReady;
+      ps.target_waiting = false;
+    }
+  }
+  targets.clear();
+  lk.unlock();
+  me.clock.exit_runtime();
+}
+
+void Process::wait(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->check_abort(me);
+  auto& wo = engine_->window(w);
+  const auto& co = engine_->comm_obj(Comm{wo.comm_id});
+  const int my_local = co.local_of_world[static_cast<std::size_t>(rank_)];
+  CLAMPI_REQUIRE(my_local >= 0, "wait on a window of a foreign communicator");
+  auto& ps = wo.pscw[static_cast<std::size_t>(my_local)];
+  CLAMPI_REQUIRE(ps.exposed, "wait without a matching post");
+  while (ps.outstanding > 0) {
+    ps.target_waiting = true;
+    engine_->switch_out(lk, me, Engine::RunState::kBlocked);
+  }
+  ps.exposed = false;
+  ps.origins.clear();
+  lk.unlock();
+  me.clock.exit_runtime();
+}
+
+// ---------------------------------------------------------------------------
+// Passive / active target synchronization
+// ---------------------------------------------------------------------------
+
+void Process::lock(LockType type, int target, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->check_abort(me);
+  auto& wo = engine_->window(w);
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.locks.size(),
+                 "target rank out of range");
+  auto& ls = wo.locks[static_cast<std::size_t>(target)];
+  const auto grantable = [&] {
+    return type == LockType::kShared
+               ? ls.exclusive_holder < 0
+               : (ls.exclusive_holder < 0 && ls.shared_holders == 0);
+  };
+  while (!grantable()) {
+    ls.waiters.push_back(rank_);
+    engine_->switch_out(lk, me, Engine::RunState::kBlocked);
+  }
+  if (type == LockType::kShared) {
+    ++ls.shared_holders;
+  } else {
+    ls.exclusive_holder = rank_;
+  }
+  lk.unlock();
+  me.clock.advance_us(engine_->model().issue_us(rank_, target, 0));
+  me.clock.exit_runtime();
+}
+
+void Process::unlock(int target, Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  // Unlock completes all outstanding operations to the target.
+  const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_target(
+      static_cast<std::size_t>(w.id), target);
+  me.clock.advance_to_us(done);
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->check_abort(me);
+  auto& wo = engine_->window(w);
+  auto& ls = wo.locks[static_cast<std::size_t>(target)];
+  if (ls.exclusive_holder == rank_) {
+    ls.exclusive_holder = -1;
+  } else {
+    CLAMPI_REQUIRE(ls.shared_holders > 0, "unlock without a matching lock");
+    --ls.shared_holders;
+  }
+  // Wake waiters; they re-check grantability when scheduled.
+  for (int r : ls.waiters) {
+    auto& rc = engine_->ctx(r);
+    rc.clock.advance_to_us(me.clock.now_us());
+    rc.state = Engine::RunState::kReady;
+  }
+  ls.waiters.clear();
+  lk.unlock();
+  me.clock.exit_runtime();
+}
+
+void Process::lock_all(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  engine_->window(w);  // validates
+  // Shared access to every target; contention with exclusive per-target
+  // locks is not modelled (none of the paper's workloads mixes them).
+  me.clock.advance_us(engine_->model().issue_us(rank_, rank_, 0));
+  me.clock.exit_runtime();
+}
+
+void Process::unlock_all(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_all(
+      static_cast<std::size_t>(w.id));
+  me.clock.advance_to_us(done);
+  me.clock.exit_runtime();
+}
+
+void Process::fence(Window w) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_all(
+      static_cast<std::size_t>(w.id));
+  me.clock.advance_to_us(done);
+  const int comm_id = engine_->window(w).comm_id;
+  const int csize = engine_->comm_obj(Comm{comm_id}).size();
+  engine_->collective(
+      me, comm_id, /*kind=*/8, nullptr, nullptr, static_cast<std::size_t>(w.id),
+      [](Engine::CollectiveCtx&) {},
+      [this, csize] { return engine_->model().barrier_us(csize); });
+  me.clock.exit_runtime();
+}
+
+// ---------------------------------------------------------------------------
+// Communicators
+// ---------------------------------------------------------------------------
+
+int Process::comm_rank(Comm c) const {
+  const int local =
+      engine_->comm_obj(c).local_of_world[static_cast<std::size_t>(rank_)];
+  CLAMPI_REQUIRE(local >= 0, "rank is not a member of this communicator");
+  return local;
+}
+
+int Process::comm_size(Comm c) const { return engine_->comm_obj(c).size(); }
+
+int Process::comm_world_rank(Comm c, int local_rank) const {
+  const auto& co = engine_->comm_obj(c);
+  CLAMPI_REQUIRE(local_rank >= 0 && local_rank < co.size(),
+                 "local rank out of range");
+  return co.members[static_cast<std::size_t>(local_rank)];
+}
+
+bool Process::comm_member(Comm c) const {
+  return engine_->comm_obj(c).local_of_world[static_cast<std::size_t>(rank_)] >= 0;
+}
+
+Comm Process::comm_split(Comm parent, int color, int key) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  CLAMPI_REQUIRE(color >= 0, "comm_split: negative colors are not supported");
+  engine_->split_color_key_[static_cast<std::size_t>(rank_)] = {color, key};
+  const int csize = engine_->comm_obj(parent).size();
+  engine_->collective(
+      me, parent.id, /*kind=*/9, nullptr, nullptr, 0,
+      [this, parent](Engine::CollectiveCtx&) {
+        // Partition the parent's members by color, order each new
+        // communicator by (key, world rank).
+        const auto parent_members = engine_->comm_obj(parent).members;
+        std::vector<std::tuple<int, int, int>> rows;  // (color, key, world)
+        rows.reserve(parent_members.size());
+        for (const int wr : parent_members) {
+          const auto [c, k] = engine_->split_color_key_[static_cast<std::size_t>(wr)];
+          rows.emplace_back(c, k, wr);
+        }
+        std::sort(rows.begin(), rows.end());
+        std::size_t i = 0;
+        while (i < rows.size()) {
+          const int color = std::get<0>(rows[i]);
+          auto co = std::make_unique<Engine::CommObj>();
+          co->alive = true;
+          co->local_of_world.assign(static_cast<std::size_t>(engine_->nranks()), -1);
+          while (i < rows.size() && std::get<0>(rows[i]) == color) {
+            const int wr = std::get<2>(rows[i]);
+            co->local_of_world[static_cast<std::size_t>(wr)] =
+                static_cast<int>(co->members.size());
+            co->members.push_back(wr);
+            ++i;
+          }
+          const int new_id = static_cast<int>(engine_->comms_.size());
+          for (const int wr : co->members) {
+            engine_->split_result_[static_cast<std::size_t>(wr)] = new_id;
+          }
+          engine_->comms_.push_back(std::move(co));
+        }
+      },
+      [this, csize] { return engine_->model().barrier_us(csize); });
+  const Comm result{engine_->split_result_[static_cast<std::size_t>(rank_)]};
+  me.clock.exit_runtime();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Misc Process methods
+// ---------------------------------------------------------------------------
+
+int Process::nranks() const { return engine_->nranks(); }
+
+double Process::now_us() const {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();  // flush measured time into the clock
+  const double t = me.clock.now_us();
+  me.clock.exit_runtime();
+  return t;
+}
+
+void Process::compute_us(double us) {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  CLAMPI_REQUIRE(us >= 0.0, "negative compute time");
+  me.clock.advance_us(us);
+  me.clock.exit_runtime();
+}
+
+void Process::charge_local_copy(std::size_t bytes) {
+  auto& me = engine_->ctx(rank_);
+  if (me.clock.policy() != TimePolicy::kModeled) return;
+  me.clock.advance_us(engine_->model().local_copy_us(bytes));
+}
+
+void Process::yield() {
+  auto& me = engine_->ctx(rank_);
+  me.clock.enter_runtime();
+  std::unique_lock<std::mutex> lk(engine_->mu_);
+  engine_->check_abort(me);
+  engine_->switch_out(lk, me, Engine::RunState::kReady);
+  lk.unlock();
+  me.clock.exit_runtime();
+}
+
+const net::Model& Process::model() const { return engine_->model(); }
+
+}  // namespace clampi::rmasim

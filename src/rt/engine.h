@@ -1,0 +1,372 @@
+// rmasim — a simulated MPI-3 RMA runtime.
+//
+// This is the substrate substituting for foMPI/Piz Daint in the
+// reproduction (see DESIGN.md). Each MPI rank is an OS thread; a
+// cooperative scheduler runs exactly one rank at a time and switches only
+// at synchronization points (barriers, locks, collectives, window
+// creation). One-sided operations execute eagerly on the shared in-process
+// memory — legal because the MPI-3 epoch model forbids conflicting
+// accesses within an epoch — while their *completion time* is taken from
+// the network cost model, so `flush` exhibits the real overlap behaviour
+// of a nonblocking get (paper Sec. I-A, Fig. 8).
+//
+// Supported surface (MPI names translated to C++):
+//   win_allocate / win_create / win_free              (collective, per comm)
+//   get / put (+ datatype'd get_blocks)               MPI_Get / MPI_Put
+//   accumulate / get_accumulate / fetch_and_op /
+//   compare_and_swap                                  one-sided atomics
+//   flush / flush_all / flush_local(_all)             MPI_Win_flush family
+//   lock / unlock / lock_all / unlock_all             passive target epochs
+//   fence, post / start / complete / wait             active target epochs
+//   barrier / allgather(v) / allreduce                collectives (per comm)
+//   comm_split / comm_rank / comm_size                communicators
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "netmodel/model.h"
+#include "rt/clock.h"
+#include "util/error.h"
+
+namespace clampi::rmasim {
+
+class Engine;
+class Process;
+
+/// Opaque window handle; valid engine-wide after collective creation.
+struct Window {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Opaque communicator handle. Id 0 is the world communicator; others
+/// come from comm_split (MPI_Comm_split). Ranks inside a communicator
+/// are dense 0..size-1 in (color, key, world-rank) order.
+struct Comm {
+  int id = 0;
+  bool valid() const { return id >= 0; }
+};
+
+inline constexpr Comm kCommWorld{0};
+
+enum class LockType { kShared, kExclusive };
+
+/// Reduction operators for allreduce.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Operators for one-sided accumulates (the MPI_Op subset the paper's
+/// application classes need). kReplace mirrors MPI_REPLACE, kNoOp mirrors
+/// MPI_NO_OP (pure atomic read in get_accumulate).
+enum class AccumulateOp { kSum, kMax, kMin, kReplace, kNoOp };
+
+/// Element types supported by the accumulate family (MPI predefined-type
+/// subset; accumulates are element-wise, unlike raw byte puts/gets).
+enum class AccumulateType { kInt32, kInt64, kUInt64, kDouble };
+
+std::size_t accumulate_type_size(AccumulateType t);
+
+/// Per-rank facade handed to the rank main function. All methods must be
+/// called from the owning rank's thread.
+class Process {
+ public:
+  int rank() const { return rank_; }
+  int nranks() const;
+  double now_us() const;
+
+  // --- Communicators ---
+  /// Partition `parent` by color (MPI_Comm_split): every member passes a
+  /// color and a key; members sharing a color form a new communicator
+  /// ordered by (key, world rank). Collective over `parent`.
+  Comm comm_split(Comm parent, int color, int key);
+  int comm_rank(Comm c) const;   ///< this process's rank within c
+  int comm_size(Comm c) const;
+  /// World rank of `local_rank` within c.
+  int comm_world_rank(Comm c, int local_rank) const;
+  /// True if this process belongs to c.
+  bool comm_member(Comm c) const;
+
+  /// Advance virtual time by a modelled compute phase.
+  void compute_us(double us);
+
+  /// Charge a modelled local-DRAM copy cost. No-op under the measured
+  /// policy (the real memcpy is timed there); used by CLaMPI so cache
+  /// copies cost the same under both policies.
+  void charge_local_copy(std::size_t bytes);
+
+  // --- Window management (collective over the window's communicator) ---
+  /// Allocate `bytes` of window memory owned by the runtime. Target ranks
+  /// of all RMA calls on the window are ranks *within* `comm`.
+  Window win_allocate(std::size_t bytes, void** base, Comm comm = kCommWorld);
+  /// Expose caller-owned memory.
+  Window win_create(void* base, std::size_t bytes, Comm comm = kCommWorld);
+  void win_free(Window w);
+  /// Communicator the window was created over.
+  Comm win_comm(Window w) const;
+
+  std::size_t win_size(Window w, int target) const;
+  /// Direct pointer to a target's window memory (simulation backdoor used
+  /// by tests and by local fast paths; not part of the MPI surface).
+  std::byte* win_raw(Window w, int target) const;
+
+  // --- One-sided operations (nonblocking; complete at flush/unlock/fence) ---
+  void get(void* origin, std::size_t bytes, int target, std::size_t disp, Window w);
+  void put(const void* origin, std::size_t bytes, int target, std::size_t disp, Window w);
+
+  /// Gather `nblocks` (offset,size) pieces of the target window starting
+  /// at `disp`, packed contiguously into `origin`. Models one transfer of
+  /// the total size (RDMA gather). Used by the datatype layer.
+  struct Block {
+    std::size_t offset;
+    std::size_t size;
+  };
+  void get_blocks(void* origin, int target, std::size_t disp, const Block* blocks,
+                  std::size_t nblocks, Window w);
+
+  // --- One-sided atomics (MPI_Accumulate family) ---
+  /// result[i] = window[i] (old value), then window[i] = op(window[i],
+  /// origin[i]). Pass origin == nullptr with kNoOp for an atomic read.
+  void get_accumulate(const void* origin, void* result, std::size_t count,
+                      AccumulateType type, AccumulateOp op, int target, std::size_t disp,
+                      Window w);
+  /// window[i] = op(window[i], origin[i]) without fetching.
+  void accumulate(const void* origin, std::size_t count, AccumulateType type,
+                  AccumulateOp op, int target, std::size_t disp, Window w);
+  /// Single-element get_accumulate (MPI_Fetch_and_op).
+  void fetch_and_op(const void* origin, void* result, AccumulateType type,
+                    AccumulateOp op, int target, std::size_t disp, Window w);
+  /// MPI_Compare_and_swap: result = window value; window = desired iff
+  /// window == expected. Element type must be an integer type.
+  void compare_and_swap(const void* desired, const void* expected, void* result,
+                        AccumulateType type, int target, std::size_t disp, Window w);
+
+  // --- Completion / epochs ---
+  void flush(int target, Window w);
+  void flush_all(Window w);
+  /// MPI_Win_flush_local(_all): origin buffers are reusable, the remote
+  /// side may still be in flight. Under rmasim's eager data movement this
+  /// is a local no-op in data terms, but it does NOT wait for the
+  /// modelled transfer — the distinction Fig. 8 (overlap) relies on.
+  void flush_local(int target, Window w);
+  void flush_local_all(Window w);
+  void lock(LockType type, int target, Window w);
+  void unlock(int target, Window w);
+  void lock_all(Window w);
+  void unlock_all(Window w);
+  /// Active-target fence: collective; completes all pending operations.
+  void fence(Window w);
+
+  // --- Generalized active target (PSCW: MPI_Win_post/start/complete/wait) ---
+  /// Expose the local window to `origin_group` (exposure epoch begins).
+  void post(const std::vector<int>& origin_group, Window w);
+  /// Begin an access epoch to `target_group`; blocks until all targets
+  /// posted.
+  void start(const std::vector<int>& target_group, Window w);
+  /// End the access epoch started with start(); completes all RMA ops.
+  void complete(Window w);
+  /// Block until every origin that we posted to has called complete().
+  void wait(Window w);
+
+  // --- Collectives (over any communicator; default world) ---
+  void barrier(Comm comm = kCommWorld);
+  void allgather(const void* src, void* dst, std::size_t bytes_per_rank,
+                 Comm comm = kCommWorld);
+  /// Variable-size allgather; `counts[r]` bytes contributed by comm rank
+  /// r, concatenated in rank order into dst.
+  void allgatherv(const void* src, std::size_t my_bytes, void* dst,
+                  const std::size_t* counts, Comm comm = kCommWorld);
+  void allreduce_f64(const double* src, double* dst, std::size_t n, ReduceOp op,
+                     Comm comm = kCommWorld);
+  void allreduce_u64(const std::uint64_t* src, std::uint64_t* dst, std::size_t n,
+                     ReduceOp op, Comm comm = kCommWorld);
+
+  /// Yield the baton (lets lower-virtual-time ranks run). Rarely needed by
+  /// applications; exposed for tests.
+  void yield();
+
+  Engine& engine() { return *engine_; }
+  const net::Model& model() const;
+
+ private:
+  friend class Engine;
+  Process(Engine* e, int rank) : engine_(e), rank_(rank) {}
+  Engine* engine_;
+  int rank_;
+};
+
+/// The simulation engine: owns ranks, scheduler state, windows and
+/// collective staging areas.
+class Engine {
+ public:
+  struct Config {
+    int nranks = 2;
+    std::shared_ptr<const net::Model> model;  ///< required
+    TimePolicy time_policy = TimePolicy::kModeled;
+    double measured_scale = 1.0;  ///< scale factor on measured CPU time
+    /// Model NIC injection serialization: transfers touching the same
+    /// target rank queue behind each other instead of overlapping
+    /// perfectly (a node has one NIC). Off by default — the paper's
+    /// microbenchmarks are two-rank and uncontended; turn it on for
+    /// many-to-one studies.
+    bool serialize_injection = false;
+  };
+
+  explicit Engine(Config cfg);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Run `rank_main` on every rank to completion. Rethrows the first
+  /// exception escaping any rank. Single-shot.
+  void run(const std::function<void(Process&)>& rank_main);
+
+  int nranks() const { return cfg_.nranks; }
+  const net::Model& model() const { return *cfg_.model; }
+
+  /// After run(): per-rank final virtual times and their maximum.
+  double final_time_us(int rank) const;
+  double max_final_time_us() const;
+
+  // Collective staging (world). `arrived` counts ranks in the current
+  // collective; the last arriver performs data movement and releases all.
+  // Public only because out-of-class helpers operate on it.
+  struct CollectiveCtx {
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    std::vector<const void*> src;
+    std::vector<void*> dst;
+    std::vector<std::size_t> bytes;
+    std::vector<int> waiters;
+    double max_arrival_us = 0.0;
+    int kind = 0;  // debugging: ensure all ranks run the same collective
+  };
+
+ private:
+  friend class Process;
+
+  enum class RunState { kReady, kRunning, kBlocked, kDone };
+
+  struct RankCtx {
+    int rank = -1;
+    VirtualClock clock;
+    RunState state = RunState::kReady;
+    std::condition_variable cv;
+    std::thread thread;
+    double final_time_us = 0.0;
+
+    explicit RankCtx(TimePolicy p, double scale) : clock(p, scale) {}
+  };
+
+  struct LockState {
+    int shared_holders = 0;
+    int exclusive_holder = -1;  // rank or -1
+    std::vector<int> waiters;   // ranks blocked on this lock
+  };
+
+  // PSCW exposure state of one rank (as a target).
+  struct PscwState {
+    bool exposed = false;
+    std::vector<int> origins;          // may access during this exposure
+    int outstanding = 0;               // origins that have not completed yet
+    std::vector<int> waiting_origins;  // ranks blocked in start()
+    bool target_waiting = false;       // target blocked in wait()
+  };
+
+  struct CommObj {
+    bool alive = false;
+    std::vector<int> members;        // world ranks, communicator order
+    std::vector<int> local_of_world; // world rank -> local rank or -1
+    int size() const { return static_cast<int>(members.size()); }
+  };
+
+  struct WindowObj {
+    bool alive = false;
+    int comm_id = 0;
+    std::vector<std::byte*> base;
+    std::vector<std::size_t> size;
+    std::vector<bool> owned;  // allocated by win_allocate -> freed by us
+    std::vector<LockState> locks;  // per target
+    std::vector<PscwState> pscw;   // per rank, as exposure target
+    std::vector<std::vector<int>> started;  // per rank, as origin: targets
+  };
+
+  // Per-rank pending-completion times, per window, per target.
+  struct PendingCompletions {
+    // max completion time per (window id -> per-target vector)
+    std::vector<std::vector<double>> per_window_target;
+    std::vector<double> per_window_max;
+    void ensure(std::size_t win_id, int nranks);
+    void note(std::size_t win_id, int target, double t, int nranks);
+    double take_target(std::size_t win_id, int target);
+    double take_all(std::size_t win_id);
+  };
+
+  // --- scheduler ---
+  void thread_main(int rank, const std::function<void(Process&)>& rank_main);
+  // Callers hold mu_. Blocks `me` with `state` and hands the baton to the
+  // next ready rank; returns when `me` is running again.
+  void switch_out(std::unique_lock<std::mutex>& lk, RankCtx& me, RunState state);
+  // Pick and signal the next ready rank (caller holds mu_).
+  void schedule_next(std::unique_lock<std::mutex>& lk);
+  void check_abort(RankCtx& me);
+
+  // --- internals used by Process ---
+  RankCtx& ctx(int rank) { return *ranks_[rank]; }
+  WindowObj& window(Window w);
+  const WindowObj& window(Window w) const;
+  void validate_target(const WindowObj& wo, int target, std::size_t disp,
+                       std::size_t bytes) const;
+
+  // Generic collective rendezvous over one communicator: blocks until all
+  // members arrived; the last arriver runs `complete` (with mu_ held) and
+  // everyone resumes at max(arrival)+cost_us. Staging arrays are indexed
+  // by world rank.
+  void collective(RankCtx& me, int comm_id, int kind, const void* src, void* dst,
+                  std::size_t bytes, const std::function<void(CollectiveCtx&)>& complete,
+                  const std::function<double()>& cost_us);
+
+  const CommObj& comm_obj(Comm c) const;
+  Window win_register(int rank, void* base, std::size_t bytes, bool owned, Comm comm);
+
+  // With serialize_injection: per-world-rank time at which the rank's NIC
+  // becomes free again. Guarded by the baton (single running rank).
+  std::vector<double> nic_free_us_;
+
+  Config cfg_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<RankCtx>> ranks_;
+  std::vector<std::unique_ptr<WindowObj>> windows_;
+  std::vector<std::unique_ptr<CommObj>> comms_;  // [0] = world
+  std::vector<PendingCompletions> pending_;  // per rank
+  std::vector<std::unique_ptr<CollectiveCtx>> coll_by_comm_;
+  CollectiveCtx coll_;  // world (kept separate: the hot path)
+  std::condition_variable all_done_cv_;
+  int current_ = -1;
+  int done_count_ = 0;
+  bool started_ = false;
+  bool aborted_ = false;
+  std::exception_ptr first_error_;
+
+  // staging used by window creation collectives
+  std::vector<void*> wincreate_base_;
+  std::vector<std::size_t> wincreate_bytes_;
+  std::vector<bool> wincreate_owned_;
+  std::vector<Window> wincreate_result_;
+  // staging used by comm_split ((color, key) per world rank; result ids)
+  std::vector<std::pair<int, int>> split_color_key_;
+  std::vector<int> split_result_;
+};
+
+/// Error used internally to unwind rank stacks when another rank failed.
+struct AbortError {};
+
+}  // namespace clampi::rmasim

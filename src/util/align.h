@@ -1,0 +1,31 @@
+// Alignment helpers. The storage allocator hands out regions whose sizes
+// are multiples of the CPU cache-line size to keep cached entries aligned
+// in S_w (Sec. III-C2 of the paper).
+#pragma once
+
+#include <cstddef>
+
+namespace clampi::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Round `n` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) & ~(align - 1);
+}
+
+/// Round `n` down to a multiple of `align` (align must be a power of 2).
+constexpr std::size_t round_down(std::size_t n, std::size_t align) {
+  return n & ~(align - 1);
+}
+
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Smallest power of two >= n (n >= 1).
+constexpr std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace clampi::util

@@ -1,0 +1,250 @@
+// A generic AVL tree [1] (Adelson-Velskii & Landis) with unique keys.
+//
+// The CLaMPI storage layer indexes free memory regions with an AVL tree
+// keyed by (size, offset) so that allocation is best-fit in O(log N)
+// (Sec. III-C2 of the paper). The tree is generic so tests can exercise
+// it independently of the allocator.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "util/error.h"
+
+namespace clampi::util {
+
+template <class Key, class Value, class Compare = std::less<Key>>
+class AvlTree {
+ public:
+  struct Node {
+    Key key;
+    Value value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+  };
+
+  AvlTree() = default;
+  explicit AvlTree(Compare cmp) : cmp_(std::move(cmp)) {}
+  ~AvlTree() { clear(); }
+
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+  AvlTree(AvlTree&& other) noexcept
+      : root_(std::exchange(other.root_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        cmp_(other.cmp_) {}
+  AvlTree& operator=(AvlTree&& other) noexcept {
+    if (this != &other) {
+      clear();
+      root_ = std::exchange(other.root_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      cmp_ = other.cmp_;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    destroy(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Insert (key, value). Returns false (and leaves the tree unchanged) if
+  /// the key is already present.
+  bool insert(const Key& key, Value value) {
+    bool inserted = false;
+    root_ = insert_rec(root_, key, std::move(value), inserted);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Remove `key`. Returns false if not present.
+  bool erase(const Key& key) {
+    bool erased = false;
+    root_ = erase_rec(root_, key, erased);
+    if (erased) --size_;
+    return erased;
+  }
+
+  /// Pointer to the node with exactly `key`, or nullptr.
+  Node* find(const Key& key) const {
+    Node* n = root_;
+    while (n != nullptr) {
+      if (cmp_(key, n->key)) {
+        n = n->left;
+      } else if (cmp_(n->key, key)) {
+        n = n->right;
+      } else {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Node with the smallest key that is not less than `key`, or nullptr.
+  Node* lower_bound(const Key& key) const {
+    Node* n = root_;
+    Node* best = nullptr;
+    while (n != nullptr) {
+      if (cmp_(n->key, key)) {
+        n = n->right;
+      } else {
+        best = n;
+        n = n->left;
+      }
+    }
+    return best;
+  }
+
+  /// Node with the smallest key, or nullptr if empty.
+  Node* min() const {
+    Node* n = root_;
+    while (n != nullptr && n->left != nullptr) n = n->left;
+    return n;
+  }
+
+  /// Node with the largest key, or nullptr if empty.
+  Node* max() const {
+    Node* n = root_;
+    while (n != nullptr && n->right != nullptr) n = n->right;
+    return n;
+  }
+
+  /// In-order traversal; `fn(key, value)` is called in ascending key order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for_each_rec(root_, fn);
+  }
+
+  /// Full structural check: BST ordering, AVL balance, height bookkeeping,
+  /// and node count. Used by the property tests; O(N).
+  bool validate() const {
+    std::size_t count = 0;
+    bool ok = validate_rec(root_, nullptr, nullptr, count);
+    return ok && count == size_;
+  }
+
+ private:
+  static int height(const Node* n) { return n != nullptr ? n->height : 0; }
+  static int balance(const Node* n) {
+    return n != nullptr ? height(n->left) - height(n->right) : 0;
+  }
+  static void update(Node* n) {
+    n->height = 1 + std::max(height(n->left), height(n->right));
+  }
+
+  static Node* rotate_right(Node* y) {
+    Node* x = y->left;
+    y->left = x->right;
+    x->right = y;
+    update(y);
+    update(x);
+    return x;
+  }
+
+  static Node* rotate_left(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    y->left = x;
+    update(x);
+    update(y);
+    return y;
+  }
+
+  static Node* rebalance(Node* n) {
+    update(n);
+    const int b = balance(n);
+    if (b > 1) {
+      if (balance(n->left) < 0) n->left = rotate_left(n->left);
+      return rotate_right(n);
+    }
+    if (b < -1) {
+      if (balance(n->right) > 0) n->right = rotate_right(n->right);
+      return rotate_left(n);
+    }
+    return n;
+  }
+
+  Node* insert_rec(Node* n, const Key& key, Value&& value, bool& inserted) {
+    if (n == nullptr) {
+      inserted = true;
+      return new Node{key, std::move(value)};
+    }
+    if (cmp_(key, n->key)) {
+      n->left = insert_rec(n->left, key, std::move(value), inserted);
+    } else if (cmp_(n->key, key)) {
+      n->right = insert_rec(n->right, key, std::move(value), inserted);
+    } else {
+      inserted = false;
+      return n;
+    }
+    return rebalance(n);
+  }
+
+  Node* erase_rec(Node* n, const Key& key, bool& erased) {
+    if (n == nullptr) {
+      erased = false;
+      return nullptr;
+    }
+    if (cmp_(key, n->key)) {
+      n->left = erase_rec(n->left, key, erased);
+    } else if (cmp_(n->key, key)) {
+      n->right = erase_rec(n->right, key, erased);
+    } else {
+      erased = true;
+      if (n->left == nullptr || n->right == nullptr) {
+        Node* child = n->left != nullptr ? n->left : n->right;
+        delete n;
+        return child;  // may be nullptr
+      }
+      // Two children: splice in the in-order successor.
+      Node* succ = n->right;
+      while (succ->left != nullptr) succ = succ->left;
+      n->key = succ->key;
+      n->value = std::move(succ->value);
+      bool dummy = false;
+      n->right = erase_rec(n->right, n->key, dummy);
+    }
+    return rebalance(n);
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  template <class Fn>
+  static void for_each_rec(const Node* n, Fn& fn) {
+    if (n == nullptr) return;
+    for_each_rec(n->left, fn);
+    fn(n->key, n->value);
+    for_each_rec(n->right, fn);
+  }
+
+  bool validate_rec(const Node* n, const Key* lo, const Key* hi, std::size_t& count) const {
+    if (n == nullptr) return true;
+    ++count;
+    if (lo != nullptr && !cmp_(*lo, n->key)) return false;
+    if (hi != nullptr && !cmp_(n->key, *hi)) return false;
+    const int hl = height(n->left);
+    const int hr = height(n->right);
+    if (n->height != 1 + std::max(hl, hr)) return false;
+    if (hl - hr > 1 || hr - hl > 1) return false;
+    return validate_rec(n->left, lo, &n->key, count) &&
+           validate_rec(n->right, &n->key, hi, count);
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  Compare cmp_{};
+};
+
+}  // namespace clampi::util

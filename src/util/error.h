@@ -1,0 +1,52 @@
+// Error-handling primitives shared by every module.
+//
+// The simulator and the caching layer are infrastructure code: internal
+// invariant violations are programming errors and abort loudly
+// (CLAMPI_ASSERT), while misuse of the public API throws (CLAMPI_REQUIRE)
+// so tests can exercise the failure paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace clampi::util {
+
+/// Thrown on public-API contract violations (bad arguments, misuse of the
+/// epoch model, out-of-range ranks, ...).
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "clampi: internal invariant violated at %s:%d: %s\n", file, line,
+               msg.c_str());
+  std::abort();
+}
+
+[[noreturn]] inline void contract_failure(const char* file, int line, const std::string& msg) {
+  throw ContractError(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace clampi::util
+
+// Internal invariant; aborts. Enabled in all build types: the simulator is
+// the measurement instrument and must never silently produce garbage.
+#define CLAMPI_ASSERT(cond, msg)                              \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::clampi::util::panic(__FILE__, __LINE__,               \
+                            std::string("(" #cond ") ") + (msg)); \
+    }                                                         \
+  } while (0)
+
+// Public-API precondition; throws ContractError.
+#define CLAMPI_REQUIRE(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::clampi::util::contract_failure(__FILE__, __LINE__,           \
+                                       std::string("(" #cond ") ") + (msg)); \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,46 @@
+// Universal hashing (Carter & Wegman [5]), used by the cuckoo index to
+// derive its p independent hash functions (Sec. III-C1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace clampi::util {
+
+/// One member of a 2-universal multiply-shift family over 64-bit keys:
+///   h(x) = ((a * x + b) >> (64 - log2(range))) when range is a power of two,
+/// generalized here with a 128-bit multiply-reduce so any range works.
+/// `a` is forced odd which is sufficient for the multiply-shift family.
+class UniversalHash {
+ public:
+  UniversalHash() : a_(0x9e3779b97f4a7c15ull | 1ull), b_(0) {}
+
+  explicit UniversalHash(Xoshiro256& rng) { reseed(rng); }
+
+  void reseed(Xoshiro256& rng) {
+    a_ = rng() | 1ull;  // odd multiplier
+    b_ = rng();
+  }
+
+  /// Hash to the full 64-bit range.
+  std::uint64_t mix(std::uint64_t x) const {
+    std::uint64_t z = a_ * x + b_;
+    z ^= z >> 29;
+    z *= 0xbf58476d1ce4e5b9ull;
+    z ^= z >> 32;
+    return z;
+  }
+
+  /// Hash into [0, range).
+  std::uint64_t operator()(std::uint64_t x, std::uint64_t range) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(mix(x)) * range) >> 64);
+  }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+}  // namespace clampi::util

@@ -1,0 +1,193 @@
+// Tests for I_w: the cuckoo hash index (Sec. III-C1).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "clampi/cuckoo_index.h"
+#include "util/rng.h"
+
+namespace {
+
+using clampi::CuckooIndex;
+using clampi::kNoEntry;
+
+/// Test harness: entries are (id -> key) pairs in a plain vector.
+struct TestOps {
+  std::vector<std::uint64_t> keys;
+  std::uint64_t hash_key(std::uint32_t id) const { return keys[id]; }
+};
+
+struct Fixture {
+  TestOps ops;
+  CuckooIndex<TestOps> index;
+
+  explicit Fixture(std::size_t nslots, int arity = 4, int iters = 64,
+                   std::uint64_t seed = 42)
+      : index(nslots, arity, iters, seed, &ops) {}
+
+  std::uint32_t add(std::uint64_t key) {
+    ops.keys.push_back(key);
+    return static_cast<std::uint32_t>(ops.keys.size() - 1);
+  }
+
+  std::uint32_t find(std::uint64_t key) const {
+    return index.lookup(key, [&](std::uint32_t id) { return ops.keys[id] == key; });
+  }
+};
+
+TEST(Cuckoo, InsertAndLookup) {
+  Fixture f(64);
+  const auto a = f.add(111);
+  const auto b = f.add(222);
+  EXPECT_TRUE(f.index.insert(111, a, nullptr));
+  EXPECT_TRUE(f.index.insert(222, b, nullptr));
+  EXPECT_EQ(f.find(111), a);
+  EXPECT_EQ(f.find(222), b);
+  EXPECT_EQ(f.find(333), kNoEntry);
+  EXPECT_EQ(f.index.occupied(), 2u);
+  EXPECT_TRUE(f.index.validate());
+}
+
+TEST(Cuckoo, EraseRemovesOnlyTheTarget) {
+  Fixture f(64);
+  const auto a = f.add(1);
+  const auto b = f.add(2);
+  f.index.insert(1, a, nullptr);
+  f.index.insert(2, b, nullptr);
+  EXPECT_TRUE(f.index.erase(a));
+  EXPECT_FALSE(f.index.erase(a));  // already gone
+  EXPECT_EQ(f.find(1), kNoEntry);
+  EXPECT_EQ(f.find(2), b);
+  EXPECT_EQ(f.index.occupied(), 1u);
+  EXPECT_TRUE(f.index.validate());
+}
+
+TEST(Cuckoo, ClearEmptiesTable) {
+  Fixture f(64);
+  for (std::uint64_t k = 0; k < 20; ++k) f.index.insert(k * 97, f.add(k * 97), nullptr);
+  f.index.clear();
+  EXPECT_EQ(f.index.occupied(), 0u);
+  EXPECT_EQ(f.find(97), kNoEntry);
+  EXPECT_TRUE(f.index.validate());
+}
+
+TEST(Cuckoo, KicksResolveCollisionsUntilFull) {
+  // With arity 4 and random-walk insertion the table should sustain a high
+  // load factor before the first failure (the paper cites ~97% for p=4).
+  Fixture f(1024);
+  clampi::util::Xoshiro256 rng(7);
+  std::size_t inserted = 0;
+  while (true) {
+    const std::uint64_t key = rng();
+    const auto id = f.add(key);
+    if (!f.index.insert(key, id, nullptr)) break;
+    ++inserted;
+  }
+  EXPECT_GT(static_cast<double>(inserted) / 1024.0, 0.90);
+  EXPECT_TRUE(f.index.validate());
+}
+
+TEST(Cuckoo, LowerArityFillsLess) {
+  auto fill = [](int arity) {
+    Fixture f(1024, arity);
+    clampi::util::Xoshiro256 rng(13);
+    std::size_t inserted = 0;
+    while (true) {
+      const std::uint64_t key = rng();
+      const auto id = f.add(key);
+      if (!f.index.insert(key, id, nullptr)) break;
+      ++inserted;
+    }
+    return static_cast<double>(inserted) / 1024.0;
+  };
+  const double p2 = fill(2);
+  const double p4 = fill(4);
+  EXPECT_LT(p2, p4);
+  EXPECT_LT(p2, 0.75);  // theory: ~50% for p=2
+}
+
+TEST(Cuckoo, FailedInsertRollsBackExactly) {
+  Fixture f(16, 2, 8);  // tiny table, low arity: failures come quickly
+  clampi::util::Xoshiro256 rng(3);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> present;
+  while (true) {
+    const std::uint64_t key = rng();
+    const auto id = f.add(key);
+    std::vector<std::uint32_t> path;
+    if (f.index.insert(key, id, &path)) {
+      present.emplace_back(key, id);
+      continue;
+    }
+    // Failure: every previously inserted key must still be findable, the
+    // new one must not, and the path must name only present entries.
+    EXPECT_FALSE(path.empty());
+    for (const auto& [k, i] : present) EXPECT_EQ(f.find(k), i);
+    EXPECT_EQ(f.find(key), kNoEntry);
+    std::unordered_set<std::uint32_t> present_ids;
+    for (const auto& [k, i] : present) present_ids.insert(i);
+    for (const auto p : path) EXPECT_TRUE(present_ids.count(p)) << "path id " << p;
+    EXPECT_TRUE(f.index.validate());
+    break;
+  }
+}
+
+TEST(Cuckoo, EvictingPathEntryEnablesInsert) {
+  // The CLaMPI conflicting-access flow: when an insert fails, evicting a
+  // path entry should (almost always) let the retry succeed.
+  Fixture f(32, 2, 12);
+  clampi::util::Xoshiro256 rng(5);
+  int conflicts_resolved = 0;
+  for (int n = 0; n < 2000 && conflicts_resolved < 5; ++n) {
+    const std::uint64_t key = rng();
+    const auto id = f.add(key);
+    std::vector<std::uint32_t> path;
+    if (f.index.insert(key, id, &path)) continue;
+    bool inserted = false;
+    for (int attempt = 0; attempt < 4 && !inserted; ++attempt) {
+      ASSERT_FALSE(path.empty());
+      EXPECT_TRUE(f.index.erase(path.front()));
+      inserted = f.index.insert(key, id, &path);
+    }
+    EXPECT_TRUE(inserted);
+    if (inserted) ++conflicts_resolved;
+    EXPECT_TRUE(f.index.validate());
+  }
+  EXPECT_EQ(conflicts_resolved, 5);
+}
+
+TEST(Cuckoo, RejectsBadGeometry) {
+  TestOps ops;
+  EXPECT_THROW((CuckooIndex<TestOps>(2, 4, 8, 1, &ops)), clampi::util::ContractError);
+  EXPECT_THROW((CuckooIndex<TestOps>(64, 1, 8, 1, &ops)), clampi::util::ContractError);
+}
+
+// Property: random insert/erase churn against an unordered_map reference.
+class CuckooChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CuckooChurn, MatchesReference) {
+  Fixture f(512);
+  clampi::util::Xoshiro256 rng(GetParam());
+  std::unordered_map<std::uint64_t, std::uint32_t> ref;
+  for (int step = 0; step < 30000; ++step) {
+    const std::uint64_t key = 1 + rng.bounded(600);  // keys collide frequently
+    auto it = ref.find(key);
+    if (it == ref.end()) {
+      const auto id = f.add(key);
+      if (f.index.insert(key, id, nullptr)) ref.emplace(key, id);
+    } else {
+      EXPECT_TRUE(f.index.erase(it->second));
+      ref.erase(it);
+    }
+    if (step % 3000 == 0) {
+      ASSERT_TRUE(f.index.validate());
+      for (const auto& [k, i] : ref) ASSERT_EQ(f.find(k), i);
+    }
+  }
+  EXPECT_EQ(f.index.occupied(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CuckooChurn, ::testing::Values(1u, 17u, 23u));
+
+}  // namespace

@@ -1,0 +1,217 @@
+// Tests for the graph substrate: R-MAT generation, CSR construction and
+// the distributed LCC against the serial reference.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "graph/lcc.h"
+#include "graph/rmat.h"
+#include "netmodel/model.h"
+#include "rt/engine.h"
+
+namespace {
+
+using namespace clampi;
+using graph::build_csr;
+using graph::Csr;
+using graph::DistributedLcc;
+using graph::intersect_count;
+using graph::lcc_reference;
+using graph::LccBackend;
+using graph::LccConfig;
+using graph::rmat_graph;
+using graph::RmatParams;
+using graph::Vertex;
+using rmasim::Engine;
+using rmasim::Process;
+
+Engine::Config engine_cfg(int nranks) {
+  Engine::Config cfg;
+  cfg.nranks = nranks;
+  cfg.model = std::make_shared<net::FlatModel>(2.0, 0.001);
+  cfg.time_policy = rmasim::TimePolicy::kModeled;
+  return cfg;
+}
+
+TEST(Csr, BuildDedupsAndSymmetrizes) {
+  // Edges: 0-1 (x2, both directions), 1-2, self-loop 2-2.
+  const Csr g = build_csr(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}, {2, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_undirected_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0u);
+  EXPECT_EQ(g.neighbors(1)[1], 2u);
+}
+
+TEST(Csr, AdjacencyListsAreSorted) {
+  const Csr g = rmat_graph({.scale = 10, .edge_factor = 8, .seed = 5});
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint64_t k = 1; k < g.degree(v); ++k) {
+      ASSERT_LT(g.neighbors(v)[k - 1], g.neighbors(v)[k]);
+    }
+  }
+}
+
+TEST(Csr, SymmetryHolds) {
+  const Csr g = rmat_graph({.scale = 9, .edge_factor = 6, .seed = 6});
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (std::uint64_t k = 0; k < g.degree(v); ++k) {
+      const Vertex u = g.neighbors(v)[k];
+      ASSERT_EQ(intersect_count(&v, 1, g.neighbors(u), g.degree(u)), 1u)
+          << "edge (" << v << "," << u << ") not symmetric";
+    }
+  }
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  const auto e1 = graph::rmat_edges({.scale = 8, .edge_factor = 4, .seed = 9});
+  const auto e2 = graph::rmat_edges({.scale = 8, .edge_factor = 4, .seed = 9});
+  EXPECT_EQ(e1, e2);
+  const auto e3 = graph::rmat_edges({.scale = 8, .edge_factor = 4, .seed = 10});
+  EXPECT_NE(e1, e3);
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  // R-MAT with a=0.57 produces scale-free-ish graphs: the max degree must
+  // far exceed the average.
+  const Csr g = rmat_graph({.scale = 12, .edge_factor = 16, .seed = 11});
+  std::uint64_t maxdeg = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) maxdeg = std::max(maxdeg, g.degree(v));
+  const double avg = static_cast<double>(g.adj.size()) / g.num_vertices();
+  EXPECT_GT(static_cast<double>(maxdeg), 8.0 * avg);
+}
+
+TEST(Rmat, EdgeCountInExpectedRange) {
+  const RmatParams p{.scale = 10, .edge_factor = 16, .seed = 3};
+  const Csr g = rmat_graph(p);
+  const auto requested = (std::size_t{1} << p.scale) * 16;
+  EXPECT_LE(g.num_undirected_edges(), requested);
+  EXPECT_GT(g.num_undirected_edges(), requested / 4);  // dedup removes some
+}
+
+TEST(Intersect, SortedIntersection) {
+  const Vertex a[] = {1, 3, 5, 7, 9};
+  const Vertex b[] = {2, 3, 4, 7, 8, 9};
+  EXPECT_EQ(intersect_count(a, 5, b, 6), 3u);
+  EXPECT_EQ(intersect_count(a, 0, b, 6), 0u);
+  EXPECT_EQ(intersect_count(a, 5, a, 5), 5u);
+}
+
+TEST(LccReference, TriangleAndPath) {
+  // Triangle 0-1-2 plus pendant 3 attached to 2.
+  const Csr g = build_csr(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto lcc = lcc_reference(g);
+  EXPECT_DOUBLE_EQ(lcc[0], 1.0);
+  EXPECT_DOUBLE_EQ(lcc[1], 1.0);
+  EXPECT_DOUBLE_EQ(lcc[2], 1.0 / 3.0);  // one of three possible edges
+  EXPECT_DOUBLE_EQ(lcc[3], 0.0);        // degree 1
+}
+
+TEST(LccReference, CompleteGraphIsAllOnes) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex u = 0; u < 6; ++u) {
+    for (Vertex v = u + 1; v < 6; ++v) edges.emplace_back(u, v);
+  }
+  const auto lcc = lcc_reference(build_csr(6, std::move(edges)));
+  for (const double c : lcc) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(LccReference, StarHasZeroCenter) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (Vertex v = 1; v < 8; ++v) edges.emplace_back(0, v);
+  const auto lcc = lcc_reference(build_csr(8, std::move(edges)));
+  EXPECT_DOUBLE_EQ(lcc[0], 0.0);
+}
+
+class LccDistributed : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(LccDistributed, MatchesSerialReference) {
+  const int nranks = std::get<0>(GetParam());
+  const bool use_clampi = std::get<1>(GetParam());
+  auto g = std::make_shared<Csr>(rmat_graph({.scale = 9, .edge_factor = 8, .seed = 21}));
+  const auto want = lcc_reference(*g);
+
+  Engine e(engine_cfg(nranks));
+  auto results = std::make_shared<std::vector<double>>(g->num_vertices(), -1.0);
+  e.run([&](Process& p) {
+    LccConfig cfg;
+    cfg.backend = use_clampi ? LccBackend::kClampi : LccBackend::kNone;
+    cfg.clampi_cfg.mode = Mode::kAlwaysCache;
+    cfg.clampi_cfg.index_entries = 4096;
+    cfg.clampi_cfg.storage_bytes = 4 << 20;
+    DistributedLcc solver(p, g, cfg);
+    solver.run();
+    const auto& local = solver.local_lcc();
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      (*results)[solver.first_vertex() + i] = local[i];
+    }
+    p.barrier();
+  });
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    ASSERT_NEAR((*results)[v], want[v], 1e-12) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, LccDistributed,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Bool()));
+
+TEST(LccDistributed, CachingProducesHitsOnSharedNeighbours) {
+  auto g = std::make_shared<Csr>(rmat_graph({.scale = 10, .edge_factor = 16, .seed = 31}));
+  Engine e(engine_cfg(4));
+  e.run([&](Process& p) {
+    LccConfig cfg;
+    cfg.backend = LccBackend::kClampi;
+    cfg.clampi_cfg.mode = Mode::kAlwaysCache;
+    cfg.clampi_cfg.index_entries = 1 << 15;
+    cfg.clampi_cfg.storage_bytes = 16 << 20;
+    DistributedLcc solver(p, g, cfg);
+    const auto rep = solver.run();
+    const auto* st = solver.clampi_stats();
+    ASSERT_NE(st, nullptr);
+    EXPECT_GT(rep.remote_gets, 0u);
+    // Hub vertices appear in many adjacency lists: hits must be plentiful.
+    EXPECT_GT(st->hit_ratio(), 0.4);
+    p.barrier();
+  });
+}
+
+TEST(LccDistributed, SizeHistogramTracksDegrees) {
+  auto g = std::make_shared<Csr>(rmat_graph({.scale = 9, .edge_factor = 8, .seed = 41}));
+  Engine e(engine_cfg(4));
+  e.run([&](Process& p) {
+    LccConfig cfg;
+    cfg.backend = LccBackend::kNone;
+    cfg.track_size_histogram = true;
+    DistributedLcc solver(p, g, cfg);
+    const auto rep = solver.run();
+    std::uint64_t histo_total = 0;
+    for (const auto& [sz, cnt] : solver.size_histogram()) {
+      EXPECT_EQ(sz % sizeof(Vertex), 0u);
+      histo_total += cnt;
+    }
+    EXPECT_EQ(histo_total, rep.remote_gets);
+    p.barrier();
+  });
+}
+
+TEST(LccDistributed, OwnershipPartitionsCoverAllVertices) {
+  auto g = std::make_shared<Csr>(rmat_graph({.scale = 8, .edge_factor = 4, .seed = 51}));
+  Engine e(engine_cfg(5));
+  auto covered = std::make_shared<std::vector<int>>(g->num_vertices(), 0);
+  e.run([&](Process& p) {
+    LccConfig cfg;
+    DistributedLcc solver(p, g, cfg);
+    for (Vertex v = solver.first_vertex(); v < solver.last_vertex(); ++v) {
+      EXPECT_EQ(solver.owner_of(v), p.rank());
+      (*covered)[v] += 1;
+    }
+    p.barrier();
+  });
+  for (const int c : *covered) EXPECT_EQ(c, 1);
+}
+
+}  // namespace

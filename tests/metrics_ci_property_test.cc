@@ -1,0 +1,86 @@
+// Statistical property tests for the LibLSB-style summary: the 95% CI of
+// the median must actually cover the true median at roughly the nominal
+// rate, across distribution shapes — the benchmarks' stopping rule
+// depends on it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/stats.h"
+#include "util/rng.h"
+
+namespace {
+
+using clampi::metrics::summarize;
+using clampi::util::Xoshiro256;
+
+/// Fraction of resampled experiments whose CI covers `true_median`.
+template <class Gen>
+double coverage(Gen&& gen, double true_median, int experiments, int samples_each) {
+  int covered = 0;
+  for (int e = 0; e < experiments; ++e) {
+    std::vector<double> s;
+    s.reserve(samples_each);
+    for (int i = 0; i < samples_each; ++i) s.push_back(gen());
+    const auto sum = summarize(std::move(s));
+    covered += sum.ci_lo <= true_median && true_median <= sum.ci_hi;
+  }
+  return static_cast<double>(covered) / experiments;
+}
+
+TEST(CiCoverage, UniformDistribution) {
+  Xoshiro256 rng(1);
+  const double cov =
+      coverage([&] { return rng.uniform(); }, 0.5, /*experiments=*/400, /*samples=*/51);
+  EXPECT_GT(cov, 0.90);  // nominal 95%, order statistics are conservative
+}
+
+TEST(CiCoverage, ExponentialDistribution) {
+  // Latency-like skew: the median CI must still cover.
+  Xoshiro256 rng(2);
+  const double true_median = std::log(2.0);
+  const double cov = coverage([&] { return -std::log(1.0 - rng.uniform()); },
+                              true_median, 400, 51);
+  EXPECT_GT(cov, 0.90);
+}
+
+TEST(CiCoverage, BimodalDistribution) {
+  // Cache-like bimodality (hit ~0.3, miss ~2.5 with 30% misses): median
+  // is in the hit mode.
+  Xoshiro256 rng(3);
+  const auto gen = [&] {
+    return rng.uniform() < 0.7 ? 0.3 + 0.01 * rng.uniform() : 2.5 + 0.1 * rng.uniform();
+  };
+  // Median of the mixture: F(x) = 0.7 * (x - 0.3)/0.01 on the hit mode,
+  // so the 50th percentile sits at 0.3 + 0.01 * (0.5 / 0.7).
+  const double true_median = 0.3 + 0.01 * (0.5 / 0.7);
+  const double cov = coverage(gen, true_median, 400, 51);
+  EXPECT_GT(cov, 0.90);
+}
+
+TEST(CiCoverage, SmallSamples) {
+  Xoshiro256 rng(4);
+  const double cov = coverage([&] { return rng.uniform(); }, 0.5, 400, 11);
+  EXPECT_GT(cov, 0.85);  // approximation degrades but must stay sane
+}
+
+TEST(CiWidth, ShrinksAsSqrtN) {
+  Xoshiro256 rng(5);
+  const auto width_at = [&](int n) {
+    double acc = 0.0;
+    for (int e = 0; e < 50; ++e) {
+      std::vector<double> s;
+      for (int i = 0; i < n; ++i) s.push_back(rng.uniform());
+      const auto sum = summarize(std::move(s));
+      acc += sum.ci_hi - sum.ci_lo;
+    }
+    return acc / 50.0;
+  };
+  const double w100 = width_at(100);
+  const double w1600 = width_at(1600);
+  // 16x the samples => ~4x narrower CI.
+  EXPECT_NEAR(w100 / w1600, 4.0, 1.6);
+}
+
+}  // namespace

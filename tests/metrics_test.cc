@@ -1,0 +1,113 @@
+// Tests for the LibLSB-style measurement statistics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/stats.h"
+#include "util/rng.h"
+
+namespace {
+
+using clampi::metrics::Histogram;
+using clampi::metrics::RepetitionController;
+using clampi::metrics::Summary;
+using clampi::metrics::summarize;
+
+TEST(Summarize, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary s = summarize({42.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.median, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+}
+
+TEST(Summarize, OddAndEvenMedians) {
+  EXPECT_DOUBLE_EQ(summarize({3, 1, 2}).median, 2.0);
+  EXPECT_DOUBLE_EQ(summarize({4, 1, 2, 3}).median, 2.5);
+}
+
+TEST(Summarize, MeanMinMax) {
+  const Summary s = summarize({1, 2, 3, 4, 10});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+}
+
+TEST(Summarize, CiBracketsMedian) {
+  clampi::util::Xoshiro256 rng(9);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(100.0 + rng.uniform() * 10.0);
+  const Summary s = summarize(v);
+  EXPECT_LE(s.ci_lo, s.median);
+  EXPECT_GE(s.ci_hi, s.median);
+  EXPECT_GE(s.ci_lo, s.min);
+  EXPECT_LE(s.ci_hi, s.max);
+}
+
+TEST(Summarize, CiShrinksWithSampleCount) {
+  clampi::util::Xoshiro256 rng(10);
+  auto rel_width = [&rng](int n) {
+    std::vector<double> v;
+    for (int i = 0; i < n; ++i) v.push_back(50.0 + rng.uniform() * 20.0);
+    return summarize(v).ci_rel_width();
+  };
+  EXPECT_LT(rel_width(4000), rel_width(40));
+}
+
+TEST(RepetitionController, StopsWhenTight) {
+  RepetitionController rc;
+  // Identical samples: CI width 0 -> done as soon as min_reps reached.
+  for (int i = 0; i < 20; ++i) {
+    const bool expect_done = i >= 9;
+    EXPECT_EQ(rc.done(), expect_done) << "after " << i << " samples";
+    rc.add(5.0);
+  }
+  EXPECT_TRUE(rc.done());
+}
+
+TEST(RepetitionController, CapsAtMaxReps) {
+  RepetitionController::Config cfg;
+  cfg.max_reps = 50;
+  cfg.rel_width = 1e-12;  // practically unreachable for noisy data
+  RepetitionController rc(cfg);
+  clampi::util::Xoshiro256 rng(11);
+  while (!rc.done()) rc.add(rng.uniform() * 100.0);
+  EXPECT_EQ(rc.samples().size(), 50u);
+}
+
+TEST(RepetitionController, PaperStoppingRule) {
+  // The paper: 95% CI within 5% of the reported median. Feed mildly noisy
+  // samples and check the rule terminates well before the cap.
+  RepetitionController rc;
+  clampi::util::Xoshiro256 rng(12);
+  while (!rc.done()) rc.add(100.0 + rng.uniform() * 8.0);
+  EXPECT_LT(rc.samples().size(), 2000u);
+  EXPECT_LE(rc.summary().ci_rel_width(), 0.05);
+}
+
+TEST(Histogram, BinningAndTotals) {
+  Histogram h(10.0);
+  h.add(0.0);
+  h.add(9.99);
+  h.add(10.0);
+  h.add(25.0);
+  const auto bins = h.bins();
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0].first, 0.0);
+  EXPECT_EQ(bins[0].second, 2u);
+  EXPECT_DOUBLE_EQ(bins[1].first, 10.0);
+  EXPECT_EQ(bins[1].second, 1u);
+  EXPECT_DOUBLE_EQ(bins[2].first, 20.0);
+  EXPECT_EQ(bins[2].second, 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, SkipsEmptyBins) {
+  Histogram h(1.0);
+  h.add(0.5);
+  h.add(100.5);
+  EXPECT_EQ(h.bins().size(), 2u);
+}
+
+}  // namespace

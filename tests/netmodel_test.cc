@@ -1,0 +1,95 @@
+// Tests for the LogGP network cost model: the latency hierarchy must
+// reproduce the structure of Fig. 1 of the paper.
+#include <gtest/gtest.h>
+
+#include "netmodel/hierarchy.h"
+#include "netmodel/model.h"
+
+namespace {
+
+using namespace clampi::net;
+
+TEST(FlatModel, LinearInBytes) {
+  FlatModel m(2.0, 0.001);
+  EXPECT_DOUBLE_EQ(m.transfer_us(0, 1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.transfer_us(0, 1, 1000), 3.0);
+  EXPECT_DOUBLE_EQ(m.transfer_us(5, 9, 1000), 3.0);  // distance-agnostic
+}
+
+TEST(Topology, DistanceClassification) {
+  Topology t{.ranks_per_node = 2, .nodes_per_group = 4};
+  EXPECT_EQ(t.distance(3, 3), Distance::kSelf);
+  EXPECT_EQ(t.distance(0, 1), Distance::kSameNode);   // node 0
+  EXPECT_EQ(t.distance(0, 2), Distance::kSameGroup);  // nodes 0 and 1
+  EXPECT_EQ(t.distance(0, 7), Distance::kSameGroup);  // node 3, group 0
+  EXPECT_EQ(t.distance(0, 8), Distance::kRemoteGroup);  // node 4, group 1
+}
+
+TEST(Topology, OneRankPerNodeDefault) {
+  Topology t{};  // 1 rank/node, 96 nodes/group (Cray XC)
+  EXPECT_EQ(t.distance(0, 1), Distance::kSameGroup);
+  EXPECT_EQ(t.distance(0, 95), Distance::kSameGroup);
+  EXPECT_EQ(t.distance(0, 96), Distance::kRemoteGroup);
+}
+
+TEST(HierarchicalModel, LatencySpreadMatchesFig1) {
+  // Fig. 1: small-message latencies span local DRAM (<0.1us) to remote
+  // group (~2-3us).
+  auto cfg = aries_like(/*ranks_per_node=*/4);
+  HierarchicalModel m(cfg);
+  const double self = m.transfer_us(0, 0, 8);
+  const double node = m.transfer_us(0, 1, 8);
+  const double group = m.transfer_us(0, 4, 8);
+  const double remote = m.transfer_us(0, 4 * 96, 8);
+  EXPECT_LT(self, 0.2);
+  EXPECT_GT(node, self);
+  EXPECT_GT(group, node);
+  EXPECT_GT(remote, group);
+  EXPECT_GT(remote, 2.0);
+  EXPECT_LT(remote, 3.5);
+}
+
+TEST(HierarchicalModel, BandwidthBoundForLargeMessages) {
+  HierarchicalModel m(aries_like(1));
+  // 1 MiB at ~10 GB/s => on the order of 100 us.
+  const double t = m.transfer_us(0, 1, 1 << 20);
+  EXPECT_GT(t, 50.0);
+  EXPECT_LT(t, 250.0);
+}
+
+TEST(HierarchicalModel, MonotoneInSize) {
+  HierarchicalModel m(aries_like(1));
+  double prev = 0.0;
+  for (std::size_t b = 1; b <= (1u << 20); b <<= 1) {
+    const double t = m.transfer_us(0, 1, b);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(HierarchicalModel, BarrierGrowsLogarithmically) {
+  HierarchicalModel m(aries_like(1));
+  EXPECT_DOUBLE_EQ(m.barrier_us(1), 0.0);
+  const double b2 = m.barrier_us(2);
+  const double b16 = m.barrier_us(16);
+  const double b128 = m.barrier_us(128);
+  EXPECT_GT(b2, 0.0);
+  EXPECT_NEAR(b16 / b2, 4.0, 1e-9);   // log2(16)/log2(2)
+  EXPECT_NEAR(b128 / b2, 7.0, 1e-9);  // log2(128)/log2(2)
+}
+
+TEST(HierarchicalModel, LocalCopyCheaperThanRemoteGetForCacheableSizes) {
+  // The premise of the paper: a local copy beats a remote get by a wide
+  // margin for the sizes CLaMPI caches (up to 64 KiB in the evaluation).
+  HierarchicalModel m(aries_like(1));
+  for (std::size_t b = 1; b <= (64u << 10); b <<= 1) {
+    EXPECT_LT(m.local_copy_us(b) * 2.0, m.transfer_us(0, 1, b)) << "size " << b;
+  }
+}
+
+TEST(HierarchicalModel, IssueOverheadSmallVersusLatency) {
+  HierarchicalModel m(aries_like(1));
+  EXPECT_LT(m.issue_us(0, 1, 8), 0.5 * m.transfer_us(0, 1, 8));
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Tests for the distributed PageRank application and the info-key
+// configuration / bypass-get extensions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "clampi/clampi.h"
+#include "graph/pagerank.h"
+#include "graph/rmat.h"
+#include "netmodel/model.h"
+#include "rt/engine.h"
+
+namespace {
+
+using namespace clampi;
+using graph::Csr;
+using graph::DistributedPagerank;
+using graph::pagerank_reference;
+using graph::PagerankConfig;
+using graph::PrBackend;
+using rmasim::Engine;
+using rmasim::Process;
+
+Engine::Config ecfg(int nranks) {
+  Engine::Config cfg;
+  cfg.nranks = nranks;
+  cfg.model = std::make_shared<net::FlatModel>(2.0, 0.001);
+  cfg.time_policy = rmasim::TimePolicy::kModeled;
+  return cfg;
+}
+
+TEST(PagerankReference, UniformOnRegularGraph) {
+  // A cycle: every vertex has degree 2; PageRank must stay uniform.
+  std::vector<std::pair<graph::Vertex, graph::Vertex>> edges;
+  for (graph::Vertex v = 0; v < 10; ++v) edges.emplace_back(v, (v + 1) % 10);
+  const Csr g = graph::build_csr(10, std::move(edges));
+  const auto pr = pagerank_reference(g, 0.85, 20);
+  for (const double s : pr) EXPECT_NEAR(s, 0.1, 1e-12);
+}
+
+TEST(PagerankReference, MassConservation) {
+  const Csr g = graph::rmat_graph({.scale = 10, .edge_factor = 8, .seed = 3});
+  const auto pr = pagerank_reference(g, 0.85, 15);
+  // With symmetric adjacency there are no dangling vertices of degree > 0;
+  // isolated vertices only receive the teleport mass. Total mass stays
+  // within [1-d, 1].
+  const double sum = std::accumulate(pr.begin(), pr.end(), 0.0);
+  EXPECT_GT(sum, 0.15);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+}
+
+TEST(PagerankReference, HubsScoreHigher) {
+  // Star graph: the center must far outrank the leaves.
+  std::vector<std::pair<graph::Vertex, graph::Vertex>> edges;
+  for (graph::Vertex v = 1; v < 16; ++v) edges.emplace_back(0, v);
+  const Csr g = graph::build_csr(16, std::move(edges));
+  const auto pr = pagerank_reference(g, 0.85, 30);
+  for (std::size_t v = 1; v < 16; ++v) EXPECT_GT(pr[0], 5.0 * pr[v]);
+}
+
+class PagerankDistributed : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(PagerankDistributed, MatchesSerialReference) {
+  const int nranks = std::get<0>(GetParam());
+  const bool use_clampi = std::get<1>(GetParam());
+  auto g = std::make_shared<Csr>(graph::rmat_graph({.scale = 9, .edge_factor = 8, .seed = 4}));
+  const auto want = pagerank_reference(*g, 0.85, 8);
+
+  Engine e(ecfg(nranks));
+  auto got = std::make_shared<std::vector<double>>(g->num_vertices(), -1.0);
+  e.run([&](Process& p) {
+    PagerankConfig cfg;
+    cfg.iterations = 8;
+    cfg.backend = use_clampi ? PrBackend::kClampi : PrBackend::kNone;
+    cfg.clampi_cfg.index_entries = 4096;
+    cfg.clampi_cfg.storage_bytes = 1 << 20;
+    DistributedPagerank solver(p, g, cfg);
+    solver.run();
+    for (graph::Vertex v = solver.first_vertex(); v < solver.last_vertex(); ++v) {
+      (*got)[v] = solver.local_scores()[v - solver.first_vertex()];
+    }
+    p.barrier();
+  });
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    ASSERT_NEAR((*got)[v], want[v], 1e-12) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, PagerankDistributed,
+                         ::testing::Combine(::testing::Values(1, 3, 8),
+                                            ::testing::Bool()));
+
+TEST(PagerankDistributed, CachesWithinIterationInvalidatesBetween) {
+  auto g = std::make_shared<Csr>(graph::rmat_graph({.scale = 10, .edge_factor = 16, .seed = 6}));
+  Engine e(ecfg(4));
+  e.run([&](Process& p) {
+    PagerankConfig cfg;
+    cfg.iterations = 5;
+    cfg.backend = PrBackend::kClampi;
+    cfg.clampi_cfg.index_entries = 1 << 14;
+    cfg.clampi_cfg.storage_bytes = 4 << 20;
+    DistributedPagerank solver(p, g, cfg);
+    const auto rep = solver.run();
+    const auto* st = solver.clampi_stats();
+    ASSERT_NE(st, nullptr);
+    EXPECT_GT(rep.remote_gets, 0u);
+    // One invalidation per iteration (the write phase).
+    EXPECT_EQ(st->invalidations, 5u);
+    // Hub scores are fetched once per appearance in an owned adjacency
+    // list: plenty of reuse inside each iteration.
+    EXPECT_GT(st->hit_ratio(), 0.3);
+    p.barrier();
+  });
+}
+
+// --- info-key configuration ---
+
+TEST(Info, ParseSizeSuffixes) {
+  EXPECT_EQ(parse_size("123"), 123u);
+  EXPECT_EQ(parse_size("4K"), 4096u);
+  EXPECT_EQ(parse_size("4k"), 4096u);
+  EXPECT_EQ(parse_size("2M"), std::size_t{2} << 20);
+  EXPECT_EQ(parse_size("1G"), std::size_t{1} << 30);
+  EXPECT_THROW(parse_size(""), util::ContractError);
+  EXPECT_THROW(parse_size("12X"), util::ContractError);
+  EXPECT_THROW(parse_size("12Mx"), util::ContractError);
+}
+
+TEST(Info, FullConfiguration) {
+  const Config cfg = config_from_info({
+      {"clampi_mode", "always_cache"},
+      {"clampi_index_entries", "2048"},
+      {"clampi_storage_bytes", "16M"},
+      {"clampi_adaptive", "true"},
+      {"clampi_score", "temporal"},
+      {"clampi_sample_size", "32"},
+      {"clampi_arity", "3"},
+      {"clampi_conflict_threshold", "0.07"},
+      {"clampi_adapt_interval", "512"},
+      {"clampi_seed", "99"},
+  });
+  EXPECT_EQ(cfg.mode, Mode::kAlwaysCache);
+  EXPECT_EQ(cfg.index_entries, 2048u);
+  EXPECT_EQ(cfg.storage_bytes, std::size_t{16} << 20);
+  EXPECT_TRUE(cfg.adaptive);
+  EXPECT_EQ(cfg.score, ScoreKind::kTemporal);
+  EXPECT_EQ(cfg.sample_size, 32);
+  EXPECT_EQ(cfg.cuckoo_arity, 3);
+  EXPECT_DOUBLE_EQ(cfg.conflict_threshold, 0.07);
+  EXPECT_EQ(cfg.adapt_interval, 512u);
+  EXPECT_EQ(cfg.seed, 99u);
+}
+
+TEST(Info, ForeignKeysIgnoredUnknownClampiKeysRejected) {
+  EXPECT_NO_THROW(config_from_info({{"mpi_assert_no_locks", "true"}}));
+  EXPECT_THROW(config_from_info({{"clampi_typo", "1"}}), util::ContractError);
+  EXPECT_THROW(config_from_info({{"clampi_mode", "bogus"}}), util::ContractError);
+  EXPECT_THROW(config_from_info({{"clampi_adaptive", "maybe"}}), util::ContractError);
+}
+
+TEST(Info, WindowConstructionFromInfo) {
+  Engine e(ecfg(2));
+  e.run([](Process& p) {
+    void* base = nullptr;
+    const rmasim::Window w = p.win_allocate(1024, &base);
+    CachedWindow win(p, w,
+                     Info{{"clampi_mode", "always_cache"},
+                          {"clampi_index_entries", "128"},
+                          {"clampi_storage_bytes", "64K"}});
+    EXPECT_EQ(win.mode(), Mode::kAlwaysCache);
+    EXPECT_EQ(win.index_entries(), 128u);
+    EXPECT_EQ(win.storage_bytes(), std::size_t{64} << 10);
+    p.barrier();
+    p.win_free(w);
+  });
+}
+
+// --- per-operation bypass ---
+
+TEST(Bypass, GetNocacheNeverPopulatesTheCache) {
+  Engine e(ecfg(2));
+  e.run([](Process& p) {
+    void* base = nullptr;
+    Config cfg;
+    cfg.mode = Mode::kAlwaysCache;
+    auto win = CachedWindow::allocate(p, 1024, &base, cfg);
+    auto* b = static_cast<std::uint8_t*>(base);
+    for (int i = 0; i < 1024; ++i) b[i] = static_cast<std::uint8_t>(i + p.rank());
+    p.barrier();
+    win.lock_all();
+    std::uint8_t buf[64];
+    win.get_nocache(buf, 64, 1 - p.rank(), 0);
+    win.flush_all();
+    EXPECT_EQ(buf[5], static_cast<std::uint8_t>(5 + (1 - p.rank())));
+    EXPECT_EQ(win.stats().total_gets, 0u);  // cache untouched
+    EXPECT_EQ(win.bypassed_gets(), 1u);
+    // A cached get of the same key is a miss: nothing was inserted.
+    win.get(buf, 64, 1 - p.rank(), 0);
+    EXPECT_EQ(win.last_access(), AccessType::kDirect);
+    win.flush_all();
+    win.unlock_all();
+    p.barrier();
+    win.free_window();
+  });
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for the RNG and the universal hash family used by the cuckoo index.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/align.h"
+#include "util/rng.h"
+#include "util/universal_hash.h"
+
+namespace {
+
+using clampi::util::UniversalHash;
+using clampi::util::Xoshiro256;
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, n / 8 * 0.9);
+    EXPECT_LT(c, n / 8 * 1.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(UniversalHash, InRange) {
+  Xoshiro256 rng(5);
+  UniversalHash h(rng);
+  for (std::uint64_t x = 0; x < 5000; ++x) {
+    EXPECT_LT(h(x, 100), 100u);
+    EXPECT_LT(h(x, 1), 1u);  // range 1 -> always 0
+  }
+}
+
+TEST(UniversalHash, IndependentFunctionsDisagree) {
+  // The cuckoo scheme needs p hash functions that map keys to mostly
+  // different slots; check two members of the family collide on far fewer
+  // than all inputs.
+  Xoshiro256 rng(6);
+  UniversalHash h1(rng), h2(rng);
+  int collisions = 0;
+  const int n = 10000;
+  for (std::uint64_t x = 0; x < n; ++x) collisions += h1(x, 1024) == h2(x, 1024);
+  EXPECT_LT(collisions, n / 50);  // ~ n/1024 expected
+}
+
+TEST(UniversalHash, SpreadsSequentialKeys) {
+  // Cache keys are (target, displacement) pairs with highly regular
+  // structure; the hash must still spread them.
+  Xoshiro256 rng(8);
+  UniversalHash h(rng);
+  std::vector<int> counts(64, 0);
+  const int n = 64000;
+  for (std::uint64_t x = 0; x < n; ++x) ++counts[h(x * 64, 64)];  // stride-64 keys
+  for (int c : counts) {
+    EXPECT_GT(c, n / 64 / 2);
+    EXPECT_LT(c, n / 64 * 2);
+  }
+}
+
+TEST(Align, RoundUpDown) {
+  using clampi::util::round_down;
+  using clampi::util::round_up;
+  EXPECT_EQ(round_up(0, 64), 0u);
+  EXPECT_EQ(round_up(1, 64), 64u);
+  EXPECT_EQ(round_up(64, 64), 64u);
+  EXPECT_EQ(round_up(65, 64), 128u);
+  EXPECT_EQ(round_down(63, 64), 0u);
+  EXPECT_EQ(round_down(129, 64), 128u);
+}
+
+TEST(Align, Pow2Helpers) {
+  using clampi::util::is_pow2;
+  using clampi::util::next_pow2;
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(65));
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+}  // namespace
