@@ -1,0 +1,181 @@
+// Fault sweep: effective get latency under injected faults, cached vs
+// uncached.
+//
+// 7 reader ranks fetch a 64-key x 1 KiB hot set from rank 0 while the
+// fault plan injects transient failures (swept probability) and degrades
+// rank 0's service time (swept latency factor). The CLaMPI variant runs
+// kAlwaysCache with cache-fallback and a 6-retry policy; the uncached
+// variant issues raw rmasim gets with the same manual retry loop.
+//
+// Output is a single JSON document:
+//   {"bench":"fault_sweep","results":[
+//     {"fail_prob":0.1,"degrade_factor":4,"cache":"clampi",
+//      "avg_get_us":...,"served":...,"retries":...,"fallback_hits":...,
+//      "giveups":...}, ...]}
+//
+// Everything is virtual-time modelled, so the numbers are deterministic
+// across runs and machines.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "clampi/clampi.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "rt/engine.h"
+
+namespace {
+
+using namespace clampi;
+using rmasim::Process;
+
+constexpr int kRanks = 8;             // rank 0 serves, ranks 1..7 read
+constexpr int kKeys = 64;             // hot-set size
+constexpr std::size_t kBytes = 1024;  // per key
+constexpr int kRounds = 3;            // passes over the hot set per reader
+constexpr int kMaxRetries = 6;
+constexpr double kBackoffUs = 4.0;
+constexpr double kBackoffFactor = 2.0;
+
+struct SweepCell {
+  double total_get_us = 0.0;
+  long served = 0;
+  long retries = 0;
+  long fallback_hits = 0;
+  long giveups = 0;
+
+  double avg_get_us() const {
+    return served > 0 ? total_get_us / static_cast<double>(served) : 0.0;
+  }
+};
+
+fault::Plan make_plan(double fail_prob, double degrade_factor) {
+  fault::Plan plan;
+  if (fail_prob > 0.0) plan.fail_everywhere(fail_prob);
+  if (degrade_factor > 1.0) {
+    plan.degrade_rank(0, degrade_factor, 0.0, fault::kForever);
+  }
+  return plan;
+}
+
+rmasim::Engine::Config engine_cfg(double fail_prob, double degrade_factor) {
+  rmasim::Engine::Config cfg = benchx::modeled_engine(kRanks);
+  cfg.injector =
+      std::make_shared<fault::Injector>(make_plan(fail_prob, degrade_factor));
+  return cfg;
+}
+
+/// CLaMPI readers: kAlwaysCache + fallback + retry policy in the window.
+SweepCell run_cached(double fail_prob, double degrade_factor) {
+  Config ccfg;
+  ccfg.mode = Mode::kAlwaysCache;
+  ccfg.index_entries = 512;
+  ccfg.storage_bytes = 256 * 1024;
+  ccfg.max_retries = kMaxRetries;
+  ccfg.retry_backoff_us = kBackoffUs;
+  ccfg.retry_backoff_factor = kBackoffFactor;
+  ccfg.cache_fallback = true;
+
+  rmasim::Engine e(engine_cfg(fail_prob, degrade_factor));
+  auto cell = std::make_shared<SweepCell>();
+  e.run([ccfg, cell](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, kKeys * kBytes, &base, ccfg);
+    p.barrier();
+    if (p.rank() != 0) {
+      win.lock_all();
+      std::vector<std::byte> buf(kBytes);
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          const double t0 = p.now_us();
+          try {
+            win.get(buf.data(), kBytes, 0, static_cast<std::size_t>(k) * kBytes);
+            win.flush_all();
+            cell->total_get_us += p.now_us() - t0;
+            ++cell->served;
+          } catch (const fault::OpFailedError&) {
+            ++cell->giveups;
+          }
+        }
+      }
+      const Stats st = win.stats();
+      cell->retries += static_cast<long>(st.retries);
+      cell->fallback_hits += static_cast<long>(st.fallback_hits);
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+  return *cell;
+}
+
+/// Baseline: raw rmasim gets with the same retry loop done by hand.
+SweepCell run_uncached(double fail_prob, double degrade_factor) {
+  rmasim::Engine e(engine_cfg(fail_prob, degrade_factor));
+  auto cell = std::make_shared<SweepCell>();
+  e.run([cell](Process& p) {
+    void* base = nullptr;
+    const rmasim::Window w = p.win_allocate(kKeys * kBytes, &base);
+    p.barrier();
+    if (p.rank() != 0) {
+      std::vector<std::byte> buf(kBytes);
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          const double t0 = p.now_us();
+          bool ok = false;
+          double backoff = kBackoffUs;
+          for (int attempt = 0; attempt <= kMaxRetries && !ok; ++attempt) {
+            try {
+              p.get(buf.data(), kBytes, 0, static_cast<std::size_t>(k) * kBytes, w);
+              p.flush(0, w);
+              ok = true;
+            } catch (const fault::OpFailedError&) {
+              if (attempt == kMaxRetries) break;
+              ++cell->retries;
+              p.compute_us(backoff);
+              backoff *= kBackoffFactor;
+            }
+          }
+          if (ok) {
+            cell->total_get_us += p.now_us() - t0;
+            ++cell->served;
+          } else {
+            ++cell->giveups;
+          }
+        }
+      }
+    }
+    p.barrier();
+    p.win_free(w);
+  });
+  return *cell;
+}
+
+void emit(bool first, double fail_prob, double degrade_factor, const char* cache,
+          const SweepCell& c) {
+  std::printf("%s\n    {\"fail_prob\":%g,\"degrade_factor\":%g,\"cache\":\"%s\","
+              "\"avg_get_us\":%.3f,\"served\":%ld,\"retries\":%ld,"
+              "\"fallback_hits\":%ld,\"giveups\":%ld}",
+              first ? "" : ",", fail_prob, degrade_factor, cache, c.avg_get_us(),
+              c.served, c.retries, c.fallback_hits, c.giveups);
+}
+
+}  // namespace
+
+int main() {
+  const double fail_probs[] = {0.0, 0.05, 0.1, 0.2, 0.4};
+  const double degrade_factors[] = {1.0, 4.0, 16.0};
+
+  std::printf("{\"bench\":\"fault_sweep\",\"results\":[");
+  bool first = true;
+  for (const double df : degrade_factors) {
+    for (const double fp : fail_probs) {
+      emit(first, fp, df, "clampi", run_cached(fp, df));
+      first = false;
+      emit(first, fp, df, "none", run_uncached(fp, df));
+    }
+  }
+  std::printf("\n]}\n");
+  return 0;
+}

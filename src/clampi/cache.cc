@@ -66,14 +66,22 @@ const char* to_string(ScoreKind s) {
   return "?";
 }
 
+namespace {
+// Validation must precede the index/storage member constructors: a
+// malformed config (cuckoo_arity = 0, index_entries = 0) would trip their
+// internals before the constructor body ran.
+const Config& validated(const Config& cfg) {
+  validate_config(cfg);
+  return cfg;
+}
+}  // namespace
+
 CacheCore::CacheCore(const Config& cfg)
-    : cfg_(cfg),
+    : cfg_(validated(cfg)),
       ops_{this},
       index_(cfg.index_entries, cfg.cuckoo_arity, cfg.max_insert_iters, cfg.seed, &ops_),
       storage_(cfg.storage_bytes),
-      sample_rng_(cfg.seed ^ 0xa5a5a5a5a5a5a5a5ull) {
-  CLAMPI_REQUIRE(cfg.sample_size >= 1, "eviction sample size must be >= 1");
-}
+      sample_rng_(cfg.seed ^ 0xa5a5a5a5a5a5a5a5ull) {}
 
 std::uint64_t CacheCore::make_hkey(Key k) {
   // SplitMix-style mix of (target, disp); exact matching is done on the
@@ -386,6 +394,41 @@ void CacheCore::mark_cached(std::uint32_t id) {
     CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
     --pending_entries_;
   }
+}
+
+std::uint32_t CacheCore::find_cached(Key key) const {
+  const std::uint32_t found = index_.lookup(
+      make_hkey(key), [&](std::uint32_t id) { return entries_[id].key == key; });
+  if (found == kNoEntry || entries_[found].pending) return kNoEntry;
+  return found;
+}
+
+void CacheCore::drop_failed(std::uint32_t id) {
+  Entry& e = entries_[id];
+  CLAMPI_ASSERT(e.live, "drop_failed on a dead entry");
+  if (e.pending) {
+    e.pending = false;
+    CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
+    --pending_entries_;
+  }
+  const bool erased = index_.erase(id);
+  CLAMPI_ASSERT(erased, "live entry missing from the index");
+  storage_.dealloc(e.region);
+  --live_entries_;
+  release_entry(id);
+  // Not an eviction: the entry never held valid data.
+}
+
+std::size_t CacheCore::drop_pending(int target) {
+  std::size_t dropped = 0;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    const Entry& e = entries_[id];
+    if (!e.live || !e.pending) continue;
+    if (target >= 0 && e.key.target != target) continue;
+    drop_failed(id);
+    ++dropped;
+  }
+  return dropped;
 }
 
 void CacheCore::invalidate() {

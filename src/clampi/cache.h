@@ -61,6 +61,21 @@ class CacheCore {
   /// PENDING -> CACHED (the entry's data arrived and was copied in).
   void mark_cached(std::uint32_t id);
 
+  /// Pure lookup: the CACHED entry holding `key`, or kNoEntry if the key
+  /// is absent or still PENDING. No statistics are touched — this backs
+  /// the resilience layer's cache-fallback probe, not a get_c.
+  std::uint32_t find_cached(Key key) const;
+
+  /// Remove an entry whose network fetch failed (injected fault). Unlike
+  /// evict_entry this accepts PENDING entries — their data never arrived —
+  /// and does not count as an eviction.
+  void drop_failed(std::uint32_t id);
+
+  /// drop_failed() every live PENDING entry for `target` (< 0 = all).
+  /// Returns the number dropped. Used when an epoch is abandoned because
+  /// its flush failed: those entries will never receive their data.
+  std::size_t drop_pending(int target);
+
   /// Drop every entry. Must not be called with PENDING entries
   /// outstanding (callers flush first).
   void invalidate();
@@ -70,6 +85,9 @@ class CacheCore {
   void resize(std::size_t index_entries, std::size_t storage_bytes);
 
   const Stats& stats() const { return stats_; }
+  /// Writable counters for the resilience layer (retries, fallbacks):
+  /// those events happen outside access(), in the CachedWindow driver.
+  Stats& mutable_stats() { return stats_; }
   const Config& config() const { return cfg_; }
   std::size_t index_entries() const { return index_.nslots(); }
   std::size_t storage_bytes() const { return storage_.capacity(); }

@@ -76,11 +76,34 @@ struct Config {
   std::size_t max_storage_bytes = std::size_t{1} << 30;
   std::uint64_t adapt_interval = 2048;  ///< gets between adaptation checks
 
+  // --- resilience (retry/backoff + cache-fallback under injected faults) ---
+  /// Re-issues of a network get after a *transient* fault::OpFailedError.
+  /// 0 (the default) disables retrying: the error propagates to the caller.
+  int max_retries = 0;
+  double retry_backoff_us = 4.0;      ///< base backoff before the 1st retry
+  double retry_backoff_factor = 2.0;  ///< exponential growth per attempt
+  /// Relative jitter in [0,1): each backoff is scaled by a deterministic
+  /// draw from [1-jitter, 1+jitter] to de-synchronize retry storms.
+  double retry_jitter = 0.25;
+  /// Upper bound on total backoff charged per epoch (0 = unlimited). Once
+  /// exceeded, further failures surface to the caller (retry_giveups).
+  double epoch_retry_budget_us = 0.0;
+  /// Serve CACHED entries for targets that are degraded or dead instead of
+  /// touching the network. Only honoured in the read-only modes
+  /// (kAlwaysCache / kUserDefined), where cached data cannot be stale.
+  bool cache_fallback = false;
+
   // --- instrumentation ---
   bool collect_phase_timings = false;  ///< real-time phase breakdown (Fig. 7)
   bool trace_adaptation = false;       ///< print every adaptive resize to stderr
 
   std::uint64_t seed = 0x5eedc1a3ca11edull;  ///< hash functions + sampling
 };
+
+/// Rejects nonsensical configurations with a descriptive ContractError:
+/// zero-sized index / sample, cuckoo_arity < 1, min > max bounds, adaptive
+/// starting values outside [min, max], malformed retry parameters. Called
+/// by CacheCore at window creation; exposed for direct testing.
+void validate_config(const Config& cfg);
 
 }  // namespace clampi

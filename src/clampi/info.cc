@@ -94,6 +94,18 @@ Config config_from_info(const Info& info, Config cfg) {
       cfg.free_threshold = parse_f64(key, value);
     } else if (key == "clampi_adapt_interval") {
       cfg.adapt_interval = parse_u64(key, value);
+    } else if (key == "clampi_max_retries") {
+      cfg.max_retries = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_retry_backoff_us") {
+      cfg.retry_backoff_us = parse_f64(key, value);
+    } else if (key == "clampi_retry_backoff_factor") {
+      cfg.retry_backoff_factor = parse_f64(key, value);
+    } else if (key == "clampi_retry_jitter") {
+      cfg.retry_jitter = parse_f64(key, value);
+    } else if (key == "clampi_epoch_retry_budget_us") {
+      cfg.epoch_retry_budget_us = parse_f64(key, value);
+    } else if (key == "clampi_cache_fallback") {
+      cfg.cache_fallback = parse_bool(key, value);
     } else if (key == "clampi_seed") {
       cfg.seed = parse_u64(key, value);
     } else {
@@ -101,6 +113,35 @@ Config config_from_info(const Info& info, Config cfg) {
     }
   }
   return cfg;
+}
+
+void validate_config(const Config& cfg) {
+  CLAMPI_REQUIRE(cfg.index_entries >= 1, "config: index_entries must be >= 1");
+  CLAMPI_REQUIRE(cfg.cuckoo_arity >= 1, "config: cuckoo_arity must be >= 1");
+  CLAMPI_REQUIRE(cfg.sample_size >= 1, "config: eviction sample_size must be >= 1");
+  CLAMPI_REQUIRE(cfg.min_index_entries <= cfg.max_index_entries,
+                 "config: min_index_entries exceeds max_index_entries");
+  CLAMPI_REQUIRE(cfg.min_storage_bytes <= cfg.max_storage_bytes,
+                 "config: min_storage_bytes exceeds max_storage_bytes");
+  if (cfg.adaptive) {
+    // The starting values must live inside the adaptation range; a fixed
+    // (non-adaptive) cache may legitimately be tiny for testing, so the
+    // range check only applies when the tuner will steer within it.
+    CLAMPI_REQUIRE(cfg.index_entries >= cfg.min_index_entries &&
+                       cfg.index_entries <= cfg.max_index_entries,
+                   "config: adaptive index_entries outside [min, max]");
+    CLAMPI_REQUIRE(cfg.storage_bytes >= cfg.min_storage_bytes &&
+                       cfg.storage_bytes <= cfg.max_storage_bytes,
+                   "config: adaptive storage_bytes outside [min, max]");
+  }
+  CLAMPI_REQUIRE(cfg.max_retries >= 0, "config: max_retries must be >= 0");
+  CLAMPI_REQUIRE(cfg.retry_backoff_us >= 0.0, "config: negative retry_backoff_us");
+  CLAMPI_REQUIRE(cfg.retry_backoff_factor >= 1.0,
+                 "config: retry_backoff_factor must be >= 1");
+  CLAMPI_REQUIRE(cfg.retry_jitter >= 0.0 && cfg.retry_jitter < 1.0,
+                 "config: retry_jitter must be in [0, 1)");
+  CLAMPI_REQUIRE(cfg.epoch_retry_budget_us >= 0.0,
+                 "config: negative epoch_retry_budget_us");
 }
 
 }  // namespace clampi

@@ -39,6 +39,13 @@ struct Stats {
   std::uint64_t bytes_from_cache = 0;
   std::uint64_t bytes_from_network = 0;
 
+  // --- resilience (fault injection) ---
+  std::uint64_t injected_faults = 0;  ///< OpFailedErrors observed by this window
+  std::uint64_t retries = 0;          ///< re-issued network gets
+  std::uint64_t retry_giveups = 0;    ///< retry loops that exhausted their policy
+  std::uint64_t fallback_hits = 0;    ///< gets served from cache because the
+                                      ///< target was degraded or dead
+
   /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
   /// PENDING (full and partial hits alike).
   std::uint64_t hitting() const { return hits_full + hits_pending + hits_partial; }
@@ -77,6 +84,10 @@ struct Stats {
     d.adjustments = adjustments - base.adjustments;
     d.bytes_from_cache = bytes_from_cache - base.bytes_from_cache;
     d.bytes_from_network = bytes_from_network - base.bytes_from_network;
+    d.injected_faults = injected_faults - base.injected_faults;
+    d.retries = retries - base.retries;
+    d.retry_giveups = retry_giveups - base.retry_giveups;
+    d.fallback_hits = fallback_hits - base.fallback_hits;
     return d;
   }
 };

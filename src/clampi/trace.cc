@@ -58,6 +58,12 @@ void Trace::save(std::ostream& os) const {
       case Event::Kind::kInvalidate:
         os << "I\n";
         break;
+      case Event::Kind::kFault:
+        os << "x " << e.target << ' ' << e.disp << ' ' << e.bytes << '\n';
+        break;
+      case Event::Kind::kRetry:
+        os << "r " << e.target << ' ' << e.disp << ' ' << e.bytes << '\n';
+        break;
     }
   }
 }
@@ -87,6 +93,14 @@ Trace Trace::load(std::istream& is) {
         break;
       case 'I':
         e.kind = Event::Kind::kInvalidate;
+        break;
+      case 'x':
+        e.kind = Event::Kind::kFault;
+        ls >> e.target >> e.disp >> e.bytes;
+        break;
+      case 'r':
+        e.kind = Event::Kind::kRetry;
+        ls >> e.target >> e.disp >> e.bytes;
         break;
       default:
         CLAMPI_REQUIRE(false,
@@ -135,6 +149,9 @@ Stats replay_core(const Trace& t, CacheCore& core) {
         complete(-1);
         core.invalidate();
         break;
+      case Event::Kind::kFault:
+      case Event::Kind::kRetry:
+        break;  // annotations: no cache effect
     }
   }
   return core.stats();
@@ -158,6 +175,9 @@ double replay_window(const Trace& t, CachedWindow& win) {
       case Event::Kind::kInvalidate:
         win.invalidate();
         break;
+      case Event::Kind::kFault:
+      case Event::Kind::kRetry:
+        break;  // annotations: the installed injector (if any) re-faults
     }
   }
   win.flush_all();

@@ -13,6 +13,12 @@
 //   f <target>                    flush(target)
 //   F                             flush_all
 //   I                             invalidate
+//   x <target> <disp> <bytes>     injected fault observed (annotation)
+//   r <target> <attempt> <backoff_ns>  retry after a transient fault
+//
+// The x/r lines are annotations emitted by the resilience layer: replay
+// skips them (the injector, if any, re-creates faults deterministically),
+// but they make post-mortem analysis of a faulty run possible.
 #pragma once
 
 #include <cstdint>
@@ -27,11 +33,11 @@
 namespace clampi::trace {
 
 struct Event {
-  enum class Kind : std::uint8_t { kGet, kFlush, kFlushAll, kInvalidate };
+  enum class Kind : std::uint8_t { kGet, kFlush, kFlushAll, kInvalidate, kFault, kRetry };
   Kind kind = Kind::kGet;
   std::int32_t target = 0;
-  std::uint64_t disp = 0;
-  std::uint64_t bytes = 0;
+  std::uint64_t disp = 0;   ///< kRetry: the attempt number (1-based)
+  std::uint64_t bytes = 0;  ///< kRetry: the backoff charged, in nanoseconds
 };
 
 struct Trace {
@@ -43,6 +49,12 @@ struct Trace {
   void add_flush(int target) { events.push_back({Event::Kind::kFlush, target, 0, 0}); }
   void add_flush_all() { events.push_back({Event::Kind::kFlushAll, 0, 0, 0}); }
   void add_invalidate() { events.push_back({Event::Kind::kInvalidate, 0, 0, 0}); }
+  void add_fault(int target, std::uint64_t disp, std::uint64_t bytes) {
+    events.push_back({Event::Kind::kFault, target, disp, bytes});
+  }
+  void add_retry(int target, std::uint64_t attempt, std::uint64_t backoff_ns) {
+    events.push_back({Event::Kind::kRetry, target, attempt, backoff_ns});
+  }
 
   std::size_t num_gets() const;
   /// Number of distinct (target, disp) keys among the gets.
@@ -61,7 +73,14 @@ struct Trace {
 /// not call sites.
 class RecordingWindow {
  public:
-  RecordingWindow(CachedWindow& win, Trace& out) : win_(&win), out_(&out) {}
+  RecordingWindow(CachedWindow& win, Trace& out) : win_(&win), out_(&out) {
+    win_->record_faults_to(out_);  // mirror x/r annotations into the trace
+  }
+  ~RecordingWindow() {
+    if (win_ != nullptr) win_->record_faults_to(nullptr);
+  }
+  RecordingWindow(const RecordingWindow&) = delete;
+  RecordingWindow& operator=(const RecordingWindow&) = delete;
 
   void get(void* origin, std::size_t bytes, int target, std::size_t disp) {
     out_->add_get(target, disp, bytes);

@@ -3,14 +3,18 @@
 #include <cstdio>
 #include <cstring>
 
+#include "clampi/trace.h"
+
 namespace clampi {
 
 CachedWindow::CachedWindow(rmasim::Process& p, rmasim::Window win, const Config& cfg)
     : p_(&p),
       win_(win),
+      comm_(p.win_comm(win)),
       cfg_(cfg),
       core_(std::make_unique<CacheCore>(cfg)),
-      tuner_(cfg) {}
+      tuner_(cfg),
+      retry_rng_(cfg.seed ^ 0x7e7a11edbac0ffull) {}
 
 CachedWindow CachedWindow::allocate(rmasim::Process& p, std::size_t bytes, void** base,
                                     const Config& cfg) {
@@ -35,7 +39,86 @@ void CachedWindow::serve_cached(void* origin, std::uint32_t entry, std::size_t b
 
 void CachedWindow::issue_network_get(void* origin, std::size_t bytes, int target,
                                      std::size_t disp) {
-  p_->get(origin, bytes, target, disp, win_);
+  issue_resilient(target, disp, bytes,
+                  [&] { p_->get(origin, bytes, target, disp, win_); });
+}
+
+void CachedWindow::issue_network_get_blocks(void* origin, int target, std::size_t disp,
+                                            const rmasim::Process::Block* blocks,
+                                            std::size_t nblocks, std::size_t bytes) {
+  issue_resilient(target, disp, bytes, [&] {
+    p_->get_blocks(origin, target, disp, blocks, nblocks, win_);
+  });
+}
+
+void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t bytes,
+                                   const std::function<void()>& issue_fn) {
+  int attempt = 0;
+  for (;;) {
+    try {
+      issue_fn();
+      return;
+    } catch (const fault::OpFailedError& err) {
+      Stats& st = core_->mutable_stats();
+      ++st.injected_faults;
+      if (fault_trace_ != nullptr) fault_trace_->add_fault(target, disp, bytes);
+      if (!err.recoverable() || attempt >= cfg_.max_retries) {
+        // Give-ups only count when a retry policy was actually in play
+        // and could not help (transient fault, retries exhausted).
+        if (cfg_.max_retries > 0 && err.recoverable()) ++st.retry_giveups;
+        throw;
+      }
+      double backoff = cfg_.retry_backoff_us;
+      for (int i = 0; i < attempt; ++i) backoff *= cfg_.retry_backoff_factor;
+      if (cfg_.retry_jitter > 0.0) {
+        backoff *= 1.0 + cfg_.retry_jitter * (2.0 * retry_rng_.uniform() - 1.0);
+      }
+      if (cfg_.epoch_retry_budget_us > 0.0 &&
+          epoch_backoff_us_ + backoff > cfg_.epoch_retry_budget_us) {
+        ++st.retry_giveups;
+        throw;
+      }
+      epoch_backoff_us_ += backoff;
+      ++attempt;
+      ++st.retries;
+      if (fault_trace_ != nullptr) {
+        fault_trace_->add_retry(target, static_cast<std::uint64_t>(attempt),
+                                static_cast<std::uint64_t>(backoff * 1e3));
+      }
+      p_->compute_us(backoff);  // the wait is real virtual time
+    }
+  }
+}
+
+bool CachedWindow::try_fallback(void* origin, std::size_t bytes, int target,
+                                std::size_t disp, std::uint64_t sig) {
+  if (!cfg_.cache_fallback || cfg_.mode == Mode::kTransparent) return false;
+  const fault::Injector* inj = p_->fault_injector();
+  if (inj == nullptr) return false;
+  const int wt = p_->comm_world_rank(comm_, target);
+  const double now = p_->now_us();
+  if (!inj->dead(wt, now) && !inj->degraded(wt, now)) return false;
+  const std::uint32_t id =
+      core_->find_cached(Key{target, static_cast<std::uint64_t>(disp)});
+  if (id == kNoEntry || core_->entry_bytes(id) < bytes) return false;
+  if (core_->entry_signature(id) != sig) return false;  // layout must match
+  serve_cached(origin, id, bytes);
+  Stats& st = core_->mutable_stats();
+  ++st.fallback_hits;
+  // Deliberately not counted as a total_get: fallback serves happen
+  // outside access() and must not skew the adaptive tuner's ratios.
+  st.bytes_from_cache += bytes;
+  last_access_ = AccessType::kHit;
+  return true;
+}
+
+void CachedWindow::rollback_failed(const CacheCore::Result& res,
+                                   std::size_t pending_mark) {
+  pending_.resize(pending_mark);
+  if (res.entry != kNoEntry && (res.inserted || res.extended)) {
+    // The entry is waiting for data that will never arrive.
+    core_->drop_failed(res.entry);
+  }
 }
 
 void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
@@ -81,10 +164,17 @@ void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
 void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t disp) {
   CLAMPI_REQUIRE(bytes > 0, "zero-byte get");
   last_phases_ = PhaseBreakdown{};
+  if (try_fallback(origin, bytes, target, disp, /*sig=*/0)) return;
   const CacheCore::Result res =
       core_->access(Key{target, disp}, bytes, /*dtype_sig=*/0,
                     cfg_.collect_phase_timings ? &last_phases_ : nullptr);
-  handle_result(res, origin, bytes, target, disp);
+  const std::size_t pending_mark = pending_.size();
+  try {
+    handle_result(res, origin, bytes, target, disp);
+  } catch (const fault::OpFailedError&) {
+    rollback_failed(res, pending_mark);
+    throw;
+  }
 }
 
 void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t count,
@@ -97,11 +187,24 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
   }
   last_phases_ = PhaseBreakdown{};
   const std::uint64_t sig = dtype.signature();
+  if (try_fallback(origin, bytes, target, disp, sig)) return;
   const CacheCore::Result res =
       core_->access(Key{target, disp}, bytes, sig,
                     cfg_.collect_phase_timings ? &last_phases_ : nullptr);
   last_access_ = res.type;
+  const std::size_t pending_mark = pending_.size();
+  try {
+    handle_typed_result(res, origin, dtype, count, target, disp, sig, bytes);
+  } catch (const fault::OpFailedError&) {
+    rollback_failed(res, pending_mark);
+    throw;
+  }
+}
 
+void CachedWindow::handle_typed_result(const CacheCore::Result& res, void* origin,
+                                       const dt::Datatype& dtype, std::size_t count,
+                                       int target, std::size_t disp, std::uint64_t sig,
+                                       std::size_t bytes) {
   // A cached prefix of the packed payload is reusable only if it was
   // produced by the same element layout and covers whole elements.
   const std::size_t esz = dtype.size();
@@ -142,7 +245,8 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
           blocks.push_back({off, b.size - (off - b.offset)});
         }
         auto* tail_dst = static_cast<std::byte*>(origin) + head;
-        p_->get_blocks(tail_dst, target, disp, blocks.data(), blocks.size(), win_);
+        issue_network_get_blocks(tail_dst, target, disp, blocks.data(), blocks.size(),
+                                 bytes - head);
         if (res.extended) {
           pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target, tail_dst, head,
                               bytes - head});
@@ -158,7 +262,7 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
       std::vector<rmasim::Process::Block> rb;
       rb.reserve(blocks.size());
       for (const auto& b : blocks) rb.push_back({b.offset, b.size});
-      p_->get_blocks(origin, target, disp, rb.data(), rb.size(), win_);
+      issue_network_get_blocks(origin, target, disp, rb.data(), rb.size(), bytes);
       pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target,
                           static_cast<std::byte*>(origin), 0, bytes});
       return;
@@ -172,7 +276,7 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
   std::vector<rmasim::Process::Block> rb;
   rb.reserve(blocks.size());
   for (const auto& b : blocks) rb.push_back({b.offset, b.size});
-  p_->get_blocks(origin, target, disp, rb.data(), rb.size(), win_);
+  issue_network_get_blocks(origin, target, disp, rb.data(), rb.size(), bytes);
   if (res.type == AccessType::kPartialHit && res.extended) {
     // The core grew the entry for the *new* layout and left it PENDING;
     // repopulate it wholesale from the freshly fetched packed payload,
@@ -214,8 +318,35 @@ void CachedWindow::process_pending(int target) {
   pending_.resize(kept);
 }
 
+void CachedWindow::on_flush_failure(const fault::OpFailedError& err, bool all_taken) {
+  Stats& st = core_->mutable_stats();
+  ++st.injected_faults;
+  const int local = p_->comm_local_rank(comm_, err.op().target);
+  if (fault_trace_ != nullptr) fault_trace_->add_fault(local, 0, 0);
+  // The dead target's in-flight data will never be completed: discard the
+  // copy-ins/outs and PENDING entries that were waiting for it.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].target != local) pending_[kept++] = pending_[i];
+  }
+  pending_.resize(kept);
+  core_->drop_pending(local);
+  if (all_taken) {
+    // The engine cleared every target's completions before throwing, and
+    // data movement is eager: the surviving targets' payloads are already
+    // in place, so materialize them rather than stranding PENDING entries.
+    process_pending(-1);
+    ++epoch_;
+    if (cfg_.mode == Mode::kTransparent && core_->cached_entries() > 0) {
+      core_->invalidate();
+    }
+  }
+  epoch_backoff_us_ = 0.0;
+}
+
 void CachedWindow::close_epoch(bool all_complete) {
   ++epoch_;
+  epoch_backoff_us_ = 0.0;
   if (cfg_.mode == Mode::kTransparent) {
     CLAMPI_ASSERT(all_complete, "transparent epoch closure requires full completion");
     process_pending(-1);
@@ -256,17 +387,32 @@ void CachedWindow::maybe_adapt() {
 void CachedWindow::flush(int target) {
   if (cfg_.mode == Mode::kTransparent) {
     // Transparent invalidation needs every in-flight get materialized.
-    p_->flush_all(win_);
+    try {
+      p_->flush_all(win_);
+    } catch (const fault::OpFailedError& err) {
+      on_flush_failure(err, /*all_taken=*/true);
+      throw;
+    }
     close_epoch(/*all_complete=*/true);
     return;
   }
-  p_->flush(target, win_);
+  try {
+    p_->flush(target, win_);
+  } catch (const fault::OpFailedError& err) {
+    on_flush_failure(err, /*all_taken=*/false);
+    throw;
+  }
   process_pending(target);
   close_epoch(/*all_complete=*/false);
 }
 
 void CachedWindow::flush_all() {
-  p_->flush_all(win_);
+  try {
+    p_->flush_all(win_);
+  } catch (const fault::OpFailedError& err) {
+    on_flush_failure(err, /*all_taken=*/true);
+    throw;
+  }
   process_pending(-1);
   close_epoch(/*all_complete=*/true);
 }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,6 +34,10 @@
 #include "rt/engine.h"
 
 namespace clampi {
+
+namespace trace {
+struct Trace;  // clampi/trace.h; fault/retry annotations are mirrored there
+}
 
 class CachedWindow {
  public:
@@ -104,6 +109,13 @@ class CachedWindow {
   /// Free the underlying window (collective).
   void free_window();
 
+  /// Mirror fault and retry events into `t` as `x`/`r` annotations
+  /// (trace::RecordingWindow installs itself here). nullptr disables.
+  void record_faults_to(trace::Trace* t) { fault_trace_ = t; }
+
+  /// Total backoff charged to virtual time in the current epoch.
+  double epoch_backoff_us() const { return epoch_backoff_us_; }
+
  private:
   struct PendingOp {
     enum class Kind { kCopyIn, kCopyOut } kind;
@@ -117,7 +129,28 @@ class CachedWindow {
   void serve_cached(void* origin, std::uint32_t entry, std::size_t bytes);
   void handle_result(const CacheCore::Result& res, void* origin, std::size_t bytes,
                      int target, std::size_t disp);
+  void handle_typed_result(const CacheCore::Result& res, void* origin,
+                           const dt::Datatype& dtype, std::size_t count, int target,
+                           std::size_t disp, std::uint64_t sig, std::size_t bytes);
   void issue_network_get(void* origin, std::size_t bytes, int target, std::size_t disp);
+  void issue_network_get_blocks(void* origin, int target, std::size_t disp,
+                                const rmasim::Process::Block* blocks,
+                                std::size_t nblocks, std::size_t bytes);
+  /// Run `issue_fn` under the retry policy: transient fault::OpFailedErrors
+  /// back off in virtual time and re-issue up to max_retries times (within
+  /// the epoch budget); anything else propagates.
+  void issue_resilient(int target, std::size_t disp, std::size_t bytes,
+                       const std::function<void()>& issue_fn);
+  /// Serve a get from a CACHED entry because the target is degraded or
+  /// dead (cache-fallback, read-only modes only). False: proceed normally.
+  bool try_fallback(void* origin, std::size_t bytes, int target, std::size_t disp,
+                    std::uint64_t sig);
+  /// Undo the cache bookkeeping of an access whose network fetch failed.
+  void rollback_failed(const CacheCore::Result& res, std::size_t pending_mark);
+  /// A flush raised kRankDead: discard what the dead target will never
+  /// deliver; with `all_taken` the engine cleared every target's pending
+  /// completions, so materialize the survivors (their data arrived).
+  void on_flush_failure(const fault::OpFailedError& err, bool all_taken);
   /// Run pending copy-ins/outs; target < 0 means all targets.
   void process_pending(int target);
   void close_epoch(bool all_complete);
@@ -125,6 +158,7 @@ class CachedWindow {
 
   rmasim::Process* p_;
   rmasim::Window win_;
+  rmasim::Comm comm_;
   Config cfg_;
   std::unique_ptr<CacheCore> core_;
   AdaptiveTuner tuner_;
@@ -134,6 +168,9 @@ class CachedWindow {
   AccessType last_access_ = AccessType::kDirect;
   PhaseBreakdown last_phases_{};
   std::uint64_t bypassed_ = 0;
+  util::Xoshiro256 retry_rng_;
+  double epoch_backoff_us_ = 0.0;
+  trace::Trace* fault_trace_ = nullptr;
 };
 
 /// Paper-style spelling of the user-defined-mode invalidation call.

@@ -1,0 +1,71 @@
+// Fault-injection & resilience subsystem — shared vocabulary.
+//
+// rmasim's network is perfect by default: every RMA operation succeeds
+// and costs exactly what the LogGP model says. This subsystem lets a run
+// install a deterministic, seed-reproducible schedule of perturbations
+// (fault::Plan + fault::Injector, consulted by the engine's one-sided
+// operations) so that CLaMPI's behaviour under degraded conditions —
+// retries, backoff, cache-fallback — becomes testable and benchmarkable.
+//
+// Failed operations surface as OpFailedError, a *recoverable* error type
+// deliberately distinct from the fatal paths (util::ContractError for API
+// misuse, rmasim::AbortError for cross-rank unwinding): callers such as
+// CachedWindow catch it, back off in virtual time and retry, or serve the
+// request from cache. An OpFailedError that nobody catches escapes the
+// rank main function and aborts the run like any other exception.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace clampi::fault {
+
+/// One-sided operation classes the injector distinguishes.
+enum class OpKind : std::uint8_t {
+  kGet,        ///< Process::get
+  kPut,        ///< Process::put
+  kGetBlocks,  ///< Process::get_blocks (datatype gather)
+  kAtomic,     ///< accumulate / get_accumulate / fetch_and_op / CAS
+  kFlush,      ///< flush / flush_all waiting on a dead target
+};
+
+const char* to_string(OpKind k);
+
+/// Why an operation failed.
+enum class FailureKind : std::uint8_t {
+  kTransient,  ///< random drop from the plan's failure probability; a
+               ///< retry of the same operation may succeed
+  kRankDead,   ///< the target rank passed its death instant; permanent
+};
+
+const char* to_string(FailureKind k);
+
+/// Descriptor of the failed operation, carried by OpFailedError so the
+/// resilience layer can identify what to retry or degrade.
+struct OpDesc {
+  OpKind kind = OpKind::kGet;
+  int origin = -1;        ///< world rank that issued the operation
+  int target = -1;        ///< world rank of the target
+  std::size_t disp = 0;   ///< target window displacement (0 for flushes)
+  std::size_t bytes = 0;  ///< payload size (0 for flushes)
+  double time_us = 0.0;   ///< virtual time at which the failure surfaced
+};
+
+/// Recoverable RMA operation failure (injected by a fault::Injector).
+class OpFailedError : public std::runtime_error {
+ public:
+  OpFailedError(FailureKind failure, const OpDesc& op);
+
+  FailureKind failure() const { return failure_; }
+  const OpDesc& op() const { return op_; }
+  /// Transient failures may succeed when re-issued; rank death is final.
+  bool recoverable() const { return failure_ == FailureKind::kTransient; }
+
+ private:
+  FailureKind failure_;
+  OpDesc op_;
+};
+
+}  // namespace clampi::fault

@@ -1,0 +1,118 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace clampi::fault {
+
+namespace {
+
+constexpr std::uint64_t kSaltFail = 0xfa11ed00000001ull;
+constexpr std::uint64_t kSaltSpike = 0x51eeee00000002ull;
+
+// Stateless mix of two words (SplitMix64 over a combined state); used to
+// fold (seed, salt, origin, target, seq) into one uniform draw.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  util::SplitMix64 sm(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+  return sm.next();
+}
+
+}  // namespace
+
+Injector::Injector(Plan plan) : plan_(std::move(plan)) {
+  for (const double p : plan_.fail_prob) {
+    CLAMPI_REQUIRE(p >= 0.0 && p <= 1.0, "fault plan: failure probability outside [0,1]");
+  }
+  CLAMPI_REQUIRE(plan_.spike_prob >= 0.0 && plan_.spike_prob <= 1.0,
+                 "fault plan: spike probability outside [0,1]");
+  CLAMPI_REQUIRE(plan_.spike_factor >= 0.0, "fault plan: negative spike factor");
+  CLAMPI_REQUIRE(plan_.spike_addend_us >= 0.0, "fault plan: negative spike addend");
+  for (const DegradedEpoch& e : plan_.degraded) {
+    CLAMPI_REQUIRE(e.rank >= 0, "fault plan: degraded epoch without a rank");
+    CLAMPI_REQUIRE(e.latency_factor >= 1.0,
+                   "fault plan: degraded epochs slow transfers down (factor >= 1)");
+  }
+}
+
+void Injector::prepare(int nranks) {
+  if (nranks <= nranks_) return;
+  nranks_ = nranks;
+  seq_.assign(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks), 0);
+}
+
+std::uint64_t Injector::next_seq(int origin, int target) {
+  const int needed = std::max(origin, target) + 1;
+  if (needed > nranks_) prepare(needed);
+  return seq_[static_cast<std::size_t>(origin) * static_cast<std::size_t>(nranks_) +
+              static_cast<std::size_t>(target)]++;
+}
+
+double Injector::draw(std::uint64_t salt, int origin, int target, std::uint64_t seq) const {
+  std::uint64_t h = mix(plan_.seed, salt);
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(target)));
+  h = mix(h, seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool Injector::dead(int rank, double now_us) const {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= plan_.death_us.size()) return false;
+  const double d = plan_.death_us[static_cast<std::size_t>(rank)];
+  return d >= 0.0 && now_us >= d;
+}
+
+bool Injector::degraded(int rank, double now_us) const {
+  return degrade_factor(rank, now_us) != 1.0;
+}
+
+double Injector::degrade_factor(int rank, double now_us) const {
+  double f = 1.0;
+  for (const DegradedEpoch& e : plan_.degraded) {
+    if (e.rank == rank && now_us >= e.from_us && now_us < e.until_us) {
+      f *= e.latency_factor;
+    }
+  }
+  return f;
+}
+
+Injector::Verdict Injector::on_op(OpKind op, int origin, int target, std::size_t bytes,
+                                  double now_us) {
+  (void)op;
+  (void)bytes;
+  ++ops_;
+  const std::uint64_t seq = next_seq(origin, target);
+  Verdict v;
+  if (dead(target, now_us)) {
+    v.fail = true;
+    v.kind = FailureKind::kRankDead;
+    ++failures_;
+    return v;
+  }
+  const auto tier = static_cast<std::size_t>(plan_.topology.distance(origin, target));
+  const double p = plan_.fail_prob[tier];
+  if (p > 0.0 && draw(kSaltFail, origin, target, seq) < p) {
+    v.fail = true;
+    v.kind = FailureKind::kTransient;
+    ++failures_;
+    return v;
+  }
+  if (plan_.spike_prob > 0.0 && draw(kSaltSpike, origin, target, seq) < plan_.spike_prob) {
+    v.latency_factor *= plan_.spike_factor;
+    v.latency_addend_us += plan_.spike_addend_us;
+  }
+  const double df = degrade_factor(target, now_us);
+  if (df != 1.0) v.latency_factor *= df;
+  if (v.latency_factor != 1.0 || v.latency_addend_us != 0.0) ++perturbed_;
+  return v;
+}
+
+void Injector::reset() {
+  std::fill(seq_.begin(), seq_.end(), 0);
+  ops_ = 0;
+  failures_ = 0;
+  perturbed_ = 0;
+}
+
+}  // namespace clampi::fault

@@ -1,0 +1,80 @@
+// fault::Injector — turns a Plan into per-operation verdicts.
+//
+// The engine consults the injector once per one-sided operation (and per
+// flush against a target with outstanding operations). The verdict says
+// whether the operation fails and how its modelled transfer cost is
+// perturbed. All randomness is counter-based: a hash of (plan seed, salt,
+// origin, target, per-(origin,target) operation index), so a run with the
+// same seed and the same operation stream reproduces the same schedule —
+// the determinism guarantee documented in docs/FAULTS.md.
+//
+// The injector carries the per-pair operation counters, so one Injector
+// instance belongs to one Engine run; reuse across runs continues the
+// counters (call reset() — or build a fresh Injector — for a replay).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.h"
+#include "fault/plan.h"
+
+namespace clampi::fault {
+
+class Injector {
+ public:
+  explicit Injector(Plan plan);
+
+  /// Per-operation decision.
+  struct Verdict {
+    bool fail = false;
+    FailureKind kind = FailureKind::kTransient;
+    double latency_factor = 1.0;
+    double latency_addend_us = 0.0;
+  };
+
+  /// Size the per-pair counters (called by the engine at construction;
+  /// harmless to call again with the same or a smaller rank count).
+  void prepare(int nranks);
+
+  /// Advance the schedule by one operation `origin -> target` at virtual
+  /// time `now_us` and return its verdict. Deterministic given the plan
+  /// seed and the operation stream.
+  Verdict on_op(OpKind op, int origin, int target, std::size_t bytes, double now_us);
+
+  /// Apply a verdict's perturbation to a modelled transfer cost. Exact
+  /// identity (bit-identical) when the verdict is unperturbed.
+  static double perturb(const Verdict& v, double xfer_us) {
+    if (v.latency_factor == 1.0 && v.latency_addend_us == 0.0) return xfer_us;
+    return xfer_us * v.latency_factor + v.latency_addend_us;
+  }
+
+  /// True once `rank` passed its death instant.
+  bool dead(int rank, double now_us) const;
+  /// True while `rank` is inside a degraded epoch.
+  bool degraded(int rank, double now_us) const;
+  /// Product of the latency factors of all epochs covering (rank, now).
+  double degrade_factor(int rank, double now_us) const;
+
+  const Plan& plan() const { return plan_; }
+  std::uint64_t ops_seen() const { return ops_; }
+  std::uint64_t injected_failures() const { return failures_; }
+  std::uint64_t perturbed_ops() const { return perturbed_; }
+
+  /// Rewind the schedule to the beginning (counters and tallies).
+  void reset();
+
+ private:
+  double draw(std::uint64_t salt, int origin, int target, std::uint64_t seq) const;
+  std::uint64_t next_seq(int origin, int target);
+
+  Plan plan_;
+  int nranks_ = 0;
+  std::vector<std::uint64_t> seq_;  // per (origin, target) operation index
+  std::uint64_t ops_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t perturbed_ = 0;
+};
+
+}  // namespace clampi::fault

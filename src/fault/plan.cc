@@ -1,0 +1,39 @@
+#include "fault/plan.h"
+
+namespace clampi::fault {
+
+bool Plan::trivial() const {
+  for (const double p : fail_prob) {
+    if (p > 0.0) return false;
+  }
+  if (spike_prob > 0.0 && (spike_factor != 1.0 || spike_addend_us != 0.0)) return false;
+  for (const DegradedEpoch& e : degraded) {
+    if (e.latency_factor != 1.0 && e.until_us > e.from_us) return false;
+  }
+  for (const double d : death_us) {
+    if (d >= 0.0) return false;
+  }
+  return true;
+}
+
+Plan& Plan::fail_everywhere(double p) {
+  for (int tier = 1; tier < net::kNumDistances; ++tier) {
+    fail_prob[static_cast<std::size_t>(tier)] = p;
+  }
+  return *this;
+}
+
+Plan& Plan::kill_rank(int rank, double at_us) {
+  if (death_us.size() <= static_cast<std::size_t>(rank)) {
+    death_us.resize(static_cast<std::size_t>(rank) + 1, -1.0);
+  }
+  death_us[static_cast<std::size_t>(rank)] = at_us;
+  return *this;
+}
+
+Plan& Plan::degrade_rank(int rank, double factor, double from_us, double until_us) {
+  degraded.push_back({rank, from_us, until_us, factor});
+  return *this;
+}
+
+}  // namespace clampi::fault

@@ -1,0 +1,81 @@
+// fault::Plan — a declarative, seed-reproducible fault schedule.
+//
+// A Plan describes *what kinds* of perturbations a run suffers; the
+// Injector (injector.h) turns it into per-operation verdicts. Every
+// random decision is a counter-based hash of (seed, origin, target,
+// per-pair operation index), so the schedule is a pure function of the
+// plan: the same seed over the same operation stream produces the same
+// faults, independent of wall-clock time or thread interleavings.
+//
+// Perturbation classes:
+//   - transient operation failures, with a probability per machine
+//     *distance tier* (same node / same group / remote group — losses are
+//     far likelier across the global fabric than across a backplane);
+//   - latency spikes: with probability spike_prob a transfer's modelled
+//     cost is multiplied by spike_factor and spike_addend_us is added;
+//   - degraded-rank epochs: while virtual time is inside [from_us,
+//     until_us) every transfer touching `rank` as a target is slowed by
+//     latency_factor (a flaky NIC / congested node);
+//   - permanent rank death: after death instant d, every operation
+//     targeting the rank fails with FailureKind::kRankDead forever.
+//
+// An all-zero (default-constructed) Plan is guaranteed to be a no-op:
+// installing it produces bit-identical virtual-time results to running
+// with no injector at all.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "netmodel/hierarchy.h"
+
+namespace clampi::fault {
+
+/// One interval during which a rank's NIC is degraded (as a target).
+struct DegradedEpoch {
+  int rank = -1;
+  double from_us = 0.0;
+  double until_us = 0.0;        ///< exclusive; use kForever for open-ended
+  double latency_factor = 1.0;  ///< multiplier on the modelled transfer cost
+};
+
+inline constexpr double kForever = 1e300;
+
+struct Plan {
+  std::uint64_t seed = 0x5eedfa017ed1ull;
+
+  /// Transient failure probability per distance tier, indexed by
+  /// net::Distance (kSelf, kSameNode, kSameGroup, kRemoteGroup).
+  std::array<double, net::kNumDistances> fail_prob{};
+
+  /// Latency spikes (independent of degraded epochs).
+  double spike_prob = 0.0;
+  double spike_factor = 1.0;
+  double spike_addend_us = 0.0;
+
+  /// Degraded-rank epochs; multiple epochs covering the same instant
+  /// compound multiplicatively.
+  std::vector<DegradedEpoch> degraded;
+
+  /// Per-world-rank death instant; < 0 (or absent) means immortal.
+  std::vector<double> death_us;
+
+  /// Maps world ranks to distance tiers for fail_prob.
+  net::Topology topology{};
+
+  /// True when the plan perturbs nothing (the zero-overhead-when-off case).
+  bool trivial() const;
+
+  // --- construction helpers ---
+  /// Set a single transient failure probability for every distance tier
+  /// except kSelf (local copies do not traverse the network).
+  Plan& fail_everywhere(double p);
+  /// Rank `rank` dies (permanently) at virtual time `at_us`.
+  Plan& kill_rank(int rank, double at_us);
+  /// Rank `rank` is degraded by `factor` over [from_us, until_us).
+  Plan& degrade_rank(int rank, double factor, double from_us = 0.0,
+                     double until_us = kForever);
+};
+
+}  // namespace clampi::fault

@@ -51,6 +51,7 @@ double Engine::PendingCompletions::take_all(std::size_t win_id) {
 Engine::Engine(Config cfg) : cfg_(std::move(cfg)) {
   CLAMPI_REQUIRE(cfg_.nranks >= 1, "engine needs at least one rank");
   CLAMPI_REQUIRE(cfg_.model != nullptr, "engine needs a network model");
+  if (cfg_.injector) cfg_.injector->prepare(cfg_.nranks);
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (int r = 0; r < cfg_.nranks; ++r) {
     ranks_.push_back(std::make_unique<RankCtx>(cfg_.time_policy, cfg_.measured_scale));
@@ -578,18 +579,32 @@ void Process::get(void* origin, std::size_t bytes, int target, std::size_t disp,
   me.clock.enter_runtime();
   auto& wo = engine_->window(w);
   engine_->validate_target(wo, target, disp, bytes);
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const auto& m = engine_->model();
+  fault::Injector::Verdict fv;
+  if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    fv = inj->on_op(fault::OpKind::kGet, rank_, wt, bytes, me.clock.now_us());
+    if (fv.fail) {
+      // Consulted before the eager copy: a failed get delivers no data.
+      // The origin NIC still did work before the drop, so the issue
+      // overhead is charged; nothing is left pending for flush.
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kGet, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fv.kind, d);
+    }
+  }
   // Data is copied eagerly (legal under the epoch model: the source may not
   // be concurrently modified within the epoch); the completion time is what
   // the network model says, so flush shows the true overlap window.
   std::memcpy(origin, wo.base[static_cast<std::size_t>(target)] + disp, bytes);
-  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
   const double t0 = me.clock.now_us();
-  const auto& m = engine_->model();
   me.clock.advance_us(m.issue_us(rank_, wt, bytes));
   engine_->pending_[static_cast<std::size_t>(rank_)].note(
       static_cast<std::size_t>(w.id), target,
       completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
-                      m.transfer_us(wt, rank_, bytes)),
+                      fault::Injector::perturb(fv, m.transfer_us(wt, rank_, bytes))),
       engine_->nranks());
   me.clock.exit_runtime();
 }
@@ -600,15 +615,27 @@ void Process::put(const void* origin, std::size_t bytes, int target, std::size_t
   me.clock.enter_runtime();
   auto& wo = engine_->window(w);
   engine_->validate_target(wo, target, disp, bytes);
-  std::memcpy(wo.base[static_cast<std::size_t>(target)] + disp, origin, bytes);
   const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
-  const double t0 = me.clock.now_us();
   const auto& m = engine_->model();
+  fault::Injector::Verdict fv;
+  if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    fv = inj->on_op(fault::OpKind::kPut, rank_, wt, bytes, me.clock.now_us());
+    if (fv.fail) {
+      // A failed put never reaches the target window.
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kPut, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fv.kind, d);
+    }
+  }
+  std::memcpy(wo.base[static_cast<std::size_t>(target)] + disp, origin, bytes);
+  const double t0 = me.clock.now_us();
   me.clock.advance_us(m.issue_us(rank_, wt, bytes));
   engine_->pending_[static_cast<std::size_t>(rank_)].note(
       static_cast<std::size_t>(w.id), target,
       completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
-                      m.transfer_us(rank_, wt, bytes)),
+                      fault::Injector::perturb(fv, m.transfer_us(rank_, wt, bytes))),
       engine_->nranks());
   me.clock.exit_runtime();
 }
@@ -618,22 +645,37 @@ void Process::get_blocks(void* origin, int target, std::size_t disp, const Block
   auto& me = engine_->ctx(rank_);
   me.clock.enter_runtime();
   auto& wo = engine_->window(w);
-  auto* out = static_cast<std::byte*>(origin);
-  const std::byte* in = wo.base[static_cast<std::size_t>(target)];
   std::size_t total = 0;
   for (std::size_t i = 0; i < nblocks; ++i) {
     engine_->validate_target(wo, target, disp + blocks[i].offset, blocks[i].size);
-    std::memcpy(out + total, in + disp + blocks[i].offset, blocks[i].size);
     total += blocks[i].size;
   }
   const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
-  const double t0 = me.clock.now_us();
   const auto& m = engine_->model();
+  fault::Injector::Verdict fv;
+  if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    fv = inj->on_op(fault::OpKind::kGetBlocks, rank_, wt, total, me.clock.now_us());
+    if (fv.fail) {
+      me.clock.advance_us(m.issue_us(rank_, wt, total));
+      const fault::OpDesc d{fault::OpKind::kGetBlocks, rank_, wt, disp, total,
+                            me.clock.now_us()};
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fv.kind, d);
+    }
+  }
+  auto* out = static_cast<std::byte*>(origin);
+  const std::byte* in = wo.base[static_cast<std::size_t>(target)];
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::memcpy(out + off, in + disp + blocks[i].offset, blocks[i].size);
+    off += blocks[i].size;
+  }
+  const double t0 = me.clock.now_us();
   me.clock.advance_us(m.issue_us(rank_, wt, total));
   engine_->pending_[static_cast<std::size_t>(rank_)].note(
       static_cast<std::size_t>(w.id), target,
       completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
-                      m.transfer_us(wt, rank_, total)),
+                      fault::Injector::perturb(fv, m.transfer_us(wt, rank_, total))),
       engine_->nranks());
   me.clock.exit_runtime();
 }
@@ -646,6 +688,19 @@ void Process::flush(int target, Window w) {
                  "target rank out of range");
   const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_target(
       static_cast<std::size_t>(w.id), target);
+  if (const fault::Injector* inj = engine_->cfg_.injector.get();
+      inj != nullptr && done > 0.0) {
+    const int wt =
+        engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+    if (inj->dead(wt, me.clock.now_us())) {
+      // The target died with operations outstanding: the flush cannot
+      // complete them. Pending state is already cleared (taken above), so
+      // a subsequent flush of the same target succeeds trivially.
+      const fault::OpDesc d{fault::OpKind::kFlush, rank_, wt, 0, 0, me.clock.now_us()};
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fault::FailureKind::kRankDead, d);
+    }
+  }
   me.clock.advance_to_us(done);
   me.clock.exit_runtime();
 }
@@ -653,9 +708,29 @@ void Process::flush(int target, Window w) {
 void Process::flush_all(Window w) {
   auto& me = engine_->ctx(rank_);
   me.clock.enter_runtime();
-  engine_->window(w);  // validates
-  const double done = engine_->pending_[static_cast<std::size_t>(rank_)].take_all(
-      static_cast<std::size_t>(w.id));
+  const auto& wo = engine_->window(w);
+  auto& pend = engine_->pending_[static_cast<std::size_t>(rank_)];
+  int dead_target = -1;  // world rank of the lowest dead target with pending ops
+  if (const fault::Injector* inj = engine_->cfg_.injector.get();
+      inj != nullptr && pend.per_window_target.size() > static_cast<std::size_t>(w.id)) {
+    const auto& per_target = pend.per_window_target[static_cast<std::size_t>(w.id)];
+    const auto& members = engine_->comm_obj(Comm{wo.comm_id}).members;
+    for (std::size_t t = 0; t < per_target.size(); ++t) {
+      if (per_target[t] <= 0.0) continue;
+      const int wt = members[t];
+      if (inj->dead(wt, me.clock.now_us())) {
+        dead_target = wt;
+        break;
+      }
+    }
+  }
+  const double done = pend.take_all(static_cast<std::size_t>(w.id));
+  if (dead_target >= 0) {
+    const fault::OpDesc d{fault::OpKind::kFlush, rank_, dead_target, 0, 0,
+                          me.clock.now_us()};
+    me.clock.exit_runtime();
+    throw fault::OpFailedError(fault::FailureKind::kRankDead, d);
+  }
   me.clock.advance_to_us(done);
   me.clock.exit_runtime();
 }
@@ -733,20 +808,33 @@ void Process::get_accumulate(const void* origin, void* result, std::size_t count
   auto& wo = engine_->window(w);
   const std::size_t bytes = count * accumulate_type_size(type);
   engine_->validate_target(wo, target, disp, bytes);
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const auto& m = engine_->model();
+  fault::Injector::Verdict fv;
+  if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    fv = inj->on_op(fault::OpKind::kAtomic, rank_, wt, bytes, me.clock.now_us());
+    if (fv.fail) {
+      // A failed atomic neither mutates the window nor fetches old values.
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kAtomic, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fv.kind, d);
+    }
+  }
   // Element-wise atomicity is free: the scheduler serializes ranks, and
   // accumulates (unlike put/get) are permitted to race per MPI-3.
   accumulate_dispatch(type, wo.base[static_cast<std::size_t>(target)] + disp, origin,
                       result, count, op);
-  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
   const double t0 = me.clock.now_us();
-  const auto& m = engine_->model();
   me.clock.advance_us(m.issue_us(rank_, wt, bytes));
   // Fetching variants pay a round trip (payload out + old values back).
   const double xfer = m.transfer_us(rank_, wt, bytes) +
                       (result != nullptr ? m.transfer_us(wt, rank_, bytes) : 0.0);
   engine_->pending_[static_cast<std::size_t>(rank_)].note(
       static_cast<std::size_t>(w.id), target,
-      completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0, xfer),
+      completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
+                      fault::Injector::perturb(fv, xfer)),
       engine_->nranks());
   me.clock.exit_runtime();
 }
@@ -772,17 +860,29 @@ void Process::compare_and_swap(const void* desired, const void* expected, void* 
   auto& wo = engine_->window(w);
   const std::size_t bytes = accumulate_type_size(type);
   engine_->validate_target(wo, target, disp, bytes);
+  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
+  const auto& m = engine_->model();
+  fault::Injector::Verdict fv;
+  if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    fv = inj->on_op(fault::OpKind::kAtomic, rank_, wt, bytes, me.clock.now_us());
+    if (fv.fail) {
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kAtomic, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fv.kind, d);
+    }
+  }
   std::byte* slot = wo.base[static_cast<std::size_t>(target)] + disp;
   std::memcpy(result, slot, bytes);
   if (std::memcmp(slot, expected, bytes) == 0) std::memcpy(slot, desired, bytes);
-  const int wt = engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
   const double t0 = me.clock.now_us();
-  const auto& m = engine_->model();
   me.clock.advance_us(m.issue_us(rank_, wt, bytes));
   engine_->pending_[static_cast<std::size_t>(rank_)].note(
       static_cast<std::size_t>(w.id), target,
       completion_time(engine_->cfg_, engine_->nic_free_us_, wt, t0,
-                      m.transfer_us(rank_, wt, bytes) + m.transfer_us(wt, rank_, bytes)),
+                      fault::Injector::perturb(
+                          fv, m.transfer_us(rank_, wt, bytes) + m.transfer_us(wt, rank_, bytes))),
       engine_->nranks());
   me.clock.exit_runtime();
 }
@@ -1041,6 +1141,15 @@ int Process::comm_world_rank(Comm c, int local_rank) const {
   return co.members[static_cast<std::size_t>(local_rank)];
 }
 
+int Process::comm_local_rank(Comm c, int world_rank) const {
+  const auto& co = engine_->comm_obj(c);
+  if (world_rank < 0 ||
+      static_cast<std::size_t>(world_rank) >= co.local_of_world.size()) {
+    return -1;
+  }
+  return co.local_of_world[static_cast<std::size_t>(world_rank)];
+}
+
 bool Process::comm_member(Comm c) const {
   return engine_->comm_obj(c).local_of_world[static_cast<std::size_t>(rank_)] >= 0;
 }
@@ -1129,5 +1238,9 @@ void Process::yield() {
 }
 
 const net::Model& Process::model() const { return engine_->model(); }
+
+const fault::Injector* Process::fault_injector() const {
+  return engine_->cfg_.injector.get();
+}
 
 }  // namespace clampi::rmasim

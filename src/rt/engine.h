@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/injector.h"
 #include "netmodel/model.h"
 #include "rt/clock.h"
 #include "util/error.h"
@@ -91,6 +92,8 @@ class Process {
   int comm_size(Comm c) const;
   /// World rank of `local_rank` within c.
   int comm_world_rank(Comm c, int local_rank) const;
+  /// Rank of `world_rank` within c, or -1 if it is not a member.
+  int comm_local_rank(Comm c, int world_rank) const;
   /// True if this process belongs to c.
   bool comm_member(Comm c) const;
 
@@ -194,6 +197,9 @@ class Process {
 
   Engine& engine() { return *engine_; }
   const net::Model& model() const;
+  /// Installed fault injector, or nullptr (perfect network). Exposed so
+  /// resilience layers (CLaMPI cache-fallback) can ask about rank health.
+  const fault::Injector* fault_injector() const;
 
  private:
   friend class Engine;
@@ -217,6 +223,12 @@ class Engine {
     /// microbenchmarks are two-rank and uncontended; turn it on for
     /// many-to-one studies.
     bool serialize_injection = false;
+    /// Optional fault injector (src/fault): one-sided operations consult
+    /// it for transient failures, latency perturbations, degraded epochs
+    /// and rank death. Null (the default) means a perfect network; an
+    /// injector with an all-zero Plan is guaranteed to produce
+    /// bit-identical virtual-time results to null.
+    std::shared_ptr<fault::Injector> injector;
   };
 
   explicit Engine(Config cfg);

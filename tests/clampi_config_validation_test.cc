@@ -1,0 +1,119 @@
+// Config validation at window creation (validate_config / CacheCore ctor).
+#include <gtest/gtest.h>
+
+#include "clampi/cache.h"
+#include "clampi/config.h"
+#include "clampi/info.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace clampi;
+
+TEST(ConfigValidation, DefaultConfigIsValid) {
+  EXPECT_NO_THROW(validate_config(Config{}));
+  EXPECT_NO_THROW(CacheCore{Config{}});
+}
+
+TEST(ConfigValidation, RejectsZeroSizedKnobs) {
+  Config c;
+  c.index_entries = 0;
+  EXPECT_THROW(validate_config(c), util::ContractError);
+
+  Config d;
+  d.cuckoo_arity = 0;
+  EXPECT_THROW(validate_config(d), util::ContractError);
+  EXPECT_THROW(CacheCore{d}, util::ContractError);  // before index construction
+
+  Config e;
+  e.sample_size = 0;
+  EXPECT_THROW(validate_config(e), util::ContractError);
+  EXPECT_THROW(CacheCore{e}, util::ContractError);
+}
+
+TEST(ConfigValidation, RejectsInvertedBounds) {
+  Config c;
+  c.min_index_entries = 1024;
+  c.max_index_entries = 64;
+  EXPECT_THROW(validate_config(c), util::ContractError);
+
+  Config d;
+  d.min_storage_bytes = std::size_t{1} << 30;
+  d.max_storage_bytes = std::size_t{64} << 10;
+  EXPECT_THROW(validate_config(d), util::ContractError);
+}
+
+TEST(ConfigValidation, AdaptiveGatesTheRangeCheck) {
+  // Tiny fixed caches are legal (tests rely on them)...
+  Config fixed;
+  fixed.adaptive = false;
+  fixed.index_entries = 16;     // below min_index_entries = 64
+  fixed.storage_bytes = 1024;   // below min_storage_bytes = 64 KiB
+  EXPECT_NO_THROW(validate_config(fixed));
+  EXPECT_NO_THROW(CacheCore{fixed});
+
+  // ...but an adaptive cache must start inside its steering range.
+  Config adaptive = fixed;
+  adaptive.adaptive = true;
+  EXPECT_THROW(validate_config(adaptive), util::ContractError);
+
+  adaptive.index_entries = 4096;
+  adaptive.storage_bytes = std::size_t{4} << 20;
+  EXPECT_NO_THROW(validate_config(adaptive));
+
+  adaptive.storage_bytes = (std::size_t{1} << 30) + 1;  // above max
+  EXPECT_THROW(validate_config(adaptive), util::ContractError);
+}
+
+TEST(ConfigValidation, RejectsMalformedRetryPolicy) {
+  Config c;
+  c.max_retries = -1;
+  EXPECT_THROW(validate_config(c), util::ContractError);
+
+  Config d;
+  d.retry_backoff_us = -1.0;
+  EXPECT_THROW(validate_config(d), util::ContractError);
+
+  Config e;
+  e.retry_backoff_factor = 0.5;  // must not shrink
+  EXPECT_THROW(validate_config(e), util::ContractError);
+
+  Config f;
+  f.retry_jitter = 1.0;  // must stay below 1 (backoff must stay positive)
+  EXPECT_THROW(validate_config(f), util::ContractError);
+  f.retry_jitter = -0.1;
+  EXPECT_THROW(validate_config(f), util::ContractError);
+
+  Config g;
+  g.epoch_retry_budget_us = -5.0;
+  EXPECT_THROW(validate_config(g), util::ContractError);
+
+  Config ok;
+  ok.max_retries = 8;
+  ok.retry_backoff_us = 2.0;
+  ok.retry_backoff_factor = 1.5;
+  ok.retry_jitter = 0.5;
+  ok.epoch_retry_budget_us = 1000.0;
+  EXPECT_NO_THROW(validate_config(ok));
+}
+
+TEST(ConfigValidation, ResilienceInfoKeysParse) {
+  const Info info{{"clampi_mode", "always_cache"},
+                  {"clampi_max_retries", "8"},
+                  {"clampi_retry_backoff_us", "2.5"},
+                  {"clampi_retry_backoff_factor", "1.5"},
+                  {"clampi_retry_jitter", "0.1"},
+                  {"clampi_epoch_retry_budget_us", "500"},
+                  {"clampi_cache_fallback", "true"}};
+  const Config cfg = config_from_info(info);
+  EXPECT_EQ(cfg.mode, Mode::kAlwaysCache);
+  EXPECT_EQ(cfg.max_retries, 8);
+  EXPECT_DOUBLE_EQ(cfg.retry_backoff_us, 2.5);
+  EXPECT_DOUBLE_EQ(cfg.retry_backoff_factor, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.retry_jitter, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.epoch_retry_budget_us, 500.0);
+  EXPECT_TRUE(cfg.cache_fallback);
+  EXPECT_NO_THROW(validate_config(cfg));
+}
+
+}  // namespace

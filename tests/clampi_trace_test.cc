@@ -64,10 +64,67 @@ TEST(Trace, LoadSkipsCommentsRejectsGarbage) {
   EXPECT_EQ(t.events.size(), 2u);
   EXPECT_EQ(t.events[0].target, 2);
 
-  std::stringstream bad("x 1 2 3\n");
+  std::stringstream bad("z 1 2 3\n");
   EXPECT_THROW(Trace::load(bad), util::ContractError);
   std::stringstream truncated("g 1\n");
   EXPECT_THROW(Trace::load(truncated), util::ContractError);
+}
+
+TEST(Trace, FaultRetryEventsRoundTrip) {
+  Trace t;
+  t.add_get(1, 0, 64);
+  t.add_fault(1, 0, 64);
+  t.add_retry(1, /*attempt=*/1, /*backoff_ns=*/4000);
+  t.add_retry(1, /*attempt=*/2, /*backoff_ns=*/8123);
+  t.add_flush(1);
+
+  std::stringstream ss;
+  t.save(ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("x 1 0 64"), std::string::npos);
+  EXPECT_NE(text.find("r 1 2 8123"), std::string::npos);
+
+  const Trace u = Trace::load(ss);
+  ASSERT_EQ(u.events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(u.events[i].kind, t.events[i].kind);
+    EXPECT_EQ(u.events[i].target, t.events[i].target);
+    EXPECT_EQ(u.events[i].disp, t.events[i].disp);
+    EXPECT_EQ(u.events[i].bytes, t.events[i].bytes);
+  }
+}
+
+TEST(Trace, OldTracesWithoutFaultEventsStillParse) {
+  // A pre-fault-format trace (only g/f/F/I lines) must load unchanged.
+  std::stringstream legacy("g 2 100 8\nf 2\ng 0 0 16\nF\nI\n");
+  const Trace t = Trace::load(legacy);
+  ASSERT_EQ(t.events.size(), 5u);
+  EXPECT_EQ(t.events[0].kind, Event::Kind::kGet);
+  EXPECT_EQ(t.events[1].kind, Event::Kind::kFlush);
+  EXPECT_EQ(t.events[3].kind, Event::Kind::kFlushAll);
+  EXPECT_EQ(t.events[4].kind, Event::Kind::kInvalidate);
+}
+
+TEST(Trace, ReplayCoreSkipsFaultAnnotations) {
+  // Fault/retry annotations must not perturb replay statistics.
+  Trace plain = sample_trace();
+  Trace annotated = sample_trace();
+  annotated.events.insert(annotated.events.begin() + 1,
+                          {Event::Kind::kFault, 1, 0, 64});
+  annotated.events.insert(annotated.events.begin() + 2,
+                          {Event::Kind::kRetry, 1, 1, 4000});
+
+  Config cfg;
+  cfg.index_entries = 64;
+  cfg.storage_bytes = 4096;
+  CacheCore a(cfg);
+  CacheCore b(cfg);
+  const Stats sa = trace::replay_core(plain, a);
+  const Stats sb = trace::replay_core(annotated, b);
+  EXPECT_EQ(sa.total_gets, sb.total_gets);
+  EXPECT_EQ(sa.hits_full, sb.hits_full);
+  EXPECT_EQ(sa.bytes_from_cache, sb.bytes_from_cache);
+  EXPECT_EQ(sa.bytes_from_network, sb.bytes_from_network);
 }
 
 TEST(Trace, ReplayCoreReproducesAccessMix) {
