@@ -79,8 +79,9 @@ int main(int argc, char** argv) {
   const auto index_sweep = split(argc > 2 ? argv[2] : "512,1024,2048,4096");
   const auto storage_sweep = split(argc > 3 ? argv[3] : "1M,4M,16M");
 
-  std::printf("%-8s %-8s %-8s %7s %7s %7s %7s %7s %7s\n", "index", "storage", "score",
-              "hit%", "partial", "direct", "confl", "capac", "fail");
+  std::printf("%-8s %-8s %-8s %7s %7s %7s %7s %7s %7s %7s %7s\n", "index", "storage",
+              "score", "hit%", "partial", "direct", "confl", "capac", "fail",
+              "prb/get", "fbin%");
   for (const auto& iw : index_sweep) {
     for (const auto& sw : storage_sweep) {
       for (const ScoreKind score :
@@ -93,13 +94,17 @@ int main(int argc, char** argv) {
         CacheCore core(cfg);
         const Stats st = trace::replay_core(t, core);
         const double total = static_cast<double>(st.total_gets ? st.total_gets : 1);
-        std::printf("%-8s %-8s %-8s %6.1f%% %7.3f %7.3f %7.3f %7.3f %7.3f\n", iw.c_str(),
-                    sw.c_str(), to_string(score), 100.0 * st.hit_ratio(),
+        const std::uint64_t allocs = st.storage_fastbin_allocs + st.storage_tree_allocs;
+        std::printf("%-8s %-8s %-8s %6.1f%% %7.3f %7.3f %7.3f %7.3f %7.3f %7.2f %6.1f%%\n",
+                    iw.c_str(), sw.c_str(), to_string(score), 100.0 * st.hit_ratio(),
                     static_cast<double>(st.hits_partial) / total,
                     static_cast<double>(st.direct) / total,
                     static_cast<double>(st.conflicting) / total,
                     static_cast<double>(st.capacity) / total,
-                    static_cast<double>(st.failing) / total);
+                    static_cast<double>(st.failing) / total,
+                    static_cast<double>(st.index_probes) / total,
+                    100.0 * static_cast<double>(st.storage_fastbin_allocs) /
+                        static_cast<double>(allocs ? allocs : 1));
       }
     }
   }

@@ -6,6 +6,8 @@
 #include <ctime>
 #include <limits>
 
+#include "util/align.h"
+
 namespace clampi {
 
 namespace {
@@ -144,8 +146,7 @@ double CacheCore::score(std::uint32_t id) const {
 
 bool CacheCore::capacity_eviction_round() {
   ++stats_.eviction_rounds;
-  const auto& slots = index_.slots();
-  const std::size_t n = slots.size();
+  const std::size_t n = index_.nslots();
   const std::size_t start = sample_rng_.bounded(n);
   const auto sample = static_cast<std::size_t>(cfg_.sample_size);
 
@@ -156,7 +157,7 @@ bool CacheCore::capacity_eviction_round() {
   // Scan M slots; if they were all empty, keep scanning until the first
   // non-empty one (v_i = max(M, k_i), Sec. III-D).
   while (scanned < n) {
-    const std::uint32_t id = slots[(start + scanned) % n];
+    const std::uint32_t id = index_.entry_at((start + scanned) % n);
     ++scanned;
     ++stats_.visited_slots;
     if (id != kNoEntry) {
@@ -211,8 +212,12 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
   ags_ += (static_cast<double>(bytes) - ags_) / static_cast<double>(g_);
 
   const std::uint64_t hkey = make_hkey(key);
-  const std::uint32_t found =
-      index_.lookup(hkey, [&](std::uint32_t id) { return entries_[id].key == key; });
+  int probes = 0;
+  const std::uint32_t found = index_.lookup(
+      hkey, [&](std::uint32_t id) { return entries_[id].key == key; }, &probes);
+  // Probe counting lives here, not in the index: this store lands next to
+  // the stats stores access() performs anyway, keeping lookup() store-free.
+  stats_.index_probes += static_cast<std::uint64_t>(probes);
   if (phases != nullptr) timer.lap(&phases->lookup_ns);
 
   Result res;
@@ -313,7 +318,10 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
 
   Storage::Region* region = storage_.alloc(bytes);
   bool capacity_evicted = false;
-  if (region == nullptr) {
+  // Requests larger than all of S_w can never fit; evicting for them
+  // would only throw away useful entries before failing anyway.
+  if (region == nullptr &&
+      util::round_up(bytes, util::kCacheLineBytes) <= storage_.capacity()) {
     // One sampled eviction round: constant per-access overhead ("weak
     // caching", Sec. III-D2). If space still cannot be made, fail.
     capacity_evicted = capacity_eviction_round();
@@ -444,9 +452,24 @@ void CacheCore::invalidate() {
   // lifetime (Sec. III-A/III-D1).
 }
 
+void CacheCore::sync_hot_counters() const {
+  const auto& ic = index_.counters();
+  stats_.index_tag_false_positives =
+      index_counter_base_.tag_false_positives + ic.tag_false_positives;
+  stats_.index_kick_steps = index_counter_base_.kick_steps + ic.kick_steps;
+  const auto& sc = storage_.counters();  // monotonic across rebuild/reset
+  stats_.storage_fastbin_allocs = sc.fastbin_allocs;
+  stats_.storage_tree_allocs = sc.tree_allocs;
+  stats_.storage_pool_reuses = sc.pool_reuses;
+}
+
 void CacheCore::resize(std::size_t index_entries, std::size_t storage_bytes) {
   CLAMPI_REQUIRE(pending_entries_ == 0,
                  "resize with PENDING entries outstanding (flush first)");
+  // Bank the outgoing index's counters: the new CuckooIndex restarts at 0.
+  const auto& ic = index_.counters();
+  index_counter_base_.tag_false_positives += ic.tag_false_positives;
+  index_counter_base_.kick_steps += ic.kick_steps;
   cfg_.index_entries = index_entries;
   cfg_.storage_bytes = storage_bytes;
   index_ = CuckooIndex<EntryOps>(index_entries, cfg_.cuckoo_arity, cfg_.max_insert_iters,

@@ -84,10 +84,19 @@ class CacheCore {
   /// counted as an adjustment (adaptive strategy, Sec. III-E1).
   void resize(std::size_t index_entries, std::size_t storage_bytes);
 
-  const Stats& stats() const { return stats_; }
+  /// Statistics with the index/storage hot-path counters folded in (those
+  /// accumulate inside the data structures; folding on read keeps the
+  /// access hot path free of extra stores).
+  const Stats& stats() const {
+    sync_hot_counters();
+    return stats_;
+  }
   /// Writable counters for the resilience layer (retries, fallbacks):
   /// those events happen outside access(), in the CachedWindow driver.
-  Stats& mutable_stats() { return stats_; }
+  Stats& mutable_stats() {
+    sync_hot_counters();
+    return stats_;
+  }
   const Config& config() const { return cfg_; }
   std::size_t index_entries() const { return index_.nslots(); }
   std::size_t storage_bytes() const { return storage_.capacity(); }
@@ -134,13 +143,18 @@ class CacheCore {
   /// Insert `id` into the index, evicting from the insertion path on
   /// conflicts. Returns false if it still cannot be placed.
   bool insert_with_conflict_handling(std::uint32_t id, bool& conflicted);
+  /// Fold the live CuckooIndex/Storage counters into stats_. resize()
+  /// replaces the index object, so counters accumulated before a resize
+  /// are banked in index_counter_base_.
+  void sync_hot_counters() const;
 
   Config cfg_;
-  Stats stats_;
+  mutable Stats stats_;
   EntryOps ops_;
   CuckooIndex<EntryOps> index_;
   Storage storage_;
   util::Xoshiro256 sample_rng_;
+  CuckooIndex<EntryOps>::Counters index_counter_base_;
   std::vector<Entry> entries_;
   std::vector<std::uint32_t> free_ids_;
   std::vector<std::uint32_t> path_;  // scratch: cuckoo insertion path

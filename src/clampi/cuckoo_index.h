@@ -8,8 +8,19 @@
 // instead the failure is surfaced as a *conflicting access* and the
 // caller evicts one of the entries on the insertion path.
 //
-// The table stores 32-bit entry ids; key material lives in the caller's
-// entry table, accessed through the EntryOps policy:
+// Hot-path layout: each slot is one 32-bit word packing an 8-bit key
+// fingerprint (tag) with a 24-bit entry id, so a single load both
+// filters and resolves a probe — the exact-compare predicate (which
+// touches the caller's entry table, a likely cache miss) only runs on a
+// tag match. Slots map through a single multiply-shift hash (a plain
+// shift for power-of-two tables, fastrange otherwise) instead of the
+// mix-then-modulo of the original implementation. Kick targets during
+// the insertion walk rotate deterministically over the occupant's
+// candidates, provably excluding the slot it was just displaced from
+// whenever the candidates are not all identical.
+//
+// The table stores entry ids; key material lives in the caller's entry
+// table, accessed through the EntryOps policy:
 //
 //   struct EntryOps {
 //     std::uint64_t hash_key(std::uint32_t id) const;  // stable per entry
@@ -17,9 +28,11 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "util/align.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/universal_hash.h"
@@ -31,12 +44,35 @@ inline constexpr std::uint32_t kNoEntry = 0xffffffffu;
 template <class EntryOps>
 class CuckooIndex {
  public:
+  /// Maximum arity supported by the fixed-size candidate-slot scratch.
+  static constexpr int kMaxArity = 8;
+  /// Entry ids occupy the low 24 bits of a slot word; id kIdMask (all
+  /// ones) is the empty sentinel, so at most 2^24 - 1 entries.
+  static constexpr std::uint32_t kIdMask = 0x00ffffffu;
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  /// Hot-path observability counters (monotonic, surfaced through
+  /// clampi::Stats). Probe counts are deliberately NOT accumulated here:
+  /// a per-lookup store — even a striped one — measurably slows the probe
+  /// loop, so lookup() hands the count back through an out-parameter that
+  /// inlines to a register, and the caller folds it into its own stats
+  /// alongside stores it already performs.
+  struct Counters {
+    std::uint64_t tag_false_positives = 0; ///< tag matched, exact compare failed
+    std::uint64_t kick_steps = 0;          ///< displacements during insert walks
+  };
+
   CuckooIndex(std::size_t nslots, int arity, int max_iters, std::uint64_t seed,
               const EntryOps* ops)
       : arity_(arity), max_iters_(max_iters), ops_(ops), rng_(seed) {
     CLAMPI_REQUIRE(nslots >= static_cast<std::size_t>(arity), "index too small for arity");
-    CLAMPI_REQUIRE(arity >= 2 && arity <= 8, "cuckoo arity out of range");
-    table_.assign(nslots, kNoEntry);
+    CLAMPI_REQUIRE(arity >= 2 && arity <= kMaxArity, "cuckoo arity out of range");
+    table_.assign(nslots, kEmptySlot);
+    if (util::is_pow2(nslots)) {
+      int log2n = 0;
+      while ((std::size_t{1} << log2n) < nslots) ++log2n;
+      pow2_shift_ = 64 - log2n;
+    }
     hashes_.reserve(static_cast<std::size_t>(arity));
     for (int i = 0; i < arity; ++i) hashes_.emplace_back(rng_);
   }
@@ -45,19 +81,66 @@ class CuckooIndex {
   std::size_t occupied() const { return occupied_; }
   int arity() const { return arity_; }
 
-  /// Raw slot array (entry ids or kNoEntry); the eviction procedure samples
-  /// it directly (Sec. III-D).
-  const std::vector<std::uint32_t>& slots() const { return table_; }
+  const Counters& counters() const { return counters_; }
+
+  /// Entry id stored in slot `s`, or kNoEntry if the slot is empty. The
+  /// eviction procedure samples slots directly (Sec. III-D).
+  std::uint32_t entry_at(std::size_t s) const {
+    const std::uint32_t id = table_[s] & kIdMask;
+    return id == kIdMask ? kNoEntry : id;
+  }
+
+  /// 8-bit fingerprint of a hash key, stored in the top byte of the slot
+  /// word. Never 0xff — that value is reserved for the empty sentinel, so
+  /// a probe of an empty slot can never tag-match. The mixing multiply
+  /// decorrelates the tag from the slot-mapping bits.
+  static std::uint32_t tag_of(std::uint64_t hkey) {
+    const auto t = static_cast<std::uint32_t>((hkey * 0x9e3779b97f4a7c15ull) >> 56);
+    return t == 0xffu ? 0xfeu : t;
+  }
+
+  /// Kick-target choice for the insertion walk: the first index (scanning
+  /// from `rotation % arity`) whose candidate slot differs from
+  /// `from_slot`. Falls back to the rotation start in the degenerate case
+  /// where every candidate equals `from_slot`. Public + static so the
+  /// exclusion guarantee is directly unit-testable.
+  static int pick_kick_index(const std::size_t* cand, int arity, std::size_t from_slot,
+                             std::uint32_t rotation) {
+    const int start = static_cast<int>(rotation % static_cast<std::uint32_t>(arity));
+    for (int k = 0; k < arity; ++k) {
+      const int i = start + k < arity ? start + k : start + k - arity;
+      if (cand[i] != from_slot) return i;
+    }
+    return start;
+  }
 
   /// Find the entry whose exact key matches, probing the p candidate slots
   /// of `hkey`. `pred(id)` performs the exact comparison.
+  ///
+  /// Hybrid probing: the first candidate slot is checked with an early
+  /// exit (entries land there most of the time, and at low load the
+  /// branch predicts well), then the remaining p-1 slot words are loaded
+  /// as a branchless batch — independent multiplies and loads overlap for
+  /// full memory-level parallelism, tag comparisons fold into a bitmask,
+  /// and control branches once on the whole mask. The data-dependent
+  /// *position* of a deep match never feeds a branch, so deep hits and
+  /// misses retire without the per-probe exit mispredicts that dominate a
+  /// serial scan; pred() (which touches the caller's entry table, a
+  /// likely cache miss) still only runs on a tag match.
+  ///
+  /// If `probes_out` is non-null it receives the number of slots examined
+  /// (1 for a first-slot hit, p otherwise — the batch reads every
+  /// remaining candidate); after inlining it lives in a register, so
+  /// counting costs the caller one add — there is intentionally no
+  /// counter store on this path.
   template <class Pred>
-  std::uint32_t lookup(std::uint64_t hkey, Pred&& pred) const {
-    for (int i = 0; i < arity_; ++i) {
-      const std::uint32_t id = table_[slot_of(hkey, i)];
-      if (id != kNoEntry && pred(id)) return id;
+  std::uint32_t lookup(std::uint64_t hkey, Pred&& pred, int* probes_out = nullptr) const {
+    switch (arity_) {
+      case 2: return lookup_p<2>(hkey, pred, probes_out);
+      case 3: return lookup_p<3>(hkey, pred, probes_out);
+      case 4: return lookup_p<4>(hkey, pred, probes_out);
+      default: return lookup_p<0>(hkey, pred, probes_out);
     }
-    return kNoEntry;
   }
 
   /// Insert `id` (with hash key `hkey`). On success returns true. On
@@ -66,44 +149,45 @@ class CuckooIndex {
   /// of the entries encountered on the insertion path — the candidate
   /// victims for a *conflicting* eviction.
   bool insert(std::uint64_t hkey, std::uint32_t id, std::vector<std::uint32_t>* path) {
+    CLAMPI_REQUIRE(id < kIdMask, "entry id exceeds 24-bit index slot capacity");
     if (path != nullptr) path->clear();
+    std::size_t cand[kMaxArity];
+    candidates(hkey, cand);
     // Fast path: any of the p candidate slots free?
     for (int i = 0; i < arity_; ++i) {
-      const std::size_t s = slot_of(hkey, i);
-      if (table_[s] == kNoEntry) {
-        table_[s] = id;
+      const std::size_t s = cand[i];
+      if (table_[s] == kEmptySlot) {
+        table_[s] = pack(tag_of(hkey), id);
         ++occupied_;
         return true;
       }
     }
-    // Random-walk with a rollback journal. Following Fotakis et al., a
-    // kicked element re-inserts into one of its p-1 *other* candidate
-    // slots (never the one it was just displaced from).
+    // Walk with a rollback journal. Following Fotakis et al., a kicked
+    // element re-inserts into one of its p-1 *other* candidate slots —
+    // never the one it was just displaced from. The target rotates
+    // deterministically (kick_rot_) instead of drawing bounded RNG with a
+    // bounce-back-prone retry cap.
     journal_.clear();
-    std::uint32_t cur = id;
-    std::uint64_t cur_hkey = hkey;
+    std::uint32_t cur = pack(tag_of(hkey), id);
     std::size_t from_slot = static_cast<std::size_t>(-1);
     for (int iter = 0; iter < max_iters_; ++iter) {
-      // Pick a candidate slot != from_slot (all-equal degenerate case:
-      // fall back to any candidate).
-      std::size_t s = slot_of(cur_hkey, static_cast<int>(rng_.bounded(arity_)));
-      for (int retry = 0; retry < 4 && s == from_slot; ++retry) {
-        s = slot_of(cur_hkey, static_cast<int>(rng_.bounded(arity_)));
-      }
+      const int pick = pick_kick_index(cand, arity_, from_slot, kick_rot_++);
+      const std::size_t s = cand[pick];
       const std::uint32_t occupant = table_[s];
-      if (occupant == kNoEntry) {
+      if (occupant == kEmptySlot) {
         table_[s] = cur;
         ++occupied_;
         return true;
       }
-      if (occupant == cur) continue;  // picked the slot we already sit in
+      ++counters_.kick_steps;
       // The walk may displace the element being inserted; it is not a
       // valid eviction victim, so keep it off the reported path.
-      if (path != nullptr && occupant != id) path->push_back(occupant);
+      const std::uint32_t occupant_id = occupant & kIdMask;
+      if (path != nullptr && occupant_id != id) path->push_back(occupant_id);
       journal_.push_back({s, occupant});
       table_[s] = cur;
       cur = occupant;
-      cur_hkey = ops_->hash_key(occupant);
+      candidates(ops_->hash_key(occupant_id), cand);
       from_slot = s;
     }
     // Roll back so the structure is unchanged on a conflicting access.
@@ -116,10 +200,13 @@ class CuckooIndex {
   /// Remove `id`. Returns false if the id is not in the table.
   bool erase(std::uint32_t id) {
     const std::uint64_t hkey = ops_->hash_key(id);
+    const std::uint32_t word = pack(tag_of(hkey), id);
+    std::size_t cand[kMaxArity];
+    candidates(hkey, cand);
     for (int i = 0; i < arity_; ++i) {
-      const std::size_t s = slot_of(hkey, i);
-      if (table_[s] == id) {
-        table_[s] = kNoEntry;
+      const std::size_t s = cand[i];
+      if (table_[s] == word) {
+        table_[s] = kEmptySlot;
         --occupied_;
         return true;
       }
@@ -128,17 +215,18 @@ class CuckooIndex {
   }
 
   void clear() {
-    table_.assign(table_.size(), kNoEntry);
+    table_.assign(table_.size(), kEmptySlot);
     occupied_ = 0;
   }
 
   /// Invariant check for tests: every stored id sits in one of its p
-  /// candidate slots, no id appears twice, occupancy count is exact.
+  /// candidate slots with the right tag, no id appears twice, occupancy
+  /// count is exact.
   bool validate() const {
     std::size_t count = 0;
     std::vector<std::uint32_t> seen;
     for (std::size_t s = 0; s < table_.size(); ++s) {
-      const std::uint32_t id = table_[s];
+      const std::uint32_t id = entry_at(s);
       if (id == kNoEntry) continue;
       ++count;
       seen.push_back(id);
@@ -146,6 +234,7 @@ class CuckooIndex {
       const std::uint64_t hkey = ops_->hash_key(id);
       for (int i = 0; i < arity_; ++i) candidate |= slot_of(hkey, i) == s;
       if (!candidate) return false;
+      if ((table_[s] >> 24) != tag_of(hkey)) return false;
     }
     std::sort(seen.begin(), seen.end());
     if (std::adjacent_find(seen.begin(), seen.end()) != seen.end()) return false;
@@ -153,23 +242,104 @@ class CuckooIndex {
   }
 
  private:
+  /// lookup() body for compile-time arity P (fully unrolled, slot words
+  /// and match mask in registers); P = 0 handles any runtime arity.
+  template <int P, class Pred>
+  std::uint32_t lookup_p(std::uint64_t hkey, Pred&& pred, int* probes_out) const {
+    const int p = P == 0 ? arity_ : P;
+    const std::uint32_t* table = table_.data();
+    const util::UniversalHash* hs = hashes_.data();
+    const std::uint64_t n = table_.size();
+    const std::uint32_t tag = tag_of(hkey);
+    // First slot with early exit: the insert fast path fills candidates
+    // in order, so resident keys sit in slot 0 most of the time.
+    const std::uint32_t w0 = table[hs[0].slot(hkey, n)];
+    if ((w0 >> 24) == tag) {
+      const std::uint32_t id = w0 & kIdMask;
+      if (pred(id)) {
+        if (probes_out != nullptr) *probes_out = 1;
+        return id;
+      }
+      ++counters_.tag_false_positives;
+    }
+    if (probes_out != nullptr) *probes_out = p;
+    // Remaining p-1 slots as a branchless batch. Fold the tag comparisons
+    // into a match mask and a branchlessly selected slot word (pure ALU,
+    // registers only — no data-dependent indexing that would spill w[] to
+    // the stack). Empty slots carry tag 0xff, which tag_of() never
+    // produces, so any set bit is an occupied slot.
+    std::uint32_t w[kMaxArity];
+    for (int i = 1; i < p; ++i) w[i] = table[hs[i].slot(hkey, n)];
+    std::uint32_t m = 0;
+    std::uint32_t wsel = 0;
+    for (int i = 1; i < p; ++i) {
+      const auto match = static_cast<std::uint32_t>((w[i] >> 24) == tag);
+      m |= match << i;
+      wsel |= w[i] & (0u - match);
+    }
+    if (m == 0) return kNoEntry;
+    if ((m & (m - 1)) == 0) {
+      // Exactly one tag match — the common case. If the exact compare
+      // fails this was a fingerprint collision with a different resident
+      // key; with slot 0 already ruled out the probed key cannot be
+      // present (it would tag-match).
+      const std::uint32_t id = wsel & kIdMask;
+      if (pred(id)) return id;
+      ++counters_.tag_false_positives;
+      return kNoEntry;
+    }
+    // Two or more candidates share the tag (~1/255 per occupied pair):
+    // scan the matches. Constant-bound loop with static indexing so w[]
+    // stays register-resident for compile-time P.
+    for (int i = 1; i < p; ++i) {
+      if ((m >> i) & 1u) {
+        const std::uint32_t id = w[i] & kIdMask;
+        if (pred(id)) return id;
+        ++counters_.tag_false_positives;
+      }
+    }
+    return kNoEntry;
+  }
+
   struct JournalEntry {
     std::size_t slot;
-    std::uint32_t occupant;
+    std::uint32_t occupant;  ///< full packed word
   };
 
+  static std::uint32_t pack(std::uint32_t tag, std::uint32_t id) {
+    return (tag << 24) | id;
+  }
+
+  /// Slot mapping: top bits of one multiply-shift hash — a plain shift
+  /// when the table size is a power of two (the common configuration),
+  /// the fastrange reduction otherwise (e.g. the paper's 1.5K index).
   std::size_t slot_of(std::uint64_t hkey, int i) const {
-    return hashes_[static_cast<std::size_t>(i)](hkey, table_.size());
+    const auto& h = hashes_[static_cast<std::size_t>(i)];
+    if (pow2_shift_ != 0) return h.shifted(hkey, pow2_shift_);
+    return h.slot(hkey, table_.size());
+  }
+
+  /// Compute all p candidate slots up front (independent multiplies
+  /// pipeline well) and prefetch them: the insertion walk writes the
+  /// slots it probes, so it wants the lines resident in exclusive state.
+  void candidates(std::uint64_t hkey, std::size_t* cand) const {
+    for (int i = 0; i < arity_; ++i) cand[i] = slot_of(hkey, i);
+#if defined(__GNUC__) || defined(__clang__)
+    for (int i = 0; i < arity_; ++i) __builtin_prefetch(&table_[cand[i]], 1, 1);
+#endif
   }
 
   int arity_;
   int max_iters_;
+  int pow2_shift_ = 0;  ///< 64 - log2(nslots) when nslots is a power of two
   const EntryOps* ops_;
   util::Xoshiro256 rng_;
+  std::uint32_t kick_rot_ = 0;  ///< deterministic kick-target rotation
   std::vector<util::UniversalHash> hashes_;
-  std::vector<std::uint32_t> table_;
+  std::vector<std::uint32_t> table_;  ///< packed (tag << 24 | id) words
   std::vector<JournalEntry> journal_;
   std::size_t occupied_ = 0;
+  mutable Counters counters_;  ///< kick_steps + false positives (exact)
 };
 
 }  // namespace clampi

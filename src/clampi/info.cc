@@ -115,6 +115,42 @@ Config config_from_info(const Info& info, Config cfg) {
   return cfg;
 }
 
+Info stats_to_info(const Stats& s) {
+  Info out;
+  const auto put = [&out](const char* key, std::uint64_t v) {
+    out.emplace(std::string("clampi_stat_") + key, std::to_string(v));
+  };
+  put("total_gets", s.total_gets);
+  put("hits_full", s.hits_full);
+  put("hits_pending", s.hits_pending);
+  put("hits_partial", s.hits_partial);
+  put("direct", s.direct);
+  put("conflicting", s.conflicting);
+  put("capacity", s.capacity);
+  put("failing", s.failing);
+  put("failed_index", s.failed_index);
+  put("failed_capacity", s.failed_capacity);
+  put("evictions", s.evictions);
+  put("eviction_rounds", s.eviction_rounds);
+  put("visited_slots", s.visited_slots);
+  put("visited_nonempty", s.visited_nonempty);
+  put("invalidations", s.invalidations);
+  put("adjustments", s.adjustments);
+  put("index_probes", s.index_probes);
+  put("index_tag_false_positives", s.index_tag_false_positives);
+  put("index_kick_steps", s.index_kick_steps);
+  put("storage_fastbin_allocs", s.storage_fastbin_allocs);
+  put("storage_tree_allocs", s.storage_tree_allocs);
+  put("storage_pool_reuses", s.storage_pool_reuses);
+  put("bytes_from_cache", s.bytes_from_cache);
+  put("bytes_from_network", s.bytes_from_network);
+  put("injected_faults", s.injected_faults);
+  put("retries", s.retries);
+  put("retry_giveups", s.retry_giveups);
+  put("fallback_hits", s.fallback_hits);
+  return out;
+}
+
 void validate_config(const Config& cfg) {
   CLAMPI_REQUIRE(cfg.index_entries >= 1, "config: index_entries must be >= 1");
   CLAMPI_REQUIRE(cfg.cuckoo_arity >= 1, "config: cuckoo_arity must be >= 1");

@@ -23,6 +23,7 @@
 #include <string>
 
 #include "clampi/config.h"
+#include "clampi/stats.h"
 
 namespace clampi {
 
@@ -34,5 +35,12 @@ std::size_t parse_size(const std::string& s);
 /// Apply info keys on top of `base`. Throws util::ContractError on
 /// malformed values or unknown clampi_* keys.
 Config config_from_info(const Info& info, Config base = Config{});
+
+/// Serialize window statistics — including the index/storage hot-path
+/// counters — as an MPI_Info-style map with stable "clampi_stat_*" keys
+/// (decimal values), for MPI_Win_get_info-style queries and tooling that
+/// logs stats alongside traces. Output-only: these keys are not accepted
+/// by config_from_info.
+Info stats_to_info(const Stats& s);
 
 }  // namespace clampi

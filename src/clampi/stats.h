@@ -35,6 +35,18 @@ struct Stats {
   std::uint64_t invalidations = 0;
   std::uint64_t adjustments = 0;  ///< adaptive parameter changes
 
+  // --- hot-path counters (index + storage internals) ---
+  // Maintained inside CuckooIndex/Storage with register-batched stores and
+  // folded into this struct by CacheCore::stats(); they make perf changes
+  // observable (probe counts, filter quality, allocator path mix) rather
+  // than only timed.
+  std::uint64_t index_probes = 0;              ///< candidate slots examined by lookups
+  std::uint64_t index_tag_false_positives = 0; ///< 8-bit tag matched, exact key differed
+  std::uint64_t index_kick_steps = 0;          ///< cuckoo-walk displacements
+  std::uint64_t storage_fastbin_allocs = 0;    ///< allocations served by segregated bins
+  std::uint64_t storage_tree_allocs = 0;       ///< allocations served by the AVL tree
+  std::uint64_t storage_pool_reuses = 0;       ///< Region descriptors recycled from the pool
+
   // --- volume ---
   std::uint64_t bytes_from_cache = 0;
   std::uint64_t bytes_from_network = 0;
@@ -82,6 +94,12 @@ struct Stats {
     d.visited_nonempty = visited_nonempty - base.visited_nonempty;
     d.invalidations = invalidations - base.invalidations;
     d.adjustments = adjustments - base.adjustments;
+    d.index_probes = index_probes - base.index_probes;
+    d.index_tag_false_positives = index_tag_false_positives - base.index_tag_false_positives;
+    d.index_kick_steps = index_kick_steps - base.index_kick_steps;
+    d.storage_fastbin_allocs = storage_fastbin_allocs - base.storage_fastbin_allocs;
+    d.storage_tree_allocs = storage_tree_allocs - base.storage_tree_allocs;
+    d.storage_pool_reuses = storage_pool_reuses - base.storage_pool_reuses;
     d.bytes_from_cache = bytes_from_cache - base.bytes_from_cache;
     d.bytes_from_network = bytes_from_network - base.bytes_from_network;
     d.injected_faults = injected_faults - base.injected_faults;

@@ -38,6 +38,24 @@ class UniversalHash {
         (static_cast<unsigned __int128>(mix(x)) * range) >> 64);
   }
 
+  /// Hot-path mapping into [0, range): one multiply-shift family member
+  /// fastrange-reduced, i.e. the high bits of (a*x + b) scaled by the
+  /// range. Skips the avalanche finalizer of mix() — a single multiply
+  /// per probe instead of three — which is exactly the multiply-shift
+  /// universal family of Dietzfelbinger et al. when range is a power of
+  /// two, and its fastrange generalization otherwise.
+  std::uint64_t slot(std::uint64_t x, std::uint64_t range) const {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a_ * x + b_) * range) >> 64);
+  }
+
+  /// Power-of-two specialization of slot(): keep the top (64 - shift)
+  /// bits, one 64-bit multiply total. Equivalent to slot(x, 1 << (64 -
+  /// shift)) but without the 128-bit widening multiply.
+  std::uint64_t shifted(std::uint64_t x, int shift) const {
+    return (a_ * x + b_) >> shift;
+  }
+
  private:
   std::uint64_t a_;
   std::uint64_t b_;

@@ -1,0 +1,206 @@
+// Differential test of S_w: the segregated-bin + AVL storage against an
+// obviously-correct reference best-fit model.
+//
+// The fast bins are an *implementation* of best-fit (smallest sufficient
+// size, lowest offset among equals) — not an approximation. The paper's
+// fragmentation study (Fig. 10) depends on that policy, so the reference
+// model here is the policy spelled out naively: a sorted list of free
+// segments scanned in full for every operation. A long randomized
+// alloc/dealloc/extend trace must keep the real allocator byte-for-byte
+// in lockstep with the model, with validate() green the whole way.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "clampi/storage.h"
+#include "util/align.h"
+#include "util/rng.h"
+
+namespace {
+
+using clampi::Storage;
+namespace util = clampi::util;
+
+constexpr std::size_t kNoFit = std::numeric_limits<std::size_t>::max();
+
+/// Reference best-fit allocator: free segments kept sorted by offset,
+/// every decision made by exhaustive scan.
+class RefModel {
+ public:
+  explicit RefModel(std::size_t capacity) : capacity_(capacity) {
+    free_.push_back({0, capacity});
+  }
+
+  /// Returns the chosen offset, or kNoFit.
+  std::size_t alloc(std::size_t bytes) {
+    const std::size_t need =
+        util::round_up(std::max<std::size_t>(bytes, 1), util::kCacheLineBytes);
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].size < need) continue;
+      if (best == free_.size() || free_[i].size < free_[best].size) best = i;
+      // Ties on size: free_ is offset-sorted, so the first hit already
+      // has the lowest offset.
+    }
+    if (best == free_.size()) return kNoFit;
+    const std::size_t off = free_[best].off;
+    free_[best].off += need;
+    free_[best].size -= need;
+    if (free_[best].size == 0) free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+    return off;
+  }
+
+  void dealloc(std::size_t off, std::size_t size) {
+    auto it = std::lower_bound(free_.begin(), free_.end(), off,
+                               [](const Seg& s, std::size_t o) { return s.off < o; });
+    it = free_.insert(it, {off, size});
+    // Coalesce with the successor, then the predecessor.
+    const auto at = static_cast<std::size_t>(it - free_.begin());
+    if (at + 1 < free_.size() && free_[at].off + free_[at].size == free_[at + 1].off) {
+      free_[at].size += free_[at + 1].size;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(at) + 1);
+    }
+    if (at > 0 && free_[at - 1].off + free_[at - 1].size == free_[at].off) {
+      free_[at - 1].size += free_[at].size;
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+  }
+
+  /// In-place growth consuming the leading part of the adjacent free
+  /// segment; mirrors Storage::try_extend.
+  bool extend(std::size_t off, std::size_t cur_size, std::size_t new_bytes) {
+    const std::size_t target = util::round_up(new_bytes, util::kCacheLineBytes);
+    if (target <= cur_size) return true;
+    const std::size_t need = target - cur_size;
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i].off != off + cur_size) continue;
+      if (free_[i].size < need) return false;
+      free_[i].off += need;
+      free_[i].size -= need;
+      if (free_[i].size == 0) free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    return false;
+  }
+
+  std::size_t free_bytes() const {
+    std::size_t t = 0;
+    for (const Seg& s : free_) t += s.size;
+    return t;
+  }
+
+  std::size_t largest_free() const {
+    std::size_t m = 0;
+    for (const Seg& s : free_) m = std::max(m, s.size);
+    return m;
+  }
+
+ private:
+  struct Seg {
+    std::size_t off;
+    std::size_t size;
+  };
+  std::size_t capacity_;
+  std::vector<Seg> free_;  // sorted by offset, never adjacent
+};
+
+struct Live {
+  Storage::Region* r;
+  std::size_t off;
+  std::size_t size;  // rounded size, as both allocators track it
+};
+
+/// One randomized trace: weighted alloc/dealloc/extend ops; every step
+/// cross-checked (chosen offset, byte accounting, largest free block)
+/// and validate()d.
+void run_trace(std::uint64_t seed, std::size_t capacity, int steps) {
+  Storage s(capacity);
+  RefModel m(s.capacity());
+  util::Xoshiro256 rng(seed);
+  std::vector<Live> live;
+
+  for (int step = 0; step < steps; ++step) {
+    const std::uint64_t dice = rng() % 100;
+    if (dice < 55 || live.empty()) {
+      // Sizes span the bin classes and the tree range; odd byte counts
+      // exercise the round-up.
+      const std::size_t kinds[6] = {1, 200, 1024, 4096, 4097, 20000};
+      const std::size_t bytes = kinds[rng() % 6] + rng() % 64;
+      Storage::Region* r = s.alloc(bytes);
+      const std::size_t ref = m.alloc(bytes);
+      if (r == nullptr) {
+        ASSERT_EQ(ref, kNoFit) << "model found a fit the allocator missed @" << step;
+      } else {
+        ASSERT_NE(ref, kNoFit) << "allocator found a fit the model missed @" << step;
+        ASSERT_EQ(r->offset, ref) << "best-fit divergence @" << step;
+        live.push_back({r, r->offset, r->size});
+      }
+    } else if (dice < 85) {
+      const std::size_t at = rng() % live.size();
+      s.dealloc(live[at].r);
+      m.dealloc(live[at].off, live[at].size);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+    } else {
+      const std::size_t at = rng() % live.size();
+      const std::size_t grown = live[at].size + 64 + rng() % 4096;
+      const bool got = s.try_extend(live[at].r, grown);
+      const bool ref = m.extend(live[at].off, live[at].size, grown);
+      ASSERT_EQ(got, ref) << "extend divergence @" << step;
+      if (got) live[at].size = live[at].r->size;
+    }
+    ASSERT_EQ(s.free_bytes(), m.free_bytes()) << "byte accounting @" << step;
+    ASSERT_EQ(s.largest_free(), m.largest_free()) << "largest-free @" << step;
+    ASSERT_TRUE(s.validate()) << "invariant break @" << step;
+  }
+  // Drain: everything must come back and coalesce to one maximal region.
+  for (const Live& l : live) {
+    s.dealloc(l.r);
+    m.dealloc(l.off, l.size);
+  }
+  EXPECT_EQ(s.free_bytes(), s.capacity());
+  EXPECT_EQ(s.largest_free(), s.capacity());
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(StorageDiff, SmallBufferHighChurn) { run_trace(1, std::size_t{256} << 10, 3000); }
+TEST(StorageDiff, MediumBuffer) { run_trace(2, std::size_t{4} << 20, 3000); }
+TEST(StorageDiff, TinyBufferExhaustionHeavy) { run_trace(3, std::size_t{64} << 10, 2500); }
+
+// Directed check of the bin/tree boundary: exact kMaxBinBytes allocations
+// are bin-served, one byte more goes to the tree, and the two paths keep
+// the same best-fit choice.
+TEST(StorageDiff, BinTreeBoundary) {
+  Storage s(std::size_t{1} << 20);
+  RefModel m(s.capacity());
+  std::vector<Live> live;
+  const std::size_t sizes[4] = {Storage::kMaxBinBytes, Storage::kMaxBinBytes + 1,
+                                Storage::kMaxBinBytes - 63, 2 * Storage::kMaxBinBytes};
+  for (int round = 0; round < 32; ++round) {
+    for (const std::size_t b : sizes) {
+      Storage::Region* r = s.alloc(b);
+      const std::size_t ref = m.alloc(b);
+      ASSERT_NE(r, nullptr);
+      ASSERT_EQ(r->offset, ref);
+      live.push_back({r, r->offset, r->size});
+    }
+    // Free every other region: leaves interior holes on both sides of
+    // the boundary for the next round's best-fit to pick through.
+    for (std::size_t i = round % 2; i < live.size(); i += 2) {
+      s.dealloc(live[i].r);
+      m.dealloc(live[i].off, live[i].size);
+    }
+    std::vector<Live> kept;
+    for (std::size_t i = (round % 2) ^ 1; i < live.size(); i += 2) kept.push_back(live[i]);
+    live.swap(kept);
+    ASSERT_EQ(s.free_bytes(), m.free_bytes());
+    ASSERT_TRUE(s.validate());
+  }
+  const auto& c = s.counters();
+  EXPECT_GT(c.fastbin_allocs, 0u);
+  EXPECT_GT(c.tree_allocs, 0u);
+}
+
+}  // namespace
