@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_block_vs_variable.dir/abl_block_vs_variable.cc.o"
+  "CMakeFiles/abl_block_vs_variable.dir/abl_block_vs_variable.cc.o.d"
+  "abl_block_vs_variable"
+  "abl_block_vs_variable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_block_vs_variable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_congestion.dir/abl_congestion.cc.o"
+  "CMakeFiles/abl_congestion.dir/abl_congestion.cc.o.d"
+  "abl_congestion"
+  "abl_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

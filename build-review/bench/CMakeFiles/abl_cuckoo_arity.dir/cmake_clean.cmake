@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cuckoo_arity.dir/abl_cuckoo_arity.cc.o"
+  "CMakeFiles/abl_cuckoo_arity.dir/abl_cuckoo_arity.cc.o.d"
+  "abl_cuckoo_arity"
+  "abl_cuckoo_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cuckoo_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sample_size.dir/abl_sample_size.cc.o"
+  "CMakeFiles/abl_sample_size.dir/abl_sample_size.cc.o.d"
+  "abl_sample_size"
+  "abl_sample_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sample_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_latency_hierarchy.dir/fig01_latency_hierarchy.cc.o"
+  "CMakeFiles/fig01_latency_hierarchy.dir/fig01_latency_hierarchy.cc.o.d"
+  "fig01_latency_hierarchy"
+  "fig01_latency_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_latency_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

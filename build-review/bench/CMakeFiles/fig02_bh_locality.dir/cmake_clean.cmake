@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_bh_locality.dir/fig02_bh_locality.cc.o"
+  "CMakeFiles/fig02_bh_locality.dir/fig02_bh_locality.cc.o.d"
+  "fig02_bh_locality"
+  "fig02_bh_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_bh_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_lcc_sizes.dir/fig03_lcc_sizes.cc.o"
+  "CMakeFiles/fig03_lcc_sizes.dir/fig03_lcc_sizes.cc.o.d"
+  "fig03_lcc_sizes"
+  "fig03_lcc_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_lcc_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_lcc_sizes.
+# This may be replaced when dependencies are built.

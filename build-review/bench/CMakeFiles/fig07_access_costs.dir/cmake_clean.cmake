@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_access_costs.dir/fig07_access_costs.cc.o"
+  "CMakeFiles/fig07_access_costs.dir/fig07_access_costs.cc.o.d"
+  "fig07_access_costs"
+  "fig07_access_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_access_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_overlap.dir/fig08_overlap.cc.o"
+  "CMakeFiles/fig08_overlap.dir/fig08_overlap.cc.o.d"
+  "fig08_overlap"
+  "fig08_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_adaptive.dir/fig09_adaptive.cc.o"
+  "CMakeFiles/fig09_adaptive.dir/fig09_adaptive.cc.o.d"
+  "fig09_adaptive"
+  "fig09_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

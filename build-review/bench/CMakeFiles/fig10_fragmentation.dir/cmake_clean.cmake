@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fragmentation.dir/fig10_fragmentation.cc.o"
+  "CMakeFiles/fig10_fragmentation.dir/fig10_fragmentation.cc.o.d"
+  "fig10_fragmentation"
+  "fig10_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_victim_stats.dir/fig11_victim_stats.cc.o"
+  "CMakeFiles/fig11_victim_stats.dir/fig11_victim_stats.cc.o.d"
+  "fig11_victim_stats"
+  "fig11_victim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_victim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bh_params.dir/fig12_bh_params.cc.o"
+  "CMakeFiles/fig12_bh_params.dir/fig12_bh_params.cc.o.d"
+  "fig12_bh_params"
+  "fig12_bh_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bh_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

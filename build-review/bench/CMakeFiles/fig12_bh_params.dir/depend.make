@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_bh_params.
+# This may be replaced when dependencies are built.

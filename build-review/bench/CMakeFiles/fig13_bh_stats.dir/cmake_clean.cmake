@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bh_stats.dir/fig13_bh_stats.cc.o"
+  "CMakeFiles/fig13_bh_stats.dir/fig13_bh_stats.cc.o.d"
+  "fig13_bh_stats"
+  "fig13_bh_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bh_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bh_weak_scaling.dir/fig14_bh_weak_scaling.cc.o"
+  "CMakeFiles/fig14_bh_weak_scaling.dir/fig14_bh_weak_scaling.cc.o.d"
+  "fig14_bh_weak_scaling"
+  "fig14_bh_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bh_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_lcc_params.dir/fig15_lcc_params.cc.o"
+  "CMakeFiles/fig15_lcc_params.dir/fig15_lcc_params.cc.o.d"
+  "fig15_lcc_params"
+  "fig15_lcc_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_lcc_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_lcc_stats.dir/fig16_lcc_stats.cc.o"
+  "CMakeFiles/fig16_lcc_stats.dir/fig16_lcc_stats.cc.o.d"
+  "fig16_lcc_stats"
+  "fig16_lcc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_lcc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

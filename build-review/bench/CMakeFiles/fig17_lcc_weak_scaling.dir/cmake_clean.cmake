@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_lcc_weak_scaling.dir/fig17_lcc_weak_scaling.cc.o"
+  "CMakeFiles/fig17_lcc_weak_scaling.dir/fig17_lcc_weak_scaling.cc.o.d"
+  "fig17_lcc_weak_scaling"
+  "fig17_lcc_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_lcc_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

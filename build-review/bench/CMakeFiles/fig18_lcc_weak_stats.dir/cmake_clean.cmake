@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_lcc_weak_stats.dir/fig18_lcc_weak_stats.cc.o"
+  "CMakeFiles/fig18_lcc_weak_stats.dir/fig18_lcc_weak_stats.cc.o.d"
+  "fig18_lcc_weak_stats"
+  "fig18_lcc_weak_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_lcc_weak_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hotpath.dir/micro_hotpath.cc.o"
+  "CMakeFiles/micro_hotpath.dir/micro_hotpath.cc.o.d"
+  "micro_hotpath"
+  "micro_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barnes_hut_sim.dir/barnes_hut_sim.cpp.o"
+  "CMakeFiles/barnes_hut_sim.dir/barnes_hut_sim.cpp.o.d"
+  "barnes_hut_sim"
+  "barnes_hut_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barnes_hut_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcc_graph.dir/lcc_graph.cpp.o"
+  "CMakeFiles/lcc_graph.dir/lcc_graph.cpp.o.d"
+  "lcc_graph"
+  "lcc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

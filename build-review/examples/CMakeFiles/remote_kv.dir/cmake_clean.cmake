@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_kv.dir/remote_kv.cpp.o"
+  "CMakeFiles/remote_kv.dir/remote_kv.cpp.o.d"
+  "remote_kv"
+  "remote_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netmodel")
+subdirs("fault")
+subdirs("rt")
+subdirs("datatype")
+subdirs("metrics")
+subdirs("clampi")
+subdirs("bh")
+subdirs("graph")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_bh.dir/native_cache.cc.o"
+  "CMakeFiles/clampi_bh.dir/native_cache.cc.o.d"
+  "CMakeFiles/clampi_bh.dir/octree.cc.o"
+  "CMakeFiles/clampi_bh.dir/octree.cc.o.d"
+  "CMakeFiles/clampi_bh.dir/solver.cc.o"
+  "CMakeFiles/clampi_bh.dir/solver.cc.o.d"
+  "libclampi_bh.a"
+  "libclampi_bh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_bh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clampi/adaptive.cc" "src/clampi/CMakeFiles/clampi_core.dir/adaptive.cc.o" "gcc" "src/clampi/CMakeFiles/clampi_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/clampi/cache.cc" "src/clampi/CMakeFiles/clampi_core.dir/cache.cc.o" "gcc" "src/clampi/CMakeFiles/clampi_core.dir/cache.cc.o.d"
+  "/root/repo/src/clampi/info.cc" "src/clampi/CMakeFiles/clampi_core.dir/info.cc.o" "gcc" "src/clampi/CMakeFiles/clampi_core.dir/info.cc.o.d"
+  "/root/repo/src/clampi/storage.cc" "src/clampi/CMakeFiles/clampi_core.dir/storage.cc.o" "gcc" "src/clampi/CMakeFiles/clampi_core.dir/storage.cc.o.d"
+  "/root/repo/src/clampi/trace.cc" "src/clampi/CMakeFiles/clampi_core.dir/trace.cc.o" "gcc" "src/clampi/CMakeFiles/clampi_core.dir/trace.cc.o.d"
+  "/root/repo/src/clampi/window.cc" "src/clampi/CMakeFiles/clampi_core.dir/window.cc.o" "gcc" "src/clampi/CMakeFiles/clampi_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rt/CMakeFiles/clampi_rt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/datatype/CMakeFiles/clampi_datatype.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/clampi_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/netmodel/CMakeFiles/clampi_netmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

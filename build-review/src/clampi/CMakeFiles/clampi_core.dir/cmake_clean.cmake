@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_core.dir/adaptive.cc.o"
+  "CMakeFiles/clampi_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/clampi_core.dir/cache.cc.o"
+  "CMakeFiles/clampi_core.dir/cache.cc.o.d"
+  "CMakeFiles/clampi_core.dir/info.cc.o"
+  "CMakeFiles/clampi_core.dir/info.cc.o.d"
+  "CMakeFiles/clampi_core.dir/storage.cc.o"
+  "CMakeFiles/clampi_core.dir/storage.cc.o.d"
+  "CMakeFiles/clampi_core.dir/trace.cc.o"
+  "CMakeFiles/clampi_core.dir/trace.cc.o.d"
+  "CMakeFiles/clampi_core.dir/window.cc.o"
+  "CMakeFiles/clampi_core.dir/window.cc.o.d"
+  "libclampi_core.a"
+  "libclampi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

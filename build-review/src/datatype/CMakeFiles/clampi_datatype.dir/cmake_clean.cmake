@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_datatype.dir/datatype.cc.o"
+  "CMakeFiles/clampi_datatype.dir/datatype.cc.o.d"
+  "libclampi_datatype.a"
+  "libclampi_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

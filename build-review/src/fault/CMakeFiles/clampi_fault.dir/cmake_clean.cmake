@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_fault.dir/fault.cc.o"
+  "CMakeFiles/clampi_fault.dir/fault.cc.o.d"
+  "CMakeFiles/clampi_fault.dir/injector.cc.o"
+  "CMakeFiles/clampi_fault.dir/injector.cc.o.d"
+  "CMakeFiles/clampi_fault.dir/plan.cc.o"
+  "CMakeFiles/clampi_fault.dir/plan.cc.o.d"
+  "libclampi_fault.a"
+  "libclampi_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

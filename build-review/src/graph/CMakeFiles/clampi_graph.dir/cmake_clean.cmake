@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_graph.dir/lcc.cc.o"
+  "CMakeFiles/clampi_graph.dir/lcc.cc.o.d"
+  "CMakeFiles/clampi_graph.dir/pagerank.cc.o"
+  "CMakeFiles/clampi_graph.dir/pagerank.cc.o.d"
+  "CMakeFiles/clampi_graph.dir/rmat.cc.o"
+  "CMakeFiles/clampi_graph.dir/rmat.cc.o.d"
+  "libclampi_graph.a"
+  "libclampi_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

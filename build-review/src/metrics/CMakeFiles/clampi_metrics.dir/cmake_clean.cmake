@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_metrics.dir/stats.cc.o"
+  "CMakeFiles/clampi_metrics.dir/stats.cc.o.d"
+  "libclampi_metrics.a"
+  "libclampi_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

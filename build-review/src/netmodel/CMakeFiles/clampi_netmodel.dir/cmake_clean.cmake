@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_netmodel.dir/hierarchy.cc.o"
+  "CMakeFiles/clampi_netmodel.dir/hierarchy.cc.o.d"
+  "libclampi_netmodel.a"
+  "libclampi_netmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_netmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_rt.dir/engine.cc.o"
+  "CMakeFiles/clampi_rt.dir/engine.cc.o.d"
+  "libclampi_rt.a"
+  "libclampi_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bh_test.dir/bh_test.cc.o"
+  "CMakeFiles/bh_test.dir/bh_test.cc.o.d"
+  "bh_test"
+  "bh_test.pdb"
+  "bh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

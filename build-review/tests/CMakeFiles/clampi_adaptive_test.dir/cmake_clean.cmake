@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_adaptive_test.dir/clampi_adaptive_test.cc.o"
+  "CMakeFiles/clampi_adaptive_test.dir/clampi_adaptive_test.cc.o.d"
+  "clampi_adaptive_test"
+  "clampi_adaptive_test.pdb"
+  "clampi_adaptive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

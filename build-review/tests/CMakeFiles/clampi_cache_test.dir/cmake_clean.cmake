@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_cache_test.dir/clampi_cache_test.cc.o"
+  "CMakeFiles/clampi_cache_test.dir/clampi_cache_test.cc.o.d"
+  "clampi_cache_test"
+  "clampi_cache_test.pdb"
+  "clampi_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_config_validation_test.dir/clampi_config_validation_test.cc.o"
+  "CMakeFiles/clampi_config_validation_test.dir/clampi_config_validation_test.cc.o.d"
+  "clampi_config_validation_test"
+  "clampi_config_validation_test.pdb"
+  "clampi_config_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_config_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_cuckoo_test.dir/clampi_cuckoo_test.cc.o"
+  "CMakeFiles/clampi_cuckoo_test.dir/clampi_cuckoo_test.cc.o.d"
+  "clampi_cuckoo_test"
+  "clampi_cuckoo_test.pdb"
+  "clampi_cuckoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_cuckoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

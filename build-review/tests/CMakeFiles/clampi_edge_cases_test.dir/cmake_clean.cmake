@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_edge_cases_test.dir/clampi_edge_cases_test.cc.o"
+  "CMakeFiles/clampi_edge_cases_test.dir/clampi_edge_cases_test.cc.o.d"
+  "clampi_edge_cases_test"
+  "clampi_edge_cases_test.pdb"
+  "clampi_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_hotpath_test.dir/clampi_hotpath_test.cc.o"
+  "CMakeFiles/clampi_hotpath_test.dir/clampi_hotpath_test.cc.o.d"
+  "clampi_hotpath_test"
+  "clampi_hotpath_test.pdb"
+  "clampi_hotpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_hotpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_resize_test.dir/clampi_resize_test.cc.o"
+  "CMakeFiles/clampi_resize_test.dir/clampi_resize_test.cc.o.d"
+  "clampi_resize_test"
+  "clampi_resize_test.pdb"
+  "clampi_resize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_resize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

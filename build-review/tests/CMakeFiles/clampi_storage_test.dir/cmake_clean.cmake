@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_storage_test.dir/clampi_storage_test.cc.o"
+  "CMakeFiles/clampi_storage_test.dir/clampi_storage_test.cc.o.d"
+  "clampi_storage_test"
+  "clampi_storage_test.pdb"
+  "clampi_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

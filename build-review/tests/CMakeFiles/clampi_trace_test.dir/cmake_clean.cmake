@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_trace_test.dir/clampi_trace_test.cc.o"
+  "CMakeFiles/clampi_trace_test.dir/clampi_trace_test.cc.o.d"
+  "clampi_trace_test"
+  "clampi_trace_test.pdb"
+  "clampi_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

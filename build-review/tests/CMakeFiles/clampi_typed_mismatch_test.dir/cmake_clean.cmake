@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_typed_mismatch_test.dir/clampi_typed_mismatch_test.cc.o"
+  "CMakeFiles/clampi_typed_mismatch_test.dir/clampi_typed_mismatch_test.cc.o.d"
+  "clampi_typed_mismatch_test"
+  "clampi_typed_mismatch_test.pdb"
+  "clampi_typed_mismatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_typed_mismatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

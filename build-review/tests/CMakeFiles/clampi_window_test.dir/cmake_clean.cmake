@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clampi_window_test.dir/clampi_window_test.cc.o"
+  "CMakeFiles/clampi_window_test.dir/clampi_window_test.cc.o.d"
+  "clampi_window_test"
+  "clampi_window_test.pdb"
+  "clampi_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clampi_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

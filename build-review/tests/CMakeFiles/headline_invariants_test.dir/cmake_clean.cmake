@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_invariants_test.dir/headline_invariants_test.cc.o"
+  "CMakeFiles/headline_invariants_test.dir/headline_invariants_test.cc.o.d"
+  "headline_invariants_test"
+  "headline_invariants_test.pdb"
+  "headline_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

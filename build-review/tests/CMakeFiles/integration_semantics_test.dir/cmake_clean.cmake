@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_semantics_test.dir/integration_semantics_test.cc.o"
+  "CMakeFiles/integration_semantics_test.dir/integration_semantics_test.cc.o.d"
+  "integration_semantics_test"
+  "integration_semantics_test.pdb"
+  "integration_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_ci_property_test.dir/metrics_ci_property_test.cc.o"
+  "CMakeFiles/metrics_ci_property_test.dir/metrics_ci_property_test.cc.o.d"
+  "metrics_ci_property_test"
+  "metrics_ci_property_test.pdb"
+  "metrics_ci_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_ci_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

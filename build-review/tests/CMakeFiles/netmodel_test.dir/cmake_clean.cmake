@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmodel_test.dir/netmodel_test.cc.o"
+  "CMakeFiles/netmodel_test.dir/netmodel_test.cc.o.d"
+  "netmodel_test"
+  "netmodel_test.pdb"
+  "netmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

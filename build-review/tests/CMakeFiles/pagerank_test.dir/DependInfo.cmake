@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pagerank_test.cc" "tests/CMakeFiles/pagerank_test.dir/pagerank_test.cc.o" "gcc" "tests/CMakeFiles/pagerank_test.dir/pagerank_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/graph/CMakeFiles/clampi_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/clampi/CMakeFiles/clampi_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/datatype/CMakeFiles/clampi_datatype.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/rt/CMakeFiles/clampi_rt.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/fault/CMakeFiles/clampi_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/netmodel/CMakeFiles/clampi_netmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

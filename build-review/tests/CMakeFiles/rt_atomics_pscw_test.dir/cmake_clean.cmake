@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_atomics_pscw_test.dir/rt_atomics_pscw_test.cc.o"
+  "CMakeFiles/rt_atomics_pscw_test.dir/rt_atomics_pscw_test.cc.o.d"
+  "rt_atomics_pscw_test"
+  "rt_atomics_pscw_test.pdb"
+  "rt_atomics_pscw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_atomics_pscw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

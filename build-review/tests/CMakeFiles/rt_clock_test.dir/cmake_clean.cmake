@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_clock_test.dir/rt_clock_test.cc.o"
+  "CMakeFiles/rt_clock_test.dir/rt_clock_test.cc.o.d"
+  "rt_clock_test"
+  "rt_clock_test.pdb"
+  "rt_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

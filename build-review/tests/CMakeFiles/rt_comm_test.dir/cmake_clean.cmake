@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_comm_test.dir/rt_comm_test.cc.o"
+  "CMakeFiles/rt_comm_test.dir/rt_comm_test.cc.o.d"
+  "rt_comm_test"
+  "rt_comm_test.pdb"
+  "rt_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_congestion_test.dir/rt_congestion_test.cc.o"
+  "CMakeFiles/rt_congestion_test.dir/rt_congestion_test.cc.o.d"
+  "rt_congestion_test"
+  "rt_congestion_test.pdb"
+  "rt_congestion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_congestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_engine_test.dir/rt_engine_test.cc.o"
+  "CMakeFiles/rt_engine_test.dir/rt_engine_test.cc.o.d"
+  "rt_engine_test"
+  "rt_engine_test.pdb"
+  "rt_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_error_paths_test.dir/rt_error_paths_test.cc.o"
+  "CMakeFiles/rt_error_paths_test.dir/rt_error_paths_test.cc.o.d"
+  "rt_error_paths_test"
+  "rt_error_paths_test.pdb"
+  "rt_error_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_error_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_window_extra_test.dir/rt_window_extra_test.cc.o"
+  "CMakeFiles/rt_window_extra_test.dir/rt_window_extra_test.cc.o.d"
+  "rt_window_extra_test"
+  "rt_window_extra_test.pdb"
+  "rt_window_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_window_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

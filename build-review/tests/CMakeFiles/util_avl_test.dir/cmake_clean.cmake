@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_avl_test.dir/util_avl_test.cc.o"
+  "CMakeFiles/util_avl_test.dir/util_avl_test.cc.o.d"
+  "util_avl_test"
+  "util_avl_test.pdb"
+  "util_avl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_avl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
