@@ -1,0 +1,89 @@
+#include "clampi/breaker.h"
+
+#include "util/error.h"
+
+namespace clampi {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const Config& cfg)
+    : cfg_(cfg), failures_(cfg.window_us) {
+  CLAMPI_REQUIRE(cfg.failure_threshold >= 1, "breaker: failure_threshold must be >= 1");
+  CLAMPI_REQUIRE(cfg.window_us > 0.0, "breaker: window_us must be positive");
+  CLAMPI_REQUIRE(cfg.open_us > 0.0, "breaker: open_us must be positive");
+  CLAMPI_REQUIRE(cfg.probe_every_n >= 1, "breaker: probe_every_n must be >= 1");
+  CLAMPI_REQUIRE(cfg.halfopen_successes >= 1,
+                 "breaker: halfopen_successes must be >= 1");
+}
+
+void CircuitBreaker::trip(double now_us) {
+  if (state_ != BreakerState::kOpen) {
+    state_ = BreakerState::kOpen;
+    open_since_us_ = now_us;
+  }
+  open_until_us_ = now_us + cfg_.open_us;
+  ++trips_;
+  failures_.clear();
+}
+
+CircuitBreaker::Route CircuitBreaker::route(double now_us) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Route::kCache;
+    case BreakerState::kOpen:
+      if (now_us < open_until_us_) return Route::kPassThrough;
+      // Dwell served: start probing.
+      total_open_us_ += now_us - open_since_us_;
+      state_ = BreakerState::kHalfOpen;
+      probe_tick_ = 0;
+      successes_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      // The first get after the transition is a probe, then 1 of every n.
+      if (probe_tick_++ % cfg_.probe_every_n == 0) return Route::kCache;
+      return Route::kPassThrough;
+  }
+  return Route::kCache;
+}
+
+void CircuitBreaker::record_failure(double now_us) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      failures_.add(now_us);
+      if (failures_.count(now_us) >= static_cast<std::size_t>(cfg_.failure_threshold)) {
+        trip(now_us);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // A probe surfaced a failure: the cache is still sick.
+      trip(now_us);
+      break;
+    case BreakerState::kOpen:
+      break;  // already open; pass-through failures are network trouble
+  }
+}
+
+void CircuitBreaker::record_probe_success(double) {
+  if (state_ != BreakerState::kHalfOpen) return;
+  if (++successes_ >= cfg_.halfopen_successes) {
+    state_ = BreakerState::kClosed;
+    ++recloses_;
+    failures_.clear();
+  }
+}
+
+double CircuitBreaker::time_in_open_us(double now_us) const {
+  if (state_ == BreakerState::kOpen) {
+    return total_open_us_ + (now_us - open_since_us_);
+  }
+  return total_open_us_;
+}
+
+}  // namespace clampi

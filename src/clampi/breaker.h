@@ -1,0 +1,85 @@
+// Pass-through circuit breaker for a caching-enabled window.
+//
+// The integrity guard (docs/INTEGRITY.md) bounds the damage of a
+// misbehaving cache: when corruption detections and retry give-ups within
+// a sliding virtual-time window exceed a threshold, the window trips to
+// pass-through mode — every get goes directly to the network, inserts are
+// disabled — so the cache *fails open* (slower but correct) instead of
+// failing wrong. Classic three-state machine:
+//
+//            >= threshold failures in window
+//   CLOSED ----------------------------------> OPEN
+//     ^                                          | open_us elapsed
+//     |  halfopen_successes consecutive          v
+//     +------------------------------------- HALF-OPEN
+//          healthy probes                        |
+//                 failure during a probe window  |
+//        OPEN <----------------------------------+
+//
+// While HALF-OPEN, 1 of every `probe_every_n` gets is routed through the
+// cache as a probe; the rest stay pass-through. All timing is virtual
+// time, so trips and recloses are deterministic given the fault schedule.
+//
+// The breaker itself is runtime-agnostic (CachedWindow drives it and
+// mirrors transitions into Stats and the trace); tests drive it directly.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/sliding_window.h"
+
+namespace clampi {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+const char* to_string(BreakerState s);
+
+class CircuitBreaker {
+ public:
+  struct Config {
+    int failure_threshold = 4;     ///< failures in the window that trip it
+    double window_us = 10000.0;    ///< sliding virtual-time window
+    double open_us = 5000.0;       ///< dwell time in OPEN before probing
+    int probe_every_n = 8;         ///< HALF-OPEN: 1 of n gets probes the cache
+    int halfopen_successes = 4;    ///< consecutive healthy probes to reclose
+  };
+
+  explicit CircuitBreaker(const Config& cfg);
+
+  enum class Route : std::uint8_t { kCache, kPassThrough };
+
+  /// Per-get routing decision at virtual time `now_us`. Performs the lazy
+  /// OPEN -> HALF-OPEN transition when the dwell time has elapsed.
+  Route route(double now_us);
+
+  /// A failure event (corruption detected, retry give-up). Trips CLOSED
+  /// when the windowed count reaches the threshold; re-trips HALF-OPEN
+  /// immediately.
+  void record_failure(double now_us);
+
+  /// A cache-routed get completed cleanly. Only meaningful in HALF-OPEN,
+  /// where `halfopen_successes` of these in a row reclose the breaker.
+  void record_probe_success(double now_us);
+
+  BreakerState state() const { return state_; }
+  std::uint64_t trips() const { return trips_; }
+  std::uint64_t recloses() const { return recloses_; }
+  /// Cumulative virtual time spent in OPEN (HALF-OPEN not included).
+  double time_in_open_us(double now_us) const;
+
+ private:
+  void trip(double now_us);
+
+  Config cfg_;
+  metrics::SlidingWindowCounter failures_;
+  BreakerState state_ = BreakerState::kClosed;
+  double open_until_us_ = 0.0;
+  double open_since_us_ = 0.0;
+  double total_open_us_ = 0.0;
+  int probe_tick_ = 0;
+  int successes_ = 0;
+  std::uint64_t trips_ = 0;
+  std::uint64_t recloses_ = 0;
+};
+
+}  // namespace clampi

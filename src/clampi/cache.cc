@@ -6,6 +6,7 @@
 #include <ctime>
 #include <limits>
 
+#include "clampi/checksum.h"
 #include "util/align.h"
 
 namespace clampi {
@@ -213,7 +214,7 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
 
   const std::uint64_t hkey = make_hkey(key);
   int probes = 0;
-  const std::uint32_t found = index_.lookup(
+  std::uint32_t found = index_.lookup(
       hkey, [&](std::uint32_t id) { return entries_[id].key == key; }, &probes);
   // Probe counting lives here, not in the index: this store lands next to
   // the stats stores access() performs anyway, keeping lookup() store-free.
@@ -221,6 +222,26 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
   if (phases != nullptr) timer.lap(&phases->lookup_ns);
 
   Result res;
+  // --- integrity guard: sampled checksum verification on CACHED hits ---
+  // Off the hot path unless configured (one predictable branch when
+  // verify_every_n == 0). On a mismatch the entry is quarantined and the
+  // access falls through to the miss path below, which re-fetches and
+  // re-caches the data — the caller never sees the corrupt bytes.
+  if (cfg_.verify_every_n != 0 && found != kNoEntry && !entries_[found].pending)
+      [[unlikely]] {
+    if (++verify_tick_ >= cfg_.verify_every_n) {
+      verify_tick_ = 0;
+      ++stats_.checksum_verifications;
+      const Entry& e = entries_[found];
+      if (entry_checksum(e) != e.csum) {
+        ++stats_.corruption_detected;
+        ++stats_.self_heals;
+        quarantine(found);
+        res.healed = true;
+        found = kNoEntry;  // continue as a miss: transparent re-fetch
+      }
+    }
+  }
   if (found != kNoEntry) {
     Entry& e = entries_[found];
     e.last = g_;
@@ -285,8 +306,9 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
   const std::uint32_t id = alloc_entry();
   // Born PENDING so the eviction rounds below never consider the entry a
   // victim while it has no region yet.
-  entries_[id] =
-      Entry{key, hkey, dtype_sig, bytes, nullptr, g_, /*pending=*/true, /*live=*/true};
+  entries_[id] = Entry{key,     hkey, dtype_sig,        bytes,        nullptr,
+                       g_,      /*csum=*/0,
+                       /*pending=*/true, /*live=*/true};
   ++pending_entries_;
   const auto discard_new_entry = [&] {
     entries_[id].pending = false;
@@ -402,6 +424,76 @@ void CacheCore::mark_cached(std::uint32_t id) {
     CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
     --pending_entries_;
   }
+  // Seal the payload: the checksum is the entry's end-to-end integrity
+  // witness from here until eviction (verified on sampled hits and by the
+  // scrubber). Skipped entirely when no integrity feature will read it.
+  if (integrity_on()) e.csum = entry_checksum(e);
+}
+
+std::uint64_t CacheCore::entry_checksum(const Entry& e) const {
+  return checksum64(storage_.data(e.region), e.size, cfg_.seed);
+}
+
+void CacheCore::quarantine(std::uint32_t id) {
+  // Dropped through the regular eviction path: the index forgets the key,
+  // the region returns to S_w, and the next get_c re-fetches from the
+  // origin window. Cause-specific counters are the caller's business.
+  evict_entry(id);
+}
+
+std::size_t CacheCore::invalidate_overlap(int target, std::uint64_t disp,
+                                          std::size_t bytes) {
+  std::size_t dropped = 0;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    const Entry& e = entries_[id];
+    if (!e.live || e.pending || e.key.target != target) continue;
+    if (e.key.disp >= disp + bytes || e.key.disp + e.size <= disp) continue;
+    evict_entry(id);
+    ++dropped;
+  }
+  stats_.put_invalidations += dropped;
+  return dropped;
+}
+
+bool CacheCore::entry_invariants_ok(std::uint32_t id) const {
+  const Entry& e = entries_[id];
+  if (e.region == nullptr || e.region->free) return false;
+  if (e.region->size < e.size) return false;
+  if (e.hkey != make_hkey(e.key)) return false;
+  const std::uint32_t found = index_.lookup(
+      e.hkey, [&](std::uint32_t cand) { return entries_[cand].key == e.key; });
+  return found == id;
+}
+
+CacheCore::ScrubReport CacheCore::scrub(std::size_t max_entries) {
+  ScrubReport rep;
+  if (entries_.empty() || max_entries == 0) return rep;
+  // Walk the entry table as a ring from where the last slice stopped, so
+  // over successive epochs every live entry is visited regardless of the
+  // per-epoch budget (amortization math in docs/INTEGRITY.md).
+  const std::size_t nslots = entries_.size();
+  if (scrub_cursor_ >= nslots) scrub_cursor_ = 0;  // table shrank (invalidate)
+  std::size_t visited = 0;
+  while (visited < nslots && rep.scanned < max_entries) {
+    const std::uint32_t id = scrub_cursor_;
+    scrub_cursor_ = static_cast<std::uint32_t>((scrub_cursor_ + 1) % nslots);
+    ++visited;
+    const Entry& e = entries_[id];
+    if (!e.live || e.pending) continue;
+    ++rep.scanned;
+    if (!entry_invariants_ok(id)) {
+      rep.invariants_ok = false;
+      continue;  // structural damage: report, do not touch
+    }
+    if (integrity_on() && entry_checksum(e) != e.csum) {
+      ++rep.corrupted;
+      ++stats_.scrub_corruptions;
+      ++stats_.corruption_detected;
+      quarantine(id);
+    }
+  }
+  stats_.scrub_entries_scanned += rep.scanned;
+  return rep;
 }
 
 std::uint32_t CacheCore::find_cached(Key key) const {

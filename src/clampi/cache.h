@@ -41,6 +41,10 @@ class CacheCore {
     bool inserted = false;            ///< a new entry now awaits its data
     bool extended = false;            ///< partial hit: entry grew to `bytes`
     bool serve_now = false;           ///< cached prefix may be copied immediately
+    /// A sampled checksum verification caught a corrupt entry: it was
+    /// quarantined and the access fell through to the miss path, so the
+    /// data is transparently re-fetched (self-healing; docs/INTEGRITY.md).
+    bool healed = false;
   };
 
   explicit CacheCore(const Config& cfg);
@@ -75,6 +79,35 @@ class CacheCore {
   /// Returns the number dropped. Used when an epoch is abandoned because
   /// its flush failed: those entries will never receive their data.
   std::size_t drop_pending(int target);
+
+  /// Quarantine a CACHED entry whose bytes are corrupt or stale: dropped
+  /// through the eviction path so the key misses (and re-fetches) next
+  /// time. Callers bump the cause-specific counters.
+  void quarantine(std::uint32_t id);
+
+  /// Drop every CACHED entry overlapping [disp, disp+bytes) at `target`
+  /// (a put landed there: the cached bytes are now stale). PENDING
+  /// entries are skipped — a get and a conflicting put in one epoch is
+  /// already a data race under the MPI-3 epoch model. Returns the number
+  /// dropped (also accumulated in Stats::put_invalidations). O(entries).
+  std::size_t invalidate_overlap(int target, std::uint64_t disp, std::size_t bytes);
+
+  /// One incremental scrub slice (docs/INTEGRITY.md): re-verifies the
+  /// checksum and a per-entry slice of the validate() invariants for up
+  /// to `max_entries` live CACHED entries, resuming where the previous
+  /// slice stopped. Corrupt entries are quarantined. Amortized: the cost
+  /// per epoch is bounded by the budget, never O(N) on the hot path.
+  struct ScrubReport {
+    std::size_t scanned = 0;
+    std::size_t corrupted = 0;   ///< checksum mismatches (quarantined)
+    bool invariants_ok = true;   ///< per-entry index/storage cross-checks
+  };
+  ScrubReport scrub(std::size_t max_entries);
+
+  /// Entry-table iteration surface for integrity sweeps (fault-injected
+  /// storage corruption walks live entries from the window layer).
+  std::size_t entry_slots() const { return entries_.size(); }
+  bool entry_live(std::uint32_t id) const { return entries_[id].live; }
 
   /// Drop every entry. Must not be called with PENDING entries
   /// outstanding (callers flush first).
@@ -122,6 +155,7 @@ class CacheCore {
     std::size_t size = 0;  ///< payload bytes (region may be larger: alignment)
     Storage::Region* region = nullptr;
     std::uint64_t last = 0;  ///< index in C_w.G of the last matching get_c
+    std::uint64_t csum = 0;  ///< XXH64 of the payload, set at mark_cached
     bool pending = false;
     bool live = false;
   };
@@ -147,6 +181,13 @@ class CacheCore {
   /// replaces the index object, so counters accumulated before a resize
   /// are banked in index_counter_base_.
   void sync_hot_counters() const;
+  /// Checksums are maintained only when something will read them.
+  bool integrity_on() const {
+    return cfg_.verify_every_n != 0 || cfg_.scrub_entries_per_epoch != 0;
+  }
+  std::uint64_t entry_checksum(const Entry& e) const;
+  /// Per-entry slice of the validate() cross-structure invariants.
+  bool entry_invariants_ok(std::uint32_t id) const;
 
   Config cfg_;
   mutable Stats stats_;
@@ -162,6 +203,8 @@ class CacheCore {
   std::size_t pending_entries_ = 0;
   std::uint64_t g_ = 0;   ///< |C_w.G|: get_c sequence counter
   double ags_ = 0.0;      ///< running average get size
+  std::uint64_t verify_tick_ = 0;  ///< hit counter for verify_every_n sampling
+  std::uint32_t scrub_cursor_ = 0; ///< resume point of the incremental scrubber
 };
 
 }  // namespace clampi

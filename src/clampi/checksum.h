@@ -1,0 +1,110 @@
+// Fast 64-bit content checksum for the integrity guard (docs/INTEGRITY.md).
+//
+// XXH64 (Yann Collet's xxHash, public-domain algorithm): ~unbeatable
+// throughput for a non-cryptographic 64-bit digest, which is what the
+// per-entry cache checksums need — they defend against bit rot and buggy
+// writes inside S_w, not against an adversary. Computed by
+// CacheCore::mark_cached and re-verified on sampled hits and by the
+// incremental scrubber.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace clampi {
+
+namespace detail {
+
+inline constexpr std::uint64_t kXxP1 = 0x9e3779b185ebca87ull;
+inline constexpr std::uint64_t kXxP2 = 0xc2b2ae3d27d4eb4full;
+inline constexpr std::uint64_t kXxP3 = 0x165667b19e3779f9ull;
+inline constexpr std::uint64_t kXxP4 = 0x85ebca77c2b2ae63ull;
+inline constexpr std::uint64_t kXxP5 = 0x27d4eb2f165667c5ull;
+
+inline std::uint64_t xx_rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t xx_read64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t xx_read32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t xx_round(std::uint64_t acc, std::uint64_t input) {
+  acc += input * kXxP2;
+  acc = xx_rotl(acc, 31);
+  return acc * kXxP1;
+}
+
+inline std::uint64_t xx_merge_round(std::uint64_t acc, std::uint64_t val) {
+  acc ^= xx_round(0, val);
+  return acc * kXxP1 + kXxP4;
+}
+
+}  // namespace detail
+
+/// XXH64 of `len` bytes. Deterministic across platforms of equal
+/// endianness (the simulator is single-process, so that is enough).
+inline std::uint64_t checksum64(const std::byte* data, std::size_t len,
+                                std::uint64_t seed = 0) {
+  using namespace detail;
+  const std::byte* p = data;
+  const std::byte* const end = data + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    std::uint64_t v1 = seed + kXxP1 + kXxP2;
+    std::uint64_t v2 = seed + kXxP2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - kXxP1;
+    const std::byte* const limit = end - 32;
+    do {
+      v1 = xx_round(v1, xx_read64(p));
+      v2 = xx_round(v2, xx_read64(p + 8));
+      v3 = xx_round(v3, xx_read64(p + 16));
+      v4 = xx_round(v4, xx_read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = xx_rotl(v1, 1) + xx_rotl(v2, 7) + xx_rotl(v3, 12) + xx_rotl(v4, 18);
+    h = xx_merge_round(h, v1);
+    h = xx_merge_round(h, v2);
+    h = xx_merge_round(h, v3);
+    h = xx_merge_round(h, v4);
+  } else {
+    h = seed + kXxP5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+  while (p + 8 <= end) {
+    h ^= xx_round(0, xx_read64(p));
+    h = xx_rotl(h, 27) * kXxP1 + kXxP4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(xx_read32(p)) * kXxP1;
+    h = xx_rotl(h, 23) * kXxP2 + kXxP3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint8_t>(*p)) * kXxP5;
+    h = xx_rotl(h, 11) * kXxP1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kXxP2;
+  h ^= h >> 29;
+  h *= kXxP3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace clampi

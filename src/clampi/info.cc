@@ -106,6 +106,22 @@ Config config_from_info(const Info& info, Config cfg) {
       cfg.epoch_retry_budget_us = parse_f64(key, value);
     } else if (key == "clampi_cache_fallback") {
       cfg.cache_fallback = parse_bool(key, value);
+    } else if (key == "clampi_verify_every_n") {
+      cfg.verify_every_n = parse_u64(key, value);
+    } else if (key == "clampi_scrub_entries_per_epoch") {
+      cfg.scrub_entries_per_epoch = parse_u64(key, value);
+    } else if (key == "clampi_shadow_verify_every_n") {
+      cfg.shadow_verify_every_n = parse_u64(key, value);
+    } else if (key == "clampi_breaker_failure_threshold") {
+      cfg.breaker_failure_threshold = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_breaker_window_us") {
+      cfg.breaker_window_us = parse_f64(key, value);
+    } else if (key == "clampi_breaker_open_us") {
+      cfg.breaker_open_us = parse_f64(key, value);
+    } else if (key == "clampi_breaker_probe_every_n") {
+      cfg.breaker_probe_every_n = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_breaker_halfopen_successes") {
+      cfg.breaker_halfopen_successes = static_cast<int>(parse_u64(key, value));
     } else if (key == "clampi_seed") {
       cfg.seed = parse_u64(key, value);
     } else {
@@ -142,6 +158,19 @@ Info stats_to_info(const Stats& s) {
   put("storage_fastbin_allocs", s.storage_fastbin_allocs);
   put("storage_tree_allocs", s.storage_tree_allocs);
   put("storage_pool_reuses", s.storage_pool_reuses);
+  put("checksum_verifications", s.checksum_verifications);
+  put("corruption_detected", s.corruption_detected);
+  put("self_heals", s.self_heals);
+  put("scrub_entries_scanned", s.scrub_entries_scanned);
+  put("scrub_corruptions", s.scrub_corruptions);
+  put("shadow_verifications", s.shadow_verifications);
+  put("shadow_mismatches", s.shadow_mismatches);
+  put("put_invalidations", s.put_invalidations);
+  put("stale_puts_injected", s.stale_puts_injected);
+  put("storage_bitflips", s.storage_bitflips);
+  put("breaker_trips", s.breaker_trips);
+  put("breaker_recloses", s.breaker_recloses);
+  put("breaker_passthrough_gets", s.breaker_passthrough_gets);
   put("bytes_from_cache", s.bytes_from_cache);
   put("bytes_from_network", s.bytes_from_network);
   put("injected_faults", s.injected_faults);
@@ -178,6 +207,19 @@ void validate_config(const Config& cfg) {
                  "config: retry_jitter must be in [0, 1)");
   CLAMPI_REQUIRE(cfg.epoch_retry_budget_us >= 0.0,
                  "config: negative epoch_retry_budget_us");
+  CLAMPI_REQUIRE(cfg.breaker_failure_threshold >= 0,
+                 "config: breaker_failure_threshold must be >= 0");
+  if (cfg.breaker_failure_threshold > 0) {
+    // The remaining breaker knobs only matter when the breaker exists; a
+    // disabled breaker tolerates any leftover values.
+    CLAMPI_REQUIRE(cfg.breaker_window_us > 0.0,
+                   "config: breaker_window_us must be > 0");
+    CLAMPI_REQUIRE(cfg.breaker_open_us > 0.0, "config: breaker_open_us must be > 0");
+    CLAMPI_REQUIRE(cfg.breaker_probe_every_n >= 1,
+                   "config: breaker_probe_every_n must be >= 1");
+    CLAMPI_REQUIRE(cfg.breaker_halfopen_successes >= 1,
+                   "config: breaker_halfopen_successes must be >= 1");
+  }
 }
 
 }  // namespace clampi

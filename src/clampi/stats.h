@@ -47,6 +47,21 @@ struct Stats {
   std::uint64_t storage_tree_allocs = 0;       ///< allocations served by the AVL tree
   std::uint64_t storage_pool_reuses = 0;       ///< Region descriptors recycled from the pool
 
+  // --- integrity guard (checksums / scrubbing / breaker; docs/INTEGRITY.md) ---
+  std::uint64_t checksum_verifications = 0;  ///< sampled hit-time verifications
+  std::uint64_t corruption_detected = 0;     ///< checksum mismatches (hit or scrub)
+  std::uint64_t self_heals = 0;       ///< corrupt/stale hits transparently re-served
+  std::uint64_t scrub_entries_scanned = 0;   ///< entries visited by the scrubber
+  std::uint64_t scrub_corruptions = 0;       ///< of which failed their checksum
+  std::uint64_t shadow_verifications = 0;    ///< hits double-checked remotely
+  std::uint64_t shadow_mismatches = 0;       ///< stale hits caught by shadow-verify
+  std::uint64_t put_invalidations = 0;       ///< entries dropped by overlapping puts
+  std::uint64_t stale_puts_injected = 0;     ///< puts whose invalidation was skipped
+  std::uint64_t storage_bitflips = 0;        ///< injected bit flips in S_w
+  std::uint64_t breaker_trips = 0;           ///< closed/half-open -> open
+  std::uint64_t breaker_recloses = 0;        ///< half-open -> closed
+  std::uint64_t breaker_passthrough_gets = 0;///< gets served direct while tripped
+
   // --- volume ---
   std::uint64_t bytes_from_cache = 0;
   std::uint64_t bytes_from_network = 0;
@@ -100,6 +115,19 @@ struct Stats {
     d.storage_fastbin_allocs = storage_fastbin_allocs - base.storage_fastbin_allocs;
     d.storage_tree_allocs = storage_tree_allocs - base.storage_tree_allocs;
     d.storage_pool_reuses = storage_pool_reuses - base.storage_pool_reuses;
+    d.checksum_verifications = checksum_verifications - base.checksum_verifications;
+    d.corruption_detected = corruption_detected - base.corruption_detected;
+    d.self_heals = self_heals - base.self_heals;
+    d.scrub_entries_scanned = scrub_entries_scanned - base.scrub_entries_scanned;
+    d.scrub_corruptions = scrub_corruptions - base.scrub_corruptions;
+    d.shadow_verifications = shadow_verifications - base.shadow_verifications;
+    d.shadow_mismatches = shadow_mismatches - base.shadow_mismatches;
+    d.put_invalidations = put_invalidations - base.put_invalidations;
+    d.stale_puts_injected = stale_puts_injected - base.stale_puts_injected;
+    d.storage_bitflips = storage_bitflips - base.storage_bitflips;
+    d.breaker_trips = breaker_trips - base.breaker_trips;
+    d.breaker_recloses = breaker_recloses - base.breaker_recloses;
+    d.breaker_passthrough_gets = breaker_passthrough_gets - base.breaker_passthrough_gets;
     d.bytes_from_cache = bytes_from_cache - base.bytes_from_cache;
     d.bytes_from_network = bytes_from_network - base.bytes_from_network;
     d.injected_faults = injected_faults - base.injected_faults;

@@ -64,6 +64,12 @@ void Trace::save(std::ostream& os) const {
       case Event::Kind::kRetry:
         os << "r " << e.target << ' ' << e.disp << ' ' << e.bytes << '\n';
         break;
+      case Event::Kind::kCorruption:
+        os << "c " << e.target << ' ' << e.disp << ' ' << e.bytes << '\n';
+        break;
+      case Event::Kind::kBreaker:
+        os << "b " << e.target << '\n';
+        break;
     }
   }
 }
@@ -101,6 +107,14 @@ Trace Trace::load(std::istream& is) {
       case 'r':
         e.kind = Event::Kind::kRetry;
         ls >> e.target >> e.disp >> e.bytes;
+        break;
+      case 'c':
+        e.kind = Event::Kind::kCorruption;
+        ls >> e.target >> e.disp >> e.bytes;
+        break;
+      case 'b':
+        e.kind = Event::Kind::kBreaker;
+        ls >> e.target;
         break;
       default:
         CLAMPI_REQUIRE(false,
@@ -144,6 +158,12 @@ Stats replay_core(const Trace& t, CacheCore& core) {
         break;
       case Event::Kind::kFlushAll:
         complete(-1);
+        // Epoch close: run the scrub slice the window layer would run
+        // (docs/INTEGRITY.md), so offline replay reports the same
+        // integrity work a live deployment pays.
+        if (core.config().scrub_entries_per_epoch > 0) {
+          core.scrub(core.config().scrub_entries_per_epoch);
+        }
         break;
       case Event::Kind::kInvalidate:
         complete(-1);
@@ -151,6 +171,8 @@ Stats replay_core(const Trace& t, CacheCore& core) {
         break;
       case Event::Kind::kFault:
       case Event::Kind::kRetry:
+      case Event::Kind::kCorruption:
+      case Event::Kind::kBreaker:
         break;  // annotations: no cache effect
     }
   }
@@ -177,6 +199,8 @@ double replay_window(const Trace& t, CachedWindow& win) {
         break;
       case Event::Kind::kFault:
       case Event::Kind::kRetry:
+      case Event::Kind::kCorruption:
+      case Event::Kind::kBreaker:
         break;  // annotations: the installed injector (if any) re-faults
     }
   }

@@ -15,10 +15,14 @@
 //   I                             invalidate
 //   x <target> <disp> <bytes>     injected fault observed (annotation)
 //   r <target> <attempt> <backoff_ns>  retry after a transient fault
+//   c <target> <disp> <bytes>     corruption/staleness detected and healed
+//   b <state>                     breaker transition (0 closed, 1 open,
+//                                 2 half-open)
 //
-// The x/r lines are annotations emitted by the resilience layer: replay
-// skips them (the injector, if any, re-creates faults deterministically),
-// but they make post-mortem analysis of a faulty run possible.
+// The x/r/c/b lines are annotations emitted by the resilience and
+// integrity layers: replay skips them (the injector, if any, re-creates
+// faults deterministically), but they make post-mortem analysis of a
+// faulty run possible.
 #pragma once
 
 #include <cstdint>
@@ -33,9 +37,18 @@
 namespace clampi::trace {
 
 struct Event {
-  enum class Kind : std::uint8_t { kGet, kFlush, kFlushAll, kInvalidate, kFault, kRetry };
+  enum class Kind : std::uint8_t {
+    kGet,
+    kFlush,
+    kFlushAll,
+    kInvalidate,
+    kFault,
+    kRetry,
+    kCorruption,
+    kBreaker,
+  };
   Kind kind = Kind::kGet;
-  std::int32_t target = 0;
+  std::int32_t target = 0;  ///< kBreaker: the new state; kCorruption: -1 = scrub
   std::uint64_t disp = 0;   ///< kRetry: the attempt number (1-based)
   std::uint64_t bytes = 0;  ///< kRetry: the backoff charged, in nanoseconds
 };
@@ -54,6 +67,12 @@ struct Trace {
   }
   void add_retry(int target, std::uint64_t attempt, std::uint64_t backoff_ns) {
     events.push_back({Event::Kind::kRetry, target, attempt, backoff_ns});
+  }
+  void add_corruption(int target, std::uint64_t disp, std::uint64_t bytes) {
+    events.push_back({Event::Kind::kCorruption, target, disp, bytes});
+  }
+  void add_breaker(int state) {
+    events.push_back({Event::Kind::kBreaker, state, 0, 0});
   }
 
   std::size_t num_gets() const;

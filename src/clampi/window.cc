@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "clampi/trace.h"
+#include "fault/injector.h"
 
 namespace clampi {
 
@@ -14,7 +15,17 @@ CachedWindow::CachedWindow(rmasim::Process& p, rmasim::Window win, const Config&
       cfg_(cfg),
       core_(std::make_unique<CacheCore>(cfg)),
       tuner_(cfg),
-      retry_rng_(cfg.seed ^ 0x7e7a11edbac0ffull) {}
+      retry_rng_(cfg.seed ^ 0x7e7a11edbac0ffull) {
+  if (cfg_.breaker_failure_threshold > 0) {
+    CircuitBreaker::Config bc;
+    bc.failure_threshold = cfg_.breaker_failure_threshold;
+    bc.window_us = cfg_.breaker_window_us;
+    bc.open_us = cfg_.breaker_open_us;
+    bc.probe_every_n = cfg_.breaker_probe_every_n;
+    bc.halfopen_successes = cfg_.breaker_halfopen_successes;
+    breaker_ = std::make_unique<CircuitBreaker>(bc);
+  }
+}
 
 CachedWindow CachedWindow::allocate(rmasim::Process& p, std::size_t bytes, void** base,
                                     const Config& cfg) {
@@ -65,7 +76,10 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
       if (!err.recoverable() || attempt >= cfg_.max_retries) {
         // Give-ups only count when a retry policy was actually in play
         // and could not help (transient fault, retries exhausted).
-        if (cfg_.max_retries > 0 && err.recoverable()) ++st.retry_giveups;
+        if (cfg_.max_retries > 0 && err.recoverable()) {
+          ++st.retry_giveups;
+          breaker_failure();
+        }
         throw;
       }
       double backoff = cfg_.retry_backoff_us;
@@ -76,6 +90,7 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
       if (cfg_.epoch_retry_budget_us > 0.0 &&
           epoch_backoff_us_ + backoff > cfg_.epoch_retry_budget_us) {
         ++st.retry_giveups;
+        breaker_failure();
         throw;
       }
       epoch_backoff_us_ += backoff;
@@ -164,16 +179,28 @@ void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
 void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t disp) {
   CLAMPI_REQUIRE(bytes > 0, "zero-byte get");
   last_phases_ = PhaseBreakdown{};
+  if (breaker_says_passthrough()) {
+    issue_network_get(origin, bytes, target, disp);
+    return;
+  }
   if (try_fallback(origin, bytes, target, disp, /*sig=*/0)) return;
   const CacheCore::Result res =
       core_->access(Key{target, disp}, bytes, /*dtype_sig=*/0,
                     cfg_.collect_phase_timings ? &last_phases_ : nullptr);
+  if (res.healed) [[unlikely]] note_heal(target, disp, bytes);
   const std::size_t pending_mark = pending_.size();
   try {
     handle_result(res, origin, bytes, target, disp);
   } catch (const fault::OpFailedError&) {
     rollback_failed(res, pending_mark);
     throw;
+  }
+  if (!res.healed) breaker_probe_success();
+  if (cfg_.shadow_verify_every_n != 0 && res.type == AccessType::kHit) [[unlikely]] {
+    if (++shadow_tick_ >= cfg_.shadow_verify_every_n) {
+      shadow_tick_ = 0;
+      shadow_verify(origin, bytes, target, disp, res.entry);
+    }
   }
 }
 
@@ -186,11 +213,20 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
     return;
   }
   last_phases_ = PhaseBreakdown{};
+  if (breaker_says_passthrough()) {
+    const auto blocks = dtype.flatten(count);
+    std::vector<rmasim::Process::Block> rb;
+    rb.reserve(blocks.size());
+    for (const auto& b : blocks) rb.push_back({b.offset, b.size});
+    issue_network_get_blocks(origin, target, disp, rb.data(), rb.size(), bytes);
+    return;
+  }
   const std::uint64_t sig = dtype.signature();
   if (try_fallback(origin, bytes, target, disp, sig)) return;
   const CacheCore::Result res =
       core_->access(Key{target, disp}, bytes, sig,
                     cfg_.collect_phase_timings ? &last_phases_ : nullptr);
+  if (res.healed) [[unlikely]] note_heal(target, disp, bytes);
   last_access_ = res.type;
   const std::size_t pending_mark = pending_.size();
   try {
@@ -199,6 +235,7 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
     rollback_failed(res, pending_mark);
     throw;
   }
+  if (!res.healed) breaker_probe_success();
 }
 
 void CachedWindow::handle_typed_result(const CacheCore::Result& res, void* origin,
@@ -295,6 +332,17 @@ void CachedWindow::get_nocache(void* origin, std::size_t bytes, int target,
 void CachedWindow::put(const void* origin, std::size_t bytes, int target,
                        std::size_t disp) {
   p_->put(origin, bytes, target, disp, win_);
+  // Local coherence: the put makes any cached entry overlapping the target
+  // range stale, so drop those entries and let the next get re-fetch. The
+  // stale-put fault (fault::Plan::stale_put_prob) skips exactly this step,
+  // modelling the invalidation bug that shadow-verify exists to catch.
+  const fault::Injector* inj = p_->fault_injector();
+  if (inj != nullptr && inj->plan().stale_put_prob > 0.0 &&
+      inj->stale_put_verdict(p_->rank(), p_->comm_world_rank(comm_, target))) {
+    ++core_->mutable_stats().stale_puts_injected;
+    return;
+  }
+  core_->invalidate_overlap(target, disp, bytes);
 }
 
 void CachedWindow::process_pending(int target) {
@@ -353,6 +401,7 @@ void CachedWindow::close_epoch(bool all_complete) {
     if (core_->cached_entries() > 0) core_->invalidate();
     return;  // nothing to adapt: the cache restarts from scratch each epoch
   }
+  integrity_epoch_tasks();
   maybe_adapt();
 }
 
@@ -438,6 +487,97 @@ void CachedWindow::fence() {
   p_->fence(win_);
   process_pending(-1);
   close_epoch(/*all_complete=*/true);
+}
+
+// --- integrity guard (docs/INTEGRITY.md) ---
+
+bool CachedWindow::breaker_says_passthrough() {
+  if (breaker_ == nullptr) [[likely]] return false;
+  const BreakerState before = breaker_->state();
+  const CircuitBreaker::Route route = breaker_->route(p_->now_us());
+  breaker_note(before);  // open -> half-open transitions surface here
+  if (route == CircuitBreaker::Route::kCache) return false;
+  ++core_->mutable_stats().breaker_passthrough_gets;
+  last_access_ = AccessType::kDirect;
+  return true;
+}
+
+void CachedWindow::breaker_failure() {
+  if (breaker_ == nullptr) return;
+  const BreakerState before = breaker_->state();
+  breaker_->record_failure(p_->now_us());
+  breaker_note(before);
+}
+
+void CachedWindow::breaker_probe_success() {
+  if (breaker_ == nullptr || breaker_->state() != BreakerState::kHalfOpen) return;
+  breaker_->record_probe_success(p_->now_us());
+  breaker_note(BreakerState::kHalfOpen);
+}
+
+void CachedWindow::breaker_note(BreakerState before) {
+  const BreakerState now = breaker_->state();
+  if (now == before) return;
+  Stats& st = core_->mutable_stats();
+  if (now == BreakerState::kOpen) ++st.breaker_trips;
+  if (now == BreakerState::kClosed) ++st.breaker_recloses;
+  if (fault_trace_ != nullptr) fault_trace_->add_breaker(static_cast<int>(now));
+}
+
+void CachedWindow::note_heal(int target, std::size_t disp, std::size_t bytes) {
+  if (fault_trace_ != nullptr) fault_trace_->add_corruption(target, disp, bytes);
+  breaker_failure();
+}
+
+void CachedWindow::shadow_verify(void* origin, std::size_t bytes, int target,
+                                 std::size_t disp, std::uint32_t entry) {
+  if (shadow_buf_.size() < bytes) shadow_buf_.resize(bytes);
+  try {
+    // Data movement is eager in the simulated runtime, so the remote bytes
+    // are in shadow_buf_ on return (completion is only bookkeeping).
+    issue_network_get(shadow_buf_.data(), bytes, target, disp);
+  } catch (const fault::OpFailedError&) {
+    return;  // origin unreachable right now: this sample is simply skipped
+  }
+  Stats& st = core_->mutable_stats();
+  ++st.shadow_verifications;
+  if (std::memcmp(shadow_buf_.data(), origin, bytes) == 0) return;
+  // Silent staleness: the cached entry no longer matches the origin window
+  // (e.g. an invalidation was skipped). Quarantine it, hand the caller the
+  // fresh bytes, and count it as a failure for the breaker.
+  ++st.shadow_mismatches;
+  ++st.self_heals;
+  core_->quarantine(entry);
+  std::memcpy(origin, shadow_buf_.data(), bytes);
+  if (fault_trace_ != nullptr) fault_trace_->add_corruption(target, disp, bytes);
+  breaker_failure();
+}
+
+void CachedWindow::integrity_epoch_tasks() {
+  const fault::Injector* inj = p_->fault_injector();
+  if (inj != nullptr && inj->plan().storage_bitflip_prob > 0.0) {
+    // Seeded bit rot: one corruptor per (rank, epoch) sweeps the live
+    // CACHED payloads with geometric skipping, so the expected flip count
+    // is storage_bitflip_prob per cached byte per epoch, deterministically.
+    fault::Corruptor corr = inj->corruptor(p_->rank(), epoch_);
+    std::uint64_t flips = 0;
+    const std::size_t nslots = core_->entry_slots();
+    for (std::size_t id = 0; id < nslots; ++id) {
+      const auto eid = static_cast<std::uint32_t>(id);
+      if (!core_->entry_live(eid) || core_->entry_pending(eid)) continue;
+      flips += corr.apply(core_->entry_data(eid), core_->entry_bytes(eid));
+    }
+    if (flips > 0) core_->mutable_stats().storage_bitflips += flips;
+  }
+  if (cfg_.scrub_entries_per_epoch > 0) {
+    const CacheCore::ScrubReport rep = core_->scrub(cfg_.scrub_entries_per_epoch);
+    for (std::size_t i = 0; i < rep.corrupted; ++i) breaker_failure();
+    if (!rep.invariants_ok) breaker_failure();
+    if (rep.corrupted > 0 && fault_trace_ != nullptr) {
+      // Scrub heals have no single (target, disp); log one summary event.
+      fault_trace_->add_corruption(-1, 0, rep.corrupted);
+    }
+  }
 }
 
 void CachedWindow::invalidate() {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "clampi/adaptive.h"
+#include "clampi/breaker.h"
 #include "clampi/cache.h"
 #include "clampi/config.h"
 #include "clampi/info.h"
@@ -116,6 +117,16 @@ class CachedWindow {
   /// Total backoff charged to virtual time in the current epoch.
   double epoch_backoff_us() const { return epoch_backoff_us_; }
 
+  // --- integrity guard introspection (docs/INTEGRITY.md) ---
+  /// Breaker state; kClosed when no breaker is configured
+  /// (breaker_failure_threshold == 0).
+  BreakerState breaker_state() const {
+    return breaker_ == nullptr ? BreakerState::kClosed : breaker_->state();
+  }
+  /// The breaker itself (nullptr when disabled); exposed for tests and
+  /// the integrity sweep (time-in-open accounting).
+  const CircuitBreaker* breaker() const { return breaker_.get(); }
+
  private:
   struct PendingOp {
     enum class Kind { kCopyIn, kCopyOut } kind;
@@ -156,6 +167,29 @@ class CachedWindow {
   void close_epoch(bool all_complete);
   void maybe_adapt();
 
+  // --- integrity guard (docs/INTEGRITY.md) ---
+  /// Breaker routing for one get. True: the caller must serve this get
+  /// pass-through (direct network fetch, no cache involvement); the
+  /// pass-through counter and last_access_ are already updated.
+  bool breaker_says_passthrough();
+  /// Record a failure event (corruption / give-up) and mirror any state
+  /// transition into Stats and the trace.
+  void breaker_failure();
+  /// A cache-routed get completed cleanly; in half-open this counts
+  /// toward reclosing.
+  void breaker_probe_success();
+  /// Mirror a state change since `before` into Stats and the trace.
+  void breaker_note(BreakerState before);
+  /// A self-heal happened during access(): trace annotation + breaker.
+  void note_heal(int target, std::size_t disp, std::size_t bytes);
+  /// Sampled double-check of a full hit against a direct remote get
+  /// (catches silent staleness). Quarantines + re-serves on mismatch.
+  void shadow_verify(void* origin, std::size_t bytes, int target, std::size_t disp,
+                     std::uint32_t entry);
+  /// Epoch-boundary integrity work: injected storage corruption (bit
+  /// flips of cached bytes) followed by one bounded scrub slice.
+  void integrity_epoch_tasks();
+
   rmasim::Process* p_;
   rmasim::Window win_;
   rmasim::Comm comm_;
@@ -171,6 +205,9 @@ class CachedWindow {
   util::Xoshiro256 retry_rng_;
   double epoch_backoff_us_ = 0.0;
   trace::Trace* fault_trace_ = nullptr;
+  std::unique_ptr<CircuitBreaker> breaker_;  // null unless configured
+  std::uint64_t shadow_tick_ = 0;            // shadow_verify_every_n sampling
+  std::vector<std::byte> shadow_buf_;        // scratch for shadow fetches
 };
 
 /// Paper-style spelling of the user-defined-mode invalidation call.

@@ -1,6 +1,7 @@
 #include "fault/injector.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 #include "util/rng.h"
@@ -11,6 +12,8 @@ namespace {
 
 constexpr std::uint64_t kSaltFail = 0xfa11ed00000001ull;
 constexpr std::uint64_t kSaltSpike = 0x51eeee00000002ull;
+constexpr std::uint64_t kSaltStale = 0x57a1e000000003ull;
+constexpr std::uint64_t kSaltBitflip = 0xb17f11b0000004ull;
 
 // Stateless mix of two words (SplitMix64 over a combined state); used to
 // fold (seed, salt, origin, target, seq) into one uniform draw.
@@ -34,6 +37,43 @@ Injector::Injector(Plan plan) : plan_(std::move(plan)) {
     CLAMPI_REQUIRE(e.latency_factor >= 1.0,
                    "fault plan: degraded epochs slow transfers down (factor >= 1)");
   }
+  CLAMPI_REQUIRE(plan_.storage_bitflip_prob >= 0.0 && plan_.storage_bitflip_prob <= 1.0,
+                 "fault plan: storage bit-flip probability outside [0,1]");
+  CLAMPI_REQUIRE(plan_.stale_put_prob >= 0.0 && plan_.stale_put_prob <= 1.0,
+                 "fault plan: stale-put probability outside [0,1]");
+}
+
+Corruptor::Corruptor(std::uint64_t seed, double prob) : rng_(seed), prob_(prob) {
+  advance();
+}
+
+void Corruptor::advance() {
+  if (prob_ <= 0.0) {
+    skip_ = ~std::uint64_t{0};  // never flips
+    return;
+  }
+  if (prob_ >= 1.0) {
+    skip_ = 0;  // flips every byte
+    return;
+  }
+  // Geometric skip: the number of clean bytes before the next flipped one,
+  // drawn as floor(log(u) / log(1-p)) with u uniform in (0, 1].
+  const double u = (static_cast<double>(rng_.next() >> 11) + 1.0) * 0x1.0p-53;
+  skip_ = static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - prob_));
+}
+
+std::size_t Corruptor::apply(std::byte* data, std::size_t len) {
+  std::size_t pos = 0;
+  std::size_t flips = 0;
+  while (skip_ < len - pos) {
+    pos += skip_;
+    data[pos] ^= std::byte{1} << (rng_.next() & 7);
+    ++flips;
+    ++pos;
+    advance();
+  }
+  skip_ -= len - pos;
+  return flips;
 }
 
 void Injector::prepare(int nranks) {
@@ -55,6 +95,23 @@ double Injector::draw(std::uint64_t salt, int origin, int target, std::uint64_t 
   h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(target)));
   h = mix(h, seq);
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+Corruptor Injector::corruptor(int rank, std::uint64_t epoch) const {
+  std::uint64_t h = mix(plan_.seed, kSaltBitflip);
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)));
+  h = mix(h, epoch);
+  return {h, plan_.storage_bitflip_prob};
+}
+
+bool Injector::stale_put_verdict(int origin, int target) const {
+  const double p = plan_.stale_put_prob;
+  if (p <= 0.0) return false;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(origin)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(target));
+  const std::uint64_t seq = stale_seq_[key]++;
+  return draw(kSaltStale, origin, target, seq) < p;
 }
 
 bool Injector::dead(int rank, double now_us) const {
@@ -110,6 +167,7 @@ Injector::Verdict Injector::on_op(OpKind op, int origin, int target, std::size_t
 
 void Injector::reset() {
   std::fill(seq_.begin(), seq_.end(), 0);
+  stale_seq_.clear();
   ops_ = 0;
   failures_ = 0;
   perturbed_ = 0;

@@ -15,12 +15,35 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/fault.h"
 #include "fault/plan.h"
+#include "util/rng.h"
 
 namespace clampi::fault {
+
+/// Seeded bit-rot sweep over cached storage bytes. Each byte independently
+/// flips one random bit with probability `prob`; skip lengths are drawn
+/// geometrically so the sweep only touches flipped bytes (O(flips), not
+/// O(bytes)). State persists across apply() calls: a walk over many
+/// entries behaves like one contiguous byte stream, so the schedule does
+/// not depend on how storage is split into entries.
+class Corruptor {
+ public:
+  Corruptor(std::uint64_t seed, double prob);
+
+  /// Flip the scheduled bits inside [data, data+len); returns flip count.
+  std::size_t apply(std::byte* data, std::size_t len);
+
+ private:
+  void advance();
+
+  util::SplitMix64 rng_;
+  double prob_;
+  std::uint64_t skip_ = 0;  ///< clean bytes before the next flip
+};
 
 class Injector {
  public:
@@ -50,6 +73,16 @@ class Injector {
     return xfer_us * v.latency_factor + v.latency_addend_us;
   }
 
+  /// The bit-rot sweep for one (rank, epoch): a pure function of the plan
+  /// seed, so re-running the same epoch re-creates the same flips.
+  Corruptor corruptor(int rank, std::uint64_t epoch) const;
+
+  /// True when the put `origin -> target` should skip its cache
+  /// invalidation (stale-put injection). Counter-based like on_op, but on
+  /// separate per-pair counters so installing a plan with only
+  /// stale_put_prob leaves the operation-failure schedule untouched.
+  bool stale_put_verdict(int origin, int target) const;
+
   /// True once `rank` passed its death instant.
   bool dead(int rank, double now_us) const;
   /// True while `rank` is inside a degraded epoch.
@@ -72,6 +105,10 @@ class Injector {
   Plan plan_;
   int nranks_ = 0;
   std::vector<std::uint64_t> seq_;  // per (origin, target) operation index
+  // Per-pair stale-put counters, separate from seq_ (see stale_put_verdict).
+  // mutable: the engine hands windows a const Injector*, and advancing a
+  // deterministic schedule is not observable state in the verdict sense.
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> stale_seq_;
   std::uint64_t ops_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t perturbed_ = 0;

@@ -13,6 +13,7 @@ bool Plan::trivial() const {
   for (const double d : death_us) {
     if (d >= 0.0) return false;
   }
+  if (storage_bitflip_prob > 0.0 || stale_put_prob > 0.0) return false;
   return true;
 }
 
@@ -33,6 +34,16 @@ Plan& Plan::kill_rank(int rank, double at_us) {
 
 Plan& Plan::degrade_rank(int rank, double factor, double from_us, double until_us) {
   degraded.push_back({rank, from_us, until_us, factor});
+  return *this;
+}
+
+Plan& Plan::corrupt_storage(double p) {
+  storage_bitflip_prob = p;
+  return *this;
+}
+
+Plan& Plan::stale_puts(double p) {
+  stale_put_prob = p;
   return *this;
 }
 

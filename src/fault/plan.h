@@ -17,7 +17,13 @@
 //     until_us) every transfer touching `rank` as a target is slowed by
 //     latency_factor (a flaky NIC / congested node);
 //   - permanent rank death: after death instant d, every operation
-//     targeting the rank fails with FailureKind::kRankDead forever.
+//     targeting the rank fails with FailureKind::kRankDead forever;
+//   - storage bit rot: at each epoch boundary every cached byte flips one
+//     random bit with probability storage_bitflip_prob (silent memory
+//     corruption; exercised by the integrity guard, docs/INTEGRITY.md);
+//   - stale puts: with probability stale_put_prob a put skips the cache's
+//     overlap invalidation, leaving silently stale entries behind (the
+//     bug class shadow-verify exists to catch).
 //
 // An all-zero (default-constructed) Plan is guaranteed to be a no-op:
 // installing it produces bit-identical virtual-time results to running
@@ -61,6 +67,14 @@ struct Plan {
   /// Per-world-rank death instant; < 0 (or absent) means immortal.
   std::vector<double> death_us;
 
+  /// Probability that a cached storage byte flips one random bit per
+  /// epoch boundary (silent bit rot; docs/INTEGRITY.md).
+  double storage_bitflip_prob = 0.0;
+
+  /// Probability that a put skips the cache's overlap invalidation
+  /// (silent staleness; docs/INTEGRITY.md).
+  double stale_put_prob = 0.0;
+
   /// Maps world ranks to distance tiers for fail_prob.
   net::Topology topology{};
 
@@ -76,6 +90,10 @@ struct Plan {
   /// Rank `rank` is degraded by `factor` over [from_us, until_us).
   Plan& degrade_rank(int rank, double factor, double from_us = 0.0,
                      double until_us = kForever);
+  /// Cached bytes flip a bit with probability `p` per epoch boundary.
+  Plan& corrupt_storage(double p);
+  /// Puts skip the overlap invalidation with probability `p`.
+  Plan& stale_puts(double p);
 };
 
 }  // namespace clampi::fault

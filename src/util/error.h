@@ -11,6 +11,13 @@
 #include <stdexcept>
 #include <string>
 
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define CLAMPI_HAVE_BACKTRACE 1
+#endif
+#endif
+
 namespace clampi::util {
 
 /// Thrown on public-API contract violations (bad arguments, misuse of the
@@ -23,6 +30,13 @@ class ContractError : public std::logic_error {
 [[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "clampi: internal invariant violated at %s:%d: %s\n", file, line,
                msg.c_str());
+#ifdef CLAMPI_HAVE_BACKTRACE
+  // Post-mortem aid: aborts happen deep inside the cache machinery, and
+  // the raw frames (symbolized with addr2line) identify the caller.
+  void* frames[32];
+  const int n = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, n, /*fd=*/2);
+#endif
   std::abort();
 }
 

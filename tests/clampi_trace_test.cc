@@ -94,6 +94,53 @@ TEST(Trace, FaultRetryEventsRoundTrip) {
   }
 }
 
+TEST(Trace, IntegrityEventsRoundTrip) {
+  Trace t;
+  t.add_get(1, 0, 64);
+  t.add_corruption(1, 0, 64);        // self-healed hit on target 1
+  t.add_corruption(-1, 0, 3);        // scrub summary: 3 entries quarantined
+  t.add_breaker(1);  // kOpen
+  t.add_breaker(0);  // kClosed
+  t.add_flush_all();
+
+  std::stringstream ss;
+  t.save(ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("c 1 0 64"), std::string::npos);
+  EXPECT_NE(text.find("c -1 0 3"), std::string::npos);
+  EXPECT_NE(text.find("b 1"), std::string::npos);
+
+  const Trace u = Trace::load(ss);
+  ASSERT_EQ(u.events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(u.events[i].kind, t.events[i].kind);
+    EXPECT_EQ(u.events[i].target, t.events[i].target);
+    EXPECT_EQ(u.events[i].disp, t.events[i].disp);
+    EXPECT_EQ(u.events[i].bytes, t.events[i].bytes);
+  }
+}
+
+TEST(Trace, ReplayCoreSkipsIntegrityAnnotations) {
+  Trace plain = sample_trace();
+  Trace annotated = sample_trace();
+  annotated.events.insert(annotated.events.begin() + 1,
+                          {Event::Kind::kCorruption, 1, 0, 64});
+  annotated.events.insert(annotated.events.begin() + 2,
+                          {Event::Kind::kBreaker, 1, 0, 0});
+
+  Config cfg;
+  cfg.index_entries = 64;
+  cfg.storage_bytes = 4096;
+  CacheCore a(cfg);
+  CacheCore b(cfg);
+  const Stats sa = trace::replay_core(plain, a);
+  const Stats sb = trace::replay_core(annotated, b);
+  EXPECT_EQ(sa.total_gets, sb.total_gets);
+  EXPECT_EQ(sa.hits_full, sb.hits_full);
+  EXPECT_EQ(sa.bytes_from_cache, sb.bytes_from_cache);
+  EXPECT_EQ(sa.bytes_from_network, sb.bytes_from_network);
+}
+
 TEST(Trace, OldTracesWithoutFaultEventsStillParse) {
   // A pre-fault-format trace (only g/f/F/I lines) must load unchanged.
   std::stringstream legacy("g 2 100 8\nf 2\ng 0 0 16\nF\nI\n");

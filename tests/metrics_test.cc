@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "metrics/sliding_window.h"
 #include "metrics/stats.h"
 #include "util/rng.h"
 
@@ -10,6 +11,7 @@ namespace {
 
 using clampi::metrics::Histogram;
 using clampi::metrics::RepetitionController;
+using clampi::metrics::SlidingWindowCounter;
 using clampi::metrics::Summary;
 using clampi::metrics::summarize;
 
@@ -108,6 +110,29 @@ TEST(Histogram, SkipsEmptyBins) {
   h.add(0.5);
   h.add(100.5);
   EXPECT_EQ(h.bins().size(), 2u);
+}
+
+TEST(SlidingWindowCounter, CountsOnlyTrailingWindow) {
+  SlidingWindowCounter w(100.0);
+  w.add(0.0);
+  w.add(50.0);
+  w.add(90.0);
+  EXPECT_EQ(w.count(90.0), 3u);
+  // Events at exactly now - window fall out (window is half-open).
+  EXPECT_EQ(w.count(100.0), 2u);
+  EXPECT_EQ(w.count(149.0), 2u);
+  EXPECT_EQ(w.count(151.0), 1u);
+  EXPECT_EQ(w.count(500.0), 0u);
+}
+
+TEST(SlidingWindowCounter, AddPrunesLazily) {
+  SlidingWindowCounter w(10.0);
+  for (int i = 0; i < 1000; ++i) w.add(static_cast<double>(i));
+  // Only the trailing 10 us survive no matter how many were recorded.
+  EXPECT_EQ(w.count(999.0), 10u);
+  w.clear();
+  EXPECT_EQ(w.count(999.0), 0u);
+  EXPECT_DOUBLE_EQ(w.window_us(), 10.0);
 }
 
 }  // namespace
