@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "clampi/health.h"
 #include "clampi/info.h"
 #include "clampi/trace.h"
 #include "util/rng.h"
@@ -75,6 +76,21 @@ int main(int argc, char** argv) {
               t.num_gets(), t.distinct_keys(),
               static_cast<double>(t.total_bytes()) / (1 << 20),
               static_cast<unsigned long long>(t.max_bytes()));
+
+  // Survivability preview: traces recorded with the health detector on
+  // carry `h <target> <state>` annotations (docs/FAULTS.md §6). Replay
+  // skips them; summarize them here so a recorded incident is visible.
+  std::size_t health_events = 0, quarantines = 0, recoveries = 0;
+  for (const auto& ev : t.events) {
+    if (ev.kind != trace::Event::Kind::kHealth) continue;
+    ++health_events;
+    quarantines += ev.disp == static_cast<std::uint64_t>(HealthState::kQuarantined);
+    recoveries += ev.disp == static_cast<std::uint64_t>(HealthState::kHealthy);
+  }
+  if (health_events > 0) {
+    std::printf("health: %zu transitions (%zu quarantines, %zu recoveries)\n",
+                health_events, quarantines, recoveries);
+  }
 
   const auto index_sweep = split(argc > 2 ? argv[2] : "512,1024,2048,4096");
   const auto storage_sweep = split(argc > 3 ? argv[3] : "1M,4M,16M");

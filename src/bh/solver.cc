@@ -146,23 +146,38 @@ NodePayload DistributedBarnesHut::fetch_payload(std::int32_t node) {
     return out;
   }
 
+  if (cfg_.skip_dead_ranks && cfg_.backend == CacheBackend::kClampi &&
+      !cfg_.clampi_cfg.degraded_reads && !cfg_.clampi_cfg.cache_fallback) {
+    // Typed health query: with no degraded-read policy to fall back on, a
+    // down owner is dropped up front instead of paying a fast-fail throw.
+    if (!cached_->target_status(owner).usable) {
+      ++current_.dropped_gets;
+      return NodePayload{};  // zero mass: the traversal skips this cell
+    }
+  }
   ++current_.remote_gets;
   if (cfg_.track_access_histogram) {
     ++access_counts_[(static_cast<std::uint64_t>(owner) << 48) | disp];
   }
   NodePayload out;
-  switch (cfg_.backend) {
-    case CacheBackend::kClampi:
-      cached_->get(&out, sizeof(out), owner, disp);
-      cached_->flush(owner);  // data-dependent traversal: consume immediately
-      break;
-    case CacheBackend::kNative:
-      native_->get(&out, sizeof(out), owner, disp);
-      break;
-    case CacheBackend::kNone:
-      p_->get(&out, sizeof(out), owner, disp, win_);
-      p_->flush(owner, win_);
-      break;
+  try {
+    switch (cfg_.backend) {
+      case CacheBackend::kClampi:
+        cached_->get(&out, sizeof(out), owner, disp);
+        cached_->flush(owner);  // data-dependent traversal: consume immediately
+        break;
+      case CacheBackend::kNative:
+        native_->get(&out, sizeof(out), owner, disp);
+        break;
+      case CacheBackend::kNone:
+        p_->get(&out, sizeof(out), owner, disp, win_);
+        p_->flush(owner, win_);
+        break;
+    }
+  } catch (const fault::OpFailedError&) {
+    if (!cfg_.skip_dead_ranks) throw;
+    ++current_.dropped_gets;
+    return NodePayload{};  // zero mass: the dead owner's cells drop out
   }
   return out;
 }

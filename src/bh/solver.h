@@ -57,6 +57,13 @@ struct SolverConfig {
   std::size_t native_mem_bytes = std::size_t{1} << 20;
   std::size_t native_block_bytes = 512;
   bool track_access_histogram = false;  ///< per-(target,disp) get counts (Fig. 2)
+  /// Survivability (docs/FAULTS.md §6): payload fetches against
+  /// dead/quarantined owners return a zero-mass payload — the traversal
+  /// naturally skips those cells (forces lose the dead ranks' mass) —
+  /// instead of aborting; counted in StepReport::dropped_gets. Degraded
+  /// reads, when the clampi config enables them, still serve cached
+  /// payloads for down owners.
+  bool skip_dead_ranks = false;
 };
 
 /// State shared by all rank threads (replicated data in the real system).
@@ -86,6 +93,7 @@ class DistributedBarnesHut {
     double force_us = 0.0;       ///< this rank's force-phase virtual time
     std::uint64_t remote_gets = 0;  ///< payload fetches to other ranks
     std::uint64_t local_reads = 0;
+    std::uint64_t dropped_gets = 0;  ///< skipped: owner dead/quarantined
     std::size_t tree_nodes = 0;
   };
 

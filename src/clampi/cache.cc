@@ -307,7 +307,7 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
   // Born PENDING so the eviction rounds below never consider the entry a
   // victim while it has no region yet.
   entries_[id] = Entry{key,     hkey, dtype_sig,        bytes,        nullptr,
-                       g_,      /*csum=*/0,
+                       g_,      /*csum=*/0, /*stamp=*/0.0,
                        /*pending=*/true, /*live=*/true};
   ++pending_entries_;
   const auto discard_new_entry = [&] {
@@ -430,6 +430,16 @@ void CacheCore::mark_cached(std::uint32_t id) {
   if (integrity_on()) e.csum = entry_checksum(e);
 }
 
+void CacheCore::set_entry_stamp(std::uint32_t id, double us) {
+  CLAMPI_ASSERT(entries_[id].live, "set_entry_stamp on a dead entry");
+  entries_[id].stamp = us;
+}
+
+double CacheCore::entry_stamp(std::uint32_t id) const {
+  CLAMPI_ASSERT(entries_[id].live, "entry_stamp on a dead entry");
+  return entries_[id].stamp;
+}
+
 std::uint64_t CacheCore::entry_checksum(const Entry& e) const {
   return checksum64(storage_.data(e.region), e.size, cfg_.seed);
 }
@@ -542,6 +552,35 @@ void CacheCore::invalidate() {
   ++stats_.invalidations;
   // g_ and ags_ deliberately persist: C_w.G counts gets over the window's
   // lifetime (Sec. III-A/III-D1).
+}
+
+std::size_t CacheCore::invalidate_retaining(const std::vector<int>& keep_targets) {
+  CLAMPI_REQUIRE(pending_entries_ == 0,
+                 "invalidate_retaining with PENDING entries outstanding (flush first)");
+  const auto retained = [&](std::int32_t t) {
+    for (const int k : keep_targets) {
+      if (k == t) return true;
+    }
+    return false;
+  };
+  std::size_t kept = 0;
+  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+    Entry& e = entries_[id];
+    if (!e.live) continue;
+    if (retained(e.key.target)) {
+      ++kept;
+      continue;
+    }
+    // Dropped like evict_entry, but not counted as an eviction: this is an
+    // invalidation, not capacity/conflict pressure.
+    const bool erased = index_.erase(id);
+    CLAMPI_ASSERT(erased, "live entry missing from the index");
+    storage_.dealloc(e.region);
+    --live_entries_;
+    release_entry(id);
+  }
+  ++stats_.invalidations;
+  return kept;
 }
 
 void CacheCore::sync_hot_counters() const {

@@ -65,6 +65,14 @@ class CacheCore {
   /// PENDING -> CACHED (the entry's data arrived and was copied in).
   void mark_cached(std::uint32_t id);
 
+  /// Freshness stamp: the virtual time at which the entry's payload was
+  /// fetched from the origin window. CacheCore has no clock, so the
+  /// CachedWindow driver stamps entries when their copy-in completes; the
+  /// bounded-staleness degraded-read path (docs/FAULTS.md §6) compares
+  /// `now - entry_stamp` against the configured bound. 0 = never stamped.
+  void set_entry_stamp(std::uint32_t id, double us);
+  double entry_stamp(std::uint32_t id) const;
+
   /// Pure lookup: the CACHED entry holding `key`, or kNoEntry if the key
   /// is absent or still PENDING. No statistics are touched — this backs
   /// the resilience layer's cache-fallback probe, not a get_c.
@@ -113,6 +121,14 @@ class CacheCore {
   /// outstanding (callers flush first).
   void invalidate();
 
+  /// Transparent-mode survivor retention (docs/FAULTS.md §6): like
+  /// invalidate(), but entries whose key targets a rank in `keep_targets`
+  /// survive — a down target cannot be accepting writes, so its
+  /// last-known-good entries stay servable for bounded-staleness degraded
+  /// reads. Returns the number of entries retained. Must not be called
+  /// with PENDING entries outstanding.
+  std::size_t invalidate_retaining(const std::vector<int>& keep_targets);
+
   /// Replace I_w and S_w with new sizes; implies an invalidation and is
   /// counted as an adjustment (adaptive strategy, Sec. III-E1).
   void resize(std::size_t index_entries, std::size_t storage_bytes);
@@ -156,6 +172,7 @@ class CacheCore {
     Storage::Region* region = nullptr;
     std::uint64_t last = 0;  ///< index in C_w.G of the last matching get_c
     std::uint64_t csum = 0;  ///< XXH64 of the payload, set at mark_cached
+    double stamp = 0.0;      ///< virtual time the payload was fetched (0 = never)
     bool pending = false;
     bool live = false;
   };

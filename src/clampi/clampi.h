@@ -27,6 +27,7 @@
 #include "clampi/cache.h"      // IWYU pragma: export
 #include "clampi/checksum.h"   // IWYU pragma: export
 #include "clampi/config.h"     // IWYU pragma: export
+#include "clampi/health.h"     // IWYU pragma: export
 #include "clampi/info.h"       // IWYU pragma: export
 #include "clampi/stats.h"      // IWYU pragma: export
 #include "clampi/trace.h"      // IWYU pragma: export

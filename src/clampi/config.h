@@ -85,13 +85,51 @@ struct Config {
   /// Relative jitter in [0,1): each backoff is scaled by a deterministic
   /// draw from [1-jitter, 1+jitter] to de-synchronize retry storms.
   double retry_jitter = 0.25;
-  /// Upper bound on total backoff charged per epoch (0 = unlimited). Once
-  /// exceeded, further failures surface to the caller (retry_giveups).
+  /// Upper bound on backoff charged per *target* per epoch (0 =
+  /// unlimited). Once a target exhausts its budget, further failures
+  /// against it surface to the caller (retry_giveups) — other targets'
+  /// budgets are untouched, so a dead target cannot starve retries for
+  /// healthy ones (docs/FAULTS.md §6).
   double epoch_retry_budget_us = 0.0;
   /// Serve CACHED entries for targets that are degraded or dead instead of
-  /// touching the network. Only honoured in the read-only modes
-  /// (kAlwaysCache / kUserDefined), where cached data cannot be stale.
+  /// touching the network, with no staleness bound. Only honoured in the
+  /// read-only modes (kAlwaysCache / kUserDefined), where cached data
+  /// cannot be stale; for kTransparent use `degraded_reads`, which bounds
+  /// staleness explicitly (the mode matrix is in docs/FAULTS.md §6).
   bool cache_fallback = false;
+
+  // --- per-target health (failure detection / quarantine / degraded
+  // reads; docs/FAULTS.md §6) ---
+  /// Windowed per-target failures that quarantine a target; 0 (default)
+  /// disables the failure detector entirely. Quarantined targets
+  /// fast-fail instead of burning retries/backoff and are re-probed
+  /// half-open at epoch boundaries.
+  int health_failure_threshold = 0;
+  double health_window_us = 10000.0;  ///< per-target sliding failure window
+  /// Per-outcome EWMA weight of the virtual-time suspicion estimator.
+  double health_ewma_alpha = 0.3;
+  /// Virtual-time half-life of the suspicion decay (phi-style: an idle
+  /// target's suspicion fades even without successes).
+  double health_ewma_halflife_us = 5000.0;
+  /// Suspicion above which a target is marked SUSPECT (diagnostic state;
+  /// quarantine requires the windowed failure threshold or a fatal error).
+  double health_suspect_threshold = 0.5;
+  /// Minimum quarantine dwell before an epoch boundary re-probes the
+  /// target half-open (PROBING).
+  double health_quarantine_dwell_us = 5000.0;
+  /// Consecutive successful probes that return a PROBING target to
+  /// HEALTHY.
+  int health_probe_successes = 2;
+  /// Bounded-staleness degraded reads: serve still-CACHED entries for
+  /// dead/quarantined/degraded targets in *any* mode (including
+  /// kTransparent, unlike cache_fallback), as long as the entry's data
+  /// age is within `degraded_max_staleness_us`. Counted as
+  /// Stats::degraded_hits.
+  bool degraded_reads = false;
+  /// Staleness bound for degraded reads: maximum virtual-time age of the
+  /// served entry's payload (time since its data was fetched from the
+  /// origin). 0 = unbounded.
+  double degraded_max_staleness_us = 0.0;
 
   // --- integrity guard (checksums / scrubbing / self-healing / breaker;
   // docs/INTEGRITY.md) ---

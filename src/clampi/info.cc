@@ -106,6 +106,24 @@ Config config_from_info(const Info& info, Config cfg) {
       cfg.epoch_retry_budget_us = parse_f64(key, value);
     } else if (key == "clampi_cache_fallback") {
       cfg.cache_fallback = parse_bool(key, value);
+    } else if (key == "clampi_health_failure_threshold") {
+      cfg.health_failure_threshold = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_health_window_us") {
+      cfg.health_window_us = parse_f64(key, value);
+    } else if (key == "clampi_health_ewma_alpha") {
+      cfg.health_ewma_alpha = parse_f64(key, value);
+    } else if (key == "clampi_health_ewma_halflife_us") {
+      cfg.health_ewma_halflife_us = parse_f64(key, value);
+    } else if (key == "clampi_health_suspect_threshold") {
+      cfg.health_suspect_threshold = parse_f64(key, value);
+    } else if (key == "clampi_health_quarantine_dwell_us") {
+      cfg.health_quarantine_dwell_us = parse_f64(key, value);
+    } else if (key == "clampi_health_probe_successes") {
+      cfg.health_probe_successes = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_degraded_reads") {
+      cfg.degraded_reads = parse_bool(key, value);
+    } else if (key == "clampi_degraded_max_staleness_us") {
+      cfg.degraded_max_staleness_us = parse_f64(key, value);
     } else if (key == "clampi_verify_every_n") {
       cfg.verify_every_n = parse_u64(key, value);
     } else if (key == "clampi_scrub_entries_per_epoch") {
@@ -177,6 +195,13 @@ Info stats_to_info(const Stats& s) {
   put("retries", s.retries);
   put("retry_giveups", s.retry_giveups);
   put("fallback_hits", s.fallback_hits);
+  put("health_suspects", s.health_suspects);
+  put("health_quarantines", s.health_quarantines);
+  put("health_probes", s.health_probes);
+  put("health_recoveries", s.health_recoveries);
+  put("fast_fails", s.fast_fails);
+  put("degraded_hits", s.degraded_hits);
+  put("degraded_expired", s.degraded_expired);
   return out;
 }
 
@@ -220,6 +245,26 @@ void validate_config(const Config& cfg) {
     CLAMPI_REQUIRE(cfg.breaker_halfopen_successes >= 1,
                    "config: breaker_halfopen_successes must be >= 1");
   }
+  CLAMPI_REQUIRE(cfg.health_failure_threshold >= 0,
+                 "config: health_failure_threshold must be >= 0");
+  if (cfg.health_failure_threshold > 0) {
+    // The remaining health knobs only matter when the detector exists; a
+    // disabled detector tolerates any leftover values.
+    CLAMPI_REQUIRE(cfg.health_window_us > 0.0, "config: health_window_us must be > 0");
+    CLAMPI_REQUIRE(cfg.health_ewma_alpha > 0.0 && cfg.health_ewma_alpha <= 1.0,
+                   "config: health_ewma_alpha must be in (0, 1]");
+    CLAMPI_REQUIRE(cfg.health_ewma_halflife_us > 0.0,
+                   "config: health_ewma_halflife_us must be > 0");
+    CLAMPI_REQUIRE(cfg.health_suspect_threshold > 0.0 &&
+                       cfg.health_suspect_threshold <= 1.0,
+                   "config: health_suspect_threshold must be in (0, 1]");
+    CLAMPI_REQUIRE(cfg.health_quarantine_dwell_us >= 0.0,
+                   "config: negative health_quarantine_dwell_us");
+    CLAMPI_REQUIRE(cfg.health_probe_successes >= 1,
+                   "config: health_probe_successes must be >= 1");
+  }
+  CLAMPI_REQUIRE(cfg.degraded_max_staleness_us >= 0.0,
+                 "config: negative degraded_max_staleness_us");
 }
 
 }  // namespace clampi

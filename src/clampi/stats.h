@@ -73,6 +73,19 @@ struct Stats {
   std::uint64_t fallback_hits = 0;    ///< gets served from cache because the
                                       ///< target was degraded or dead
 
+  // --- per-target health (failure detection / quarantine / degraded
+  // reads; docs/FAULTS.md §6) ---
+  std::uint64_t health_suspects = 0;     ///< transitions into SUSPECT
+  std::uint64_t health_quarantines = 0;  ///< transitions into QUARANTINED
+  std::uint64_t health_probes = 0;       ///< QUARANTINED -> PROBING (half-open)
+  std::uint64_t health_recoveries = 0;   ///< PROBING -> HEALTHY
+  std::uint64_t fast_fails = 0;          ///< gets refused against quarantined
+                                         ///< targets (no retry, no backoff)
+  std::uint64_t degraded_hits = 0;       ///< bounded-staleness degraded reads
+                                         ///< served from cache
+  std::uint64_t degraded_expired = 0;    ///< retained entries dropped: over the
+                                         ///< staleness bound or target recovered
+
   /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
   /// PENDING (full and partial hits alike).
   std::uint64_t hitting() const { return hits_full + hits_pending + hits_partial; }
@@ -134,6 +147,13 @@ struct Stats {
     d.retries = retries - base.retries;
     d.retry_giveups = retry_giveups - base.retry_giveups;
     d.fallback_hits = fallback_hits - base.fallback_hits;
+    d.health_suspects = health_suspects - base.health_suspects;
+    d.health_quarantines = health_quarantines - base.health_quarantines;
+    d.health_probes = health_probes - base.health_probes;
+    d.health_recoveries = health_recoveries - base.health_recoveries;
+    d.fast_fails = fast_fails - base.fast_fails;
+    d.degraded_hits = degraded_hits - base.degraded_hits;
+    d.degraded_expired = degraded_expired - base.degraded_expired;
     return d;
   }
 };

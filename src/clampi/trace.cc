@@ -70,6 +70,9 @@ void Trace::save(std::ostream& os) const {
       case Event::Kind::kBreaker:
         os << "b " << e.target << '\n';
         break;
+      case Event::Kind::kHealth:
+        os << "h " << e.target << ' ' << e.disp << '\n';
+        break;
     }
   }
 }
@@ -115,6 +118,10 @@ Trace Trace::load(std::istream& is) {
       case 'b':
         e.kind = Event::Kind::kBreaker;
         ls >> e.target;
+        break;
+      case 'h':
+        e.kind = Event::Kind::kHealth;
+        ls >> e.target >> e.disp;
         break;
       default:
         CLAMPI_REQUIRE(false,
@@ -173,6 +180,7 @@ Stats replay_core(const Trace& t, CacheCore& core) {
       case Event::Kind::kRetry:
       case Event::Kind::kCorruption:
       case Event::Kind::kBreaker:
+      case Event::Kind::kHealth:
         break;  // annotations: no cache effect
     }
   }
@@ -201,6 +209,7 @@ double replay_window(const Trace& t, CachedWindow& win) {
       case Event::Kind::kRetry:
       case Event::Kind::kCorruption:
       case Event::Kind::kBreaker:
+      case Event::Kind::kHealth:
         break;  // annotations: the installed injector (if any) re-faults
     }
   }

@@ -18,8 +18,10 @@
 //   c <target> <disp> <bytes>     corruption/staleness detected and healed
 //   b <state>                     breaker transition (0 closed, 1 open,
 //                                 2 half-open)
+//   h <target> <state>            per-target health transition (0 healthy,
+//                                 1 suspect, 2 quarantined, 3 probing)
 //
-// The x/r/c/b lines are annotations emitted by the resilience and
+// The x/r/c/b/h lines are annotations emitted by the resilience and
 // integrity layers: replay skips them (the injector, if any, re-creates
 // faults deterministically), but they make post-mortem analysis of a
 // faulty run possible.
@@ -46,10 +48,12 @@ struct Event {
     kRetry,
     kCorruption,
     kBreaker,
+    kHealth,
   };
   Kind kind = Kind::kGet;
   std::int32_t target = 0;  ///< kBreaker: the new state; kCorruption: -1 = scrub
-  std::uint64_t disp = 0;   ///< kRetry: the attempt number (1-based)
+  std::uint64_t disp = 0;   ///< kRetry: the attempt number (1-based);
+                            ///< kHealth: the new HealthState
   std::uint64_t bytes = 0;  ///< kRetry: the backoff charged, in nanoseconds
 };
 
@@ -73,6 +77,10 @@ struct Trace {
   }
   void add_breaker(int state) {
     events.push_back({Event::Kind::kBreaker, state, 0, 0});
+  }
+  void add_health(int target, int state) {
+    events.push_back(
+        {Event::Kind::kHealth, target, static_cast<std::uint64_t>(state), 0});
   }
 
   std::size_t num_gets() const;

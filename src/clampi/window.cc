@@ -8,6 +8,22 @@
 
 namespace clampi {
 
+namespace {
+
+HealthMonitor::Config health_config(const Config& cfg) {
+  HealthMonitor::Config hc;
+  hc.failure_threshold = cfg.health_failure_threshold;
+  hc.window_us = cfg.health_window_us;
+  hc.ewma_alpha = cfg.health_ewma_alpha;
+  hc.ewma_halflife_us = cfg.health_ewma_halflife_us;
+  hc.suspect_threshold = cfg.health_suspect_threshold;
+  hc.quarantine_dwell_us = cfg.health_quarantine_dwell_us;
+  hc.probe_successes = cfg.health_probe_successes;
+  return hc;
+}
+
+}  // namespace
+
 CachedWindow::CachedWindow(rmasim::Process& p, rmasim::Window win, const Config& cfg)
     : p_(&p),
       win_(win),
@@ -15,7 +31,8 @@ CachedWindow::CachedWindow(rmasim::Process& p, rmasim::Window win, const Config&
       cfg_(cfg),
       core_(std::make_unique<CacheCore>(cfg)),
       tuner_(cfg),
-      retry_rng_(cfg.seed ^ 0x7e7a11edbac0ffull) {
+      retry_rng_(cfg.seed ^ 0x7e7a11edbac0ffull),
+      health_(health_config(cfg)) {
   if (cfg_.breaker_failure_threshold > 0) {
     CircuitBreaker::Config bc;
     bc.failure_threshold = cfg_.breaker_failure_threshold;
@@ -64,15 +81,34 @@ void CachedWindow::issue_network_get_blocks(void* origin, int target, std::size_
 
 void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t bytes,
                                    const std::function<void()>& issue_fn) {
+  // Quarantined targets fast-fail before touching the network: no retries,
+  // no backoff burned. PROBING lets ops through half-open; enough
+  // consecutive successes reclose the target to HEALTHY. Placed here (not
+  // at the top of get()) so pure cache hits on a down target still serve.
+  if (health_.enabled() && health_.state(target) == HealthState::kQuarantined) {
+    ++core_->mutable_stats().fast_fails;
+    health_.note_fast_fail(target);
+    fault::OpDesc desc;
+    desc.kind = fault::OpKind::kGet;
+    desc.origin = p_->rank();
+    desc.target = p_->comm_world_rank(comm_, target);
+    desc.disp = disp;
+    desc.bytes = bytes;
+    desc.time_us = p_->now_us();
+    throw fault::OpFailedError(fault::FailureKind::kQuarantined, desc);
+  }
   int attempt = 0;
   for (;;) {
     try {
       issue_fn();
+      health_record(target, /*success=*/true, /*fatal=*/false);
       return;
     } catch (const fault::OpFailedError& err) {
       Stats& st = core_->mutable_stats();
       ++st.injected_faults;
       if (fault_trace_ != nullptr) fault_trace_->add_fault(target, disp, bytes);
+      health_record(target, /*success=*/false,
+                    /*fatal=*/err.failure() == fault::FailureKind::kRankDead);
       if (!err.recoverable() || attempt >= cfg_.max_retries) {
         // Give-ups only count when a retry policy was actually in play
         // and could not help (transient fault, retries exhausted).
@@ -82,18 +118,26 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
         }
         throw;
       }
+      if (health_.enabled() && health_.state(target) == HealthState::kQuarantined) {
+        // This failure tipped the target into quarantine: stop burning
+        // retries on it now, future gets fast-fail until the re-probe.
+        throw;
+      }
       double backoff = cfg_.retry_backoff_us;
       for (int i = 0; i < attempt; ++i) backoff *= cfg_.retry_backoff_factor;
       if (cfg_.retry_jitter > 0.0) {
         backoff *= 1.0 + cfg_.retry_jitter * (2.0 * retry_rng_.uniform() - 1.0);
       }
+      // The retry budget is per target per epoch: a dead target exhausting
+      // its pool cannot starve retries for a healthy one.
+      double& pool = health_.epoch_backoff_us(target);
       if (cfg_.epoch_retry_budget_us > 0.0 &&
-          epoch_backoff_us_ + backoff > cfg_.epoch_retry_budget_us) {
+          pool + backoff > cfg_.epoch_retry_budget_us) {
         ++st.retry_giveups;
         breaker_failure();
         throw;
       }
-      epoch_backoff_us_ += backoff;
+      pool += backoff;
       ++attempt;
       ++st.retries;
       if (fault_trace_ != nullptr) {
@@ -105,26 +149,114 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
   }
 }
 
-bool CachedWindow::try_fallback(void* origin, std::size_t bytes, int target,
-                                std::size_t disp, std::uint64_t sig) {
-  if (!cfg_.cache_fallback || cfg_.mode == Mode::kTransparent) return false;
+bool CachedWindow::target_down(int target) const {
+  if (health_.state(target) == HealthState::kQuarantined) return true;
   const fault::Injector* inj = p_->fault_injector();
   if (inj == nullptr) return false;
   const int wt = p_->comm_world_rank(comm_, target);
   const double now = p_->now_us();
-  if (!inj->dead(wt, now) && !inj->degraded(wt, now)) return false;
+  return inj->dead(wt, now) || inj->degraded(wt, now);
+}
+
+bool CachedWindow::try_degraded_read(void* origin, std::size_t bytes, int target,
+                                     std::size_t disp, std::uint64_t sig) {
+  last_degraded_ = false;
+  const bool degraded_on = cfg_.degraded_reads;
+  // Legacy cache-fallback is unbounded, so it stays opt-in and excluded
+  // from transparent mode (whose contract is epoch freshness). Degraded
+  // reads are allowed in any mode because their staleness is bounded.
+  const bool legacy_on = cfg_.cache_fallback && cfg_.mode != Mode::kTransparent;
+  if (!degraded_on && !legacy_on) return false;
   const std::uint32_t id =
       core_->find_cached(Key{target, static_cast<std::uint64_t>(disp)});
-  if (id == kNoEntry || core_->entry_bytes(id) < bytes) return false;
-  if (core_->entry_signature(id) != sig) return false;  // layout must match
-  serve_cached(origin, id, bytes);
+  if (id == kNoEntry) return false;
+  // A transparent-mode entry retained across an epoch boundary for a down
+  // target (its stamp predates the current epoch) is only ever servable
+  // through this bounded path. If it no longer qualifies — the target
+  // recovered, or the payload outlived its staleness bound — it must be
+  // dropped here, or the ordinary hit path in access() would serve it
+  // without any bound at all.
+  const bool survivor = degraded_on && cfg_.mode == Mode::kTransparent &&
+                        core_->entry_stamp(id) < epoch_open_us_;
   Stats& st = core_->mutable_stats();
-  ++st.fallback_hits;
-  // Deliberately not counted as a total_get: fallback serves happen
-  // outside access() and must not skew the adaptive tuner's ratios.
-  st.bytes_from_cache += bytes;
-  last_access_ = AccessType::kHit;
-  return true;
+  if (!target_down(target)) {
+    if (survivor) {
+      // The target is reachable again: an honest miss re-fetches fresh data.
+      core_->quarantine(id);
+      ++st.degraded_expired;
+    }
+    return false;
+  }
+  if (core_->entry_bytes(id) < bytes) return false;
+  if (core_->entry_signature(id) != sig) return false;  // layout must match
+  if (degraded_on) {
+    const double age = p_->now_us() - core_->entry_stamp(id);
+    if (cfg_.degraded_max_staleness_us <= 0.0 ||
+        age <= cfg_.degraded_max_staleness_us) {
+      serve_cached(origin, id, bytes);
+      ++st.degraded_hits;
+      health_.note_degraded_hit(target);
+      // Deliberately not counted as a total_get: degraded serves happen
+      // outside access() and must not skew the adaptive tuner's ratios.
+      st.bytes_from_cache += bytes;
+      last_access_ = AccessType::kHit;
+      last_degraded_ = true;
+      last_degraded_age_us_ = age;
+      return true;
+    }
+    if (survivor) {
+      core_->quarantine(id);
+      ++st.degraded_expired;
+      return false;  // the miss path surfaces the target's failure honestly
+    }
+  }
+  if (legacy_on) {
+    serve_cached(origin, id, bytes);
+    ++st.fallback_hits;
+    st.bytes_from_cache += bytes;
+    last_access_ = AccessType::kHit;
+    return true;
+  }
+  return false;
+}
+
+TargetStatus CachedWindow::target_status(int target) const {
+  const double now = p_->now_us();
+  TargetStatus ts = health_.status(target, now);
+  const fault::Injector* inj = p_->fault_injector();
+  if (inj != nullptr) ts.dead = inj->dead(p_->comm_world_rank(comm_, target), now);
+  ts.usable = !ts.dead && ts.state != HealthState::kQuarantined;
+  return ts;
+}
+
+void CachedWindow::health_record(int target, bool success, bool fatal) {
+  if (!health_.enabled()) return;
+  const double now = p_->now_us();
+  const HealthState before = health_.state(target);
+  const HealthState after = success ? health_.record_success(target, now)
+                                    : health_.record_failure(target, now, fatal);
+  if (after != before) health_note(target, after);
+}
+
+void CachedWindow::health_note(int target, HealthState after) {
+  Stats& st = core_->mutable_stats();
+  switch (after) {
+    case HealthState::kSuspect: ++st.health_suspects; break;
+    case HealthState::kQuarantined: ++st.health_quarantines; break;
+    case HealthState::kProbing: ++st.health_probes; break;
+    case HealthState::kHealthy: ++st.health_recoveries; break;
+  }
+  if (fault_trace_ != nullptr) {
+    fault_trace_->add_health(target, static_cast<int>(after));
+  }
+}
+
+void CachedWindow::health_epoch_close() {
+  health_transitions_.clear();
+  health_.on_epoch_close(p_->now_us(), &health_transitions_);
+  for (const auto& [target, state] : health_transitions_) {
+    health_note(target, state);
+  }
 }
 
 void CachedWindow::rollback_failed(const CacheCore::Result& res,
@@ -145,7 +277,7 @@ void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
       break;  // no network, no flush dependency
     case AccessType::kHitPending:
       pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
-                          static_cast<std::byte*>(origin), 0, bytes});
+                          static_cast<std::byte*>(origin), 0, bytes, 0.0});
       break;
     case AccessType::kPartialHit: {
       const std::size_t head = res.cached_bytes;
@@ -153,13 +285,13 @@ void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
         serve_cached(origin, res.entry, head);
       } else {
         pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
-                            static_cast<std::byte*>(origin), 0, head});
+                            static_cast<std::byte*>(origin), 0, head, 0.0});
       }
       auto* tail_dst = static_cast<std::byte*>(origin) + head;
       issue_network_get(tail_dst, bytes - head, target, disp + head);
       if (res.extended) {
-        pending_.push_back(
-            {PendingOp::Kind::kCopyIn, res.entry, target, tail_dst, head, bytes - head});
+        pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target, tail_dst, head,
+                            bytes - head, p_->now_us()});
       }
       break;
     }
@@ -168,7 +300,7 @@ void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
     case AccessType::kCapacity:
       issue_network_get(origin, bytes, target, disp);
       pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target,
-                          static_cast<std::byte*>(origin), 0, bytes});
+                          static_cast<std::byte*>(origin), 0, bytes, p_->now_us()});
       break;
     case AccessType::kFailing:
       issue_network_get(origin, bytes, target, disp);
@@ -183,7 +315,7 @@ void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t 
     issue_network_get(origin, bytes, target, disp);
     return;
   }
-  if (try_fallback(origin, bytes, target, disp, /*sig=*/0)) return;
+  if (try_degraded_read(origin, bytes, target, disp, /*sig=*/0)) return;
   const CacheCore::Result res =
       core_->access(Key{target, disp}, bytes, /*dtype_sig=*/0,
                     cfg_.collect_phase_timings ? &last_phases_ : nullptr);
@@ -222,7 +354,7 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
     return;
   }
   const std::uint64_t sig = dtype.signature();
-  if (try_fallback(origin, bytes, target, disp, sig)) return;
+  if (try_degraded_read(origin, bytes, target, disp, sig)) return;
   const CacheCore::Result res =
       core_->access(Key{target, disp}, bytes, sig,
                     cfg_.collect_phase_timings ? &last_phases_ : nullptr);
@@ -259,7 +391,7 @@ void CachedWindow::handle_typed_result(const CacheCore::Result& res, void* origi
     case AccessType::kHitPending:
       if (layout_ok) {
         pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
-                            static_cast<std::byte*>(origin), 0, bytes});
+                            static_cast<std::byte*>(origin), 0, bytes, 0.0});
         return;
       }
       break;
@@ -271,7 +403,7 @@ void CachedWindow::handle_typed_result(const CacheCore::Result& res, void* origi
           serve_cached(origin, res.entry, head);
         } else {
           pending_.push_back({PendingOp::Kind::kCopyOut, res.entry, target,
-                              static_cast<std::byte*>(origin), 0, head});
+                              static_cast<std::byte*>(origin), 0, head, 0.0});
         }
         // Fetch the remaining elements' blocks, packed after the head.
         std::vector<rmasim::Process::Block> blocks;
@@ -286,7 +418,7 @@ void CachedWindow::handle_typed_result(const CacheCore::Result& res, void* origi
                                  bytes - head);
         if (res.extended) {
           pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target, tail_dst, head,
-                              bytes - head});
+                              bytes - head, p_->now_us()});
         }
         return;
       }
@@ -301,7 +433,7 @@ void CachedWindow::handle_typed_result(const CacheCore::Result& res, void* origi
       for (const auto& b : blocks) rb.push_back({b.offset, b.size});
       issue_network_get_blocks(origin, target, disp, rb.data(), rb.size(), bytes);
       pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target,
-                          static_cast<std::byte*>(origin), 0, bytes});
+                          static_cast<std::byte*>(origin), 0, bytes, p_->now_us()});
       return;
     }
     case AccessType::kFailing:
@@ -319,7 +451,7 @@ void CachedWindow::handle_typed_result(const CacheCore::Result& res, void* origi
     // repopulate it wholesale from the freshly fetched packed payload,
     // or it would stay PENDING (and unevictable) forever.
     pending_.push_back({PendingOp::Kind::kCopyIn, res.entry, target,
-                        static_cast<std::byte*>(origin), 0, bytes});
+                        static_cast<std::byte*>(origin), 0, bytes, p_->now_us()});
   }
 }
 
@@ -358,6 +490,12 @@ void CachedWindow::process_pending(int target) {
       std::memcpy(core_->entry_data(op.entry) + op.entry_off, op.user, op.bytes);
       p_->charge_local_copy(op.bytes);
       core_->mark_cached(op.entry);
+      // Freshness stamp for bounded-staleness degraded reads: only a full
+      // repopulation refreshes it — a tail extension keeps the (older)
+      // head's stamp, so staleness is never understated.
+      if (op.entry_off == 0 && op.bytes == core_->entry_bytes(op.entry)) {
+        core_->set_entry_stamp(op.entry, op.issued_us);
+      }
     } else {
       std::memcpy(op.user, core_->entry_data(op.entry), op.bytes);
       p_->charge_local_copy(op.bytes);
@@ -371,38 +509,72 @@ void CachedWindow::on_flush_failure(const fault::OpFailedError& err, bool all_ta
   ++st.injected_faults;
   const int local = p_->comm_local_rank(comm_, err.op().target);
   if (fault_trace_ != nullptr) fault_trace_->add_fault(local, 0, 0);
-  // The dead target's in-flight data will never be completed: discard the
-  // copy-ins/outs and PENDING entries that were waiting for it.
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    if (pending_[i].target != local) pending_[kept++] = pending_[i];
+  health_record(local, /*success=*/false,
+                /*fatal=*/err.failure() == fault::FailureKind::kRankDead);
+  // The dead target's in-flight data will never be *completed*. Ops that
+  // failed at issue were already rolled back, so every surviving pending
+  // op against the target was issued before the death — and data movement
+  // is eager, so its payload has arrived. With degraded reads enabled,
+  // materialize those as last-known-good survivors; otherwise discard the
+  // copy-ins/outs and PENDING entries, matching MPI completion semantics.
+  if (cfg_.degraded_reads) {
+    process_pending(local);
+  } else {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].target != local) pending_[kept++] = pending_[i];
+    }
+    pending_.resize(kept);
+    core_->drop_pending(local);
   }
-  pending_.resize(kept);
-  core_->drop_pending(local);
   if (all_taken) {
     // The engine cleared every target's completions before throwing, and
     // data movement is eager: the surviving targets' payloads are already
     // in place, so materialize them rather than stranding PENDING entries.
     process_pending(-1);
     ++epoch_;
-    if (cfg_.mode == Mode::kTransparent && core_->cached_entries() > 0) {
-      core_->invalidate();
+    if (cfg_.mode == Mode::kTransparent) transparent_invalidate();
+    health_epoch_close();  // a real epoch boundary: backoff + promotions
+    epoch_open_us_ = p_->now_us();
+    return;
+  }
+  // The epoch itself survives (per-target flush): only the abandoned
+  // retries' backoff pools reset, quarantine dwell keeps running.
+  health_.reset_epoch_backoff();
+}
+
+void CachedWindow::transparent_invalidate() {
+  if (core_->cached_entries() == 0) return;
+  if (cfg_.degraded_reads) {
+    // A down target cannot be accepting writes, so its last-known-good
+    // entries legally survive the transparent invalidation and stay
+    // servable as bounded-staleness degraded reads (docs/FAULTS.md §6).
+    std::vector<int> keep;
+    const int n = p_->comm_size(comm_);
+    for (int t = 0; t < n; ++t) {
+      if (target_down(t)) keep.push_back(t);
+    }
+    if (!keep.empty()) {
+      core_->invalidate_retaining(keep);
+      return;
     }
   }
-  epoch_backoff_us_ = 0.0;
+  core_->invalidate();
 }
 
 void CachedWindow::close_epoch(bool all_complete) {
   ++epoch_;
-  epoch_backoff_us_ = 0.0;
+  health_epoch_close();
   if (cfg_.mode == Mode::kTransparent) {
     CLAMPI_ASSERT(all_complete, "transparent epoch closure requires full completion");
     process_pending(-1);
-    if (core_->cached_entries() > 0) core_->invalidate();
+    transparent_invalidate();
+    epoch_open_us_ = p_->now_us();
     return;  // nothing to adapt: the cache restarts from scratch each epoch
   }
   integrity_epoch_tasks();
   maybe_adapt();
+  epoch_open_us_ = p_->now_us();
 }
 
 void CachedWindow::maybe_adapt() {

@@ -29,6 +29,7 @@
 #include "clampi/breaker.h"
 #include "clampi/cache.h"
 #include "clampi/config.h"
+#include "clampi/health.h"
 #include "clampi/info.h"
 #include "clampi/stats.h"
 #include "datatype/datatype.h"
@@ -114,8 +115,24 @@ class CachedWindow {
   /// (trace::RecordingWindow installs itself here). nullptr disables.
   void record_faults_to(trace::Trace* t) { fault_trace_ = t; }
 
-  /// Total backoff charged to virtual time in the current epoch.
-  double epoch_backoff_us() const { return epoch_backoff_us_; }
+  /// Total backoff charged to virtual time in the current epoch, summed
+  /// across targets (the accounting itself is per-target; docs/FAULTS.md §6).
+  double epoch_backoff_us() const { return health_.total_epoch_backoff_us(); }
+  /// Backoff charged against one target in the current epoch.
+  double epoch_backoff_us(int target) const { return health_.epoch_backoff_us(target); }
+
+  // --- survivability introspection (docs/FAULTS.md §6) ---
+  /// Typed per-target health snapshot: lets a workload drop a dead or
+  /// quarantined rank from its communication pattern instead of aborting
+  /// on the first OpFailedError. `target` is a window-comm local rank.
+  TargetStatus target_status(int target) const;
+  /// Health state alone (kHealthy when the detector is off).
+  HealthState target_health(int target) const { return health_.state(target); }
+  const HealthMonitor& health() const { return health_; }
+  /// True when the previous get() was served as a bounded-staleness
+  /// degraded read; last_degraded_age_us() is that serve's staleness.
+  bool last_was_degraded() const { return last_degraded_; }
+  double last_degraded_age_us() const { return last_degraded_age_us_; }
 
   // --- integrity guard introspection (docs/INTEGRITY.md) ---
   /// Breaker state; kClosed when no breaker is configured
@@ -135,6 +152,8 @@ class CachedWindow {
     std::byte* user;        // source (copy-in) or destination (copy-out)
     std::size_t entry_off;  // offset inside the entry (copy-in tails)
     std::size_t bytes;
+    double issued_us;       // copy-ins: virtual time the fetch was issued
+                            // (becomes the entry's freshness stamp)
   };
 
   void serve_cached(void* origin, std::uint32_t entry, std::size_t bytes);
@@ -152,10 +171,26 @@ class CachedWindow {
   /// the epoch budget); anything else propagates.
   void issue_resilient(int target, std::size_t disp, std::size_t bytes,
                        const std::function<void()>& issue_fn);
-  /// Serve a get from a CACHED entry because the target is degraded or
-  /// dead (cache-fallback, read-only modes only). False: proceed normally.
-  bool try_fallback(void* origin, std::size_t bytes, int target, std::size_t disp,
-                    std::uint64_t sig);
+  /// Serve a get from a CACHED entry because the target is down
+  /// (quarantined, dead or degraded). Two policies, tried in order:
+  /// bounded-staleness degraded reads (cfg.degraded_reads; any mode) and
+  /// the legacy unbounded cache-fallback (cfg.cache_fallback; read-only
+  /// modes only). False: proceed normally. See docs/FAULTS.md §6 for the
+  /// mode/policy matrix.
+  bool try_degraded_read(void* origin, std::size_t bytes, int target, std::size_t disp,
+                         std::uint64_t sig);
+  /// The target is currently unreachable: quarantined by the health
+  /// monitor, or dead/degraded per the installed fault injector.
+  bool target_down(int target) const;
+  /// Feed one op outcome to the health monitor and mirror any state
+  /// transition into Stats and the trace.
+  void health_record(int target, bool success, bool fatal);
+  /// Mirror a transition of `target` to `after` (stats counters + trace
+  /// `h` annotation). Callers only invoke on an actual change.
+  void health_note(int target, HealthState after);
+  /// Epoch boundary: reset per-target backoff pools and promote
+  /// dwell-elapsed quarantines to PROBING (mirroring transitions).
+  void health_epoch_close();
   /// Undo the cache bookkeeping of an access whose network fetch failed.
   void rollback_failed(const CacheCore::Result& res, std::size_t pending_mark);
   /// A flush raised kRankDead: discard what the dead target will never
@@ -164,6 +199,10 @@ class CachedWindow {
   void on_flush_failure(const fault::OpFailedError& err, bool all_taken);
   /// Run pending copy-ins/outs; target < 0 means all targets.
   void process_pending(int target);
+  /// Transparent-mode epoch invalidation. With degraded reads enabled,
+  /// entries of currently-down targets survive (a down target cannot be
+  /// accepting writes; the staleness bound caps how long they serve).
+  void transparent_invalidate();
   void close_epoch(bool all_complete);
   void maybe_adapt();
 
@@ -203,7 +242,13 @@ class CachedWindow {
   PhaseBreakdown last_phases_{};
   std::uint64_t bypassed_ = 0;
   util::Xoshiro256 retry_rng_;
-  double epoch_backoff_us_ = 0.0;
+  HealthMonitor health_;
+  std::vector<std::pair<int, HealthState>> health_transitions_;  // scratch
+  bool last_degraded_ = false;
+  double last_degraded_age_us_ = 0.0;
+  double epoch_open_us_ = 0.0;  ///< virtual time the current epoch opened:
+                                ///< entries stamped earlier are cross-epoch
+                                ///< survivors (transparent degraded reads)
   trace::Trace* fault_trace_ = nullptr;
   std::unique_ptr<CircuitBreaker> breaker_;  // null unless configured
   std::uint64_t shadow_tick_ = 0;            // shadow_verify_every_n sampling

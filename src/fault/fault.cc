@@ -17,6 +17,7 @@ const char* to_string(FailureKind k) {
   switch (k) {
     case FailureKind::kTransient: return "transient";
     case FailureKind::kRankDead: return "rank_dead";
+    case FailureKind::kQuarantined: return "quarantined";
   }
   return "?";
 }

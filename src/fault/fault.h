@@ -35,9 +35,12 @@ const char* to_string(OpKind k);
 
 /// Why an operation failed.
 enum class FailureKind : std::uint8_t {
-  kTransient,  ///< random drop from the plan's failure probability; a
-               ///< retry of the same operation may succeed
-  kRankDead,   ///< the target rank passed its death instant; permanent
+  kTransient,    ///< random drop from the plan's failure probability; a
+                 ///< retry of the same operation may succeed
+  kRankDead,     ///< the target rank passed its death instant; permanent
+  kQuarantined,  ///< the health monitor quarantined the target: the op was
+                 ///< fast-failed without touching the network (no retry
+                 ///< until the target is re-probed; docs/FAULTS.md §6)
 };
 
 const char* to_string(FailureKind k);

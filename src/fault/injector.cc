@@ -14,6 +14,7 @@ constexpr std::uint64_t kSaltFail = 0xfa11ed00000001ull;
 constexpr std::uint64_t kSaltSpike = 0x51eeee00000002ull;
 constexpr std::uint64_t kSaltStale = 0x57a1e000000003ull;
 constexpr std::uint64_t kSaltBitflip = 0xb17f11b0000004ull;
+constexpr std::uint64_t kSaltTargetFail = 0x7a26e7fa0000005ull;
 
 // Stateless mix of two words (SplitMix64 over a combined state); used to
 // fold (seed, salt, origin, target, seq) into one uniform draw.
@@ -41,6 +42,18 @@ Injector::Injector(Plan plan) : plan_(std::move(plan)) {
                  "fault plan: storage bit-flip probability outside [0,1]");
   CLAMPI_REQUIRE(plan_.stale_put_prob >= 0.0 && plan_.stale_put_prob <= 1.0,
                  "fault plan: stale-put probability outside [0,1]");
+  for (const double p : plan_.target_fail_prob) {
+    CLAMPI_REQUIRE(p >= 0.0 && p <= 1.0,
+                   "fault plan: per-target failure probability outside [0,1]");
+  }
+  for (std::size_t r = 0; r < plan_.revive_us.size(); ++r) {
+    const double rv = plan_.revive_us[r];
+    if (rv < 0.0) continue;
+    CLAMPI_REQUIRE(r < plan_.death_us.size() && plan_.death_us[r] >= 0.0,
+                   "fault plan: revival for a rank with no death instant");
+    CLAMPI_REQUIRE(rv > plan_.death_us[r],
+                   "fault plan: revival must come after the death instant");
+  }
 }
 
 Corruptor::Corruptor(std::uint64_t seed, double prob) : rng_(seed), prob_(prob) {
@@ -117,7 +130,13 @@ bool Injector::stale_put_verdict(int origin, int target) const {
 bool Injector::dead(int rank, double now_us) const {
   if (rank < 0 || static_cast<std::size_t>(rank) >= plan_.death_us.size()) return false;
   const double d = plan_.death_us[static_cast<std::size_t>(rank)];
-  return d >= 0.0 && now_us >= d;
+  if (d < 0.0 || now_us < d) return false;
+  // A revived rank is alive again from its revival instant onward.
+  if (static_cast<std::size_t>(rank) < plan_.revive_us.size()) {
+    const double rv = plan_.revive_us[static_cast<std::size_t>(rank)];
+    if (rv >= 0.0 && now_us >= rv) return false;
+  }
+  return true;
 }
 
 bool Injector::degraded(int rank, double now_us) const {
@@ -154,6 +173,16 @@ Injector::Verdict Injector::on_op(OpKind op, int origin, int target, std::size_t
     v.kind = FailureKind::kTransient;
     ++failures_;
     return v;
+  }
+  // Per-target flaky-NIC failures, independent of the distance tiers.
+  if (target >= 0 && static_cast<std::size_t>(target) < plan_.target_fail_prob.size()) {
+    const double tp = plan_.target_fail_prob[static_cast<std::size_t>(target)];
+    if (tp > 0.0 && draw(kSaltTargetFail, origin, target, seq) < tp) {
+      v.fail = true;
+      v.kind = FailureKind::kTransient;
+      ++failures_;
+      return v;
+    }
   }
   if (plan_.spike_prob > 0.0 && draw(kSaltSpike, origin, target, seq) < plan_.spike_prob) {
     v.latency_factor *= plan_.spike_factor;

@@ -13,6 +13,10 @@ bool Plan::trivial() const {
   for (const double d : death_us) {
     if (d >= 0.0) return false;
   }
+  for (const double p : target_fail_prob) {
+    if (p > 0.0) return false;
+  }
+  // revive_us alone cannot perturb anything: it only shortens deaths.
   if (storage_bitflip_prob > 0.0 || stale_put_prob > 0.0) return false;
   return true;
 }
@@ -29,6 +33,22 @@ Plan& Plan::kill_rank(int rank, double at_us) {
     death_us.resize(static_cast<std::size_t>(rank) + 1, -1.0);
   }
   death_us[static_cast<std::size_t>(rank)] = at_us;
+  return *this;
+}
+
+Plan& Plan::revive_rank(int rank, double at_us) {
+  if (revive_us.size() <= static_cast<std::size_t>(rank)) {
+    revive_us.resize(static_cast<std::size_t>(rank) + 1, -1.0);
+  }
+  revive_us[static_cast<std::size_t>(rank)] = at_us;
+  return *this;
+}
+
+Plan& Plan::fail_target(int rank, double p) {
+  if (target_fail_prob.size() <= static_cast<std::size_t>(rank)) {
+    target_fail_prob.resize(static_cast<std::size_t>(rank) + 1, 0.0);
+  }
+  target_fail_prob[static_cast<std::size_t>(rank)] = p;
   return *this;
 }
 

@@ -67,6 +67,18 @@ struct Plan {
   /// Per-world-rank death instant; < 0 (or absent) means immortal.
   std::vector<double> death_us;
 
+  /// Per-world-rank revival instant: a dead rank comes back at this time
+  /// (restarted node rejoining); < 0 (or absent) means the death is
+  /// permanent. Only meaningful for ranks with a death instant, and the
+  /// revival must come after the death. Revivals make the health
+  /// subsystem's PROBING -> HEALTHY edge exercisable (docs/FAULTS.md §6).
+  std::vector<double> revive_us;
+
+  /// Per-world-rank *additional* transient failure probability when the
+  /// rank is the target, drawn independently of the distance-tier
+  /// probabilities (a single flaky NIC rather than a lossy fabric).
+  std::vector<double> target_fail_prob;
+
   /// Probability that a cached storage byte flips one random bit per
   /// epoch boundary (silent bit rot; docs/INTEGRITY.md).
   double storage_bitflip_prob = 0.0;
@@ -85,8 +97,13 @@ struct Plan {
   /// Set a single transient failure probability for every distance tier
   /// except kSelf (local copies do not traverse the network).
   Plan& fail_everywhere(double p);
-  /// Rank `rank` dies (permanently) at virtual time `at_us`.
+  /// Rank `rank` dies (permanently, unless revived) at virtual time `at_us`.
   Plan& kill_rank(int rank, double at_us);
+  /// Rank `rank` comes back to life at virtual time `at_us` (it must have
+  /// a death instant before that, validated by the Injector).
+  Plan& revive_rank(int rank, double at_us);
+  /// Ops targeting `rank` additionally fail transiently with probability `p`.
+  Plan& fail_target(int rank, double p);
   /// Rank `rank` is degraded by `factor` over [from_us, until_us).
   Plan& degrade_rank(int rank, double factor, double from_us = 0.0,
                      double until_us = kForever);

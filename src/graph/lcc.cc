@@ -43,16 +43,33 @@ const Vertex* DistributedLcc::fetch_adjacency(Vertex u, Vertex* dst) {
     ++current_.local_reads;
     return g_->neighbors(u);
   }
+  if (cfg_.skip_dead_ranks && cached_.has_value() && !cfg_.clampi_cfg.degraded_reads &&
+      !cfg_.clampi_cfg.cache_fallback) {
+    // Typed health query: with no degraded-read policy to fall back on, a
+    // down owner is dropped up front instead of paying a fast-fail throw.
+    if (!cached_->target_status(owner).usable) {
+      ++current_.dropped_gets;
+      return nullptr;
+    }
+  }
   ++current_.remote_gets;
   const std::size_t bytes = g_->degree(u) * sizeof(Vertex);
   const std::size_t disp =
       (g_->offsets[u] - g_->offsets[range_first_[static_cast<std::size_t>(owner)]]) *
       sizeof(Vertex);
   if (cfg_.track_size_histogram) ++size_hist_[static_cast<std::uint32_t>(bytes)];
-  if (cached_.has_value()) {
-    cached_->get(dst, bytes, owner, disp);
-  } else {
-    p_->get(dst, bytes, owner, disp, win_);
+  try {
+    if (cached_.has_value()) {
+      cached_->get(dst, bytes, owner, disp);
+      cached_->flush(owner);
+    } else {
+      p_->get(dst, bytes, owner, disp, win_);
+      p_->flush(owner, win_);
+    }
+  } catch (const fault::OpFailedError&) {
+    if (!cfg_.skip_dead_ranks) throw;
+    ++current_.dropped_gets;
+    return nullptr;
   }
   return dst;
 }
@@ -82,15 +99,8 @@ DistributedLcc::Report DistributedLcc::run() {
       scratch.resize(g_->degree(u));
       const double c0 = p_->now_us();
       const Vertex* list = fetch_adjacency(u, scratch.data());
-      if (list == scratch.data()) {  // remote: complete the transfer
-        const int owner = owner_of(u);
-        if (cached_.has_value()) {
-          cached_->flush(owner);
-        } else {
-          p_->flush(owner, win_);
-        }
-      }
       current_.comm_us += p_->now_us() - c0;
+      if (list == nullptr) continue;  // owner down, get dropped
       closed += intersect_count(nv, deg, list, g_->degree(u));
     }
     const double coeff = static_cast<double>(closed) /

@@ -34,6 +34,12 @@ struct LccConfig {
   LccBackend backend = LccBackend::kNone;
   clampi::Config clampi_cfg{};
   bool track_size_histogram = false;  ///< remote get sizes (Fig. 3)
+  /// Survivability (docs/FAULTS.md §6): instead of aborting on the first
+  /// OpFailedError, drop gets against dead/quarantined owners (their
+  /// wedges contribute no closed triangles; LCC becomes a lower bound)
+  /// and count them in Report::dropped_gets. Degraded reads, when the
+  /// clampi config enables them, still serve cached lists for down owners.
+  bool skip_dead_ranks = false;
 };
 
 class DistributedLcc {
@@ -48,6 +54,7 @@ class DistributedLcc {
     std::uint64_t remote_gets = 0;
     std::uint64_t local_reads = 0;
     std::uint64_t owned_vertices = 0;
+    std::uint64_t dropped_gets = 0;  ///< skipped: owner dead/quarantined
     double lcc_sum = 0.0;  ///< sum of this rank's coefficients (checksum)
   };
 
@@ -81,8 +88,10 @@ class DistributedLcc {
   }
 
  private:
-  /// Fetch adj(u) into `dst` (deg(u) entries); returns a pointer to the
-  /// data (either `dst` or the shared CSR for local vertices).
+  /// Fetch adj(u) into `dst` (deg(u) entries) and complete the transfer;
+  /// returns a pointer to the data (either `dst` or the shared CSR for
+  /// local vertices), or nullptr when the owner is down and
+  /// cfg.skip_dead_ranks dropped the get.
   const Vertex* fetch_adjacency(Vertex u, Vertex* dst);
 
   rmasim::Process* p_;

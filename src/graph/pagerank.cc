@@ -67,17 +67,33 @@ double DistributedPagerank::fetch_score(Vertex u) {
     ++current_.local_reads;
     return win_scores_[u - first_];
   }
+  if (cfg_.skip_dead_ranks && cached_.has_value() && !cfg_.clampi_cfg.degraded_reads &&
+      !cfg_.clampi_cfg.cache_fallback) {
+    // Typed health query: with no degraded-read policy to fall back on, a
+    // down owner is dropped up front instead of paying a fast-fail throw.
+    if (!cached_->target_status(owner).usable) {
+      ++current_.dropped_gets;
+      return 0.0;
+    }
+  }
   ++current_.remote_gets;
   const std::size_t disp =
       (u - range_first_[static_cast<std::size_t>(owner)]) * sizeof(double);
   double score = 0.0;
   const double c0 = p_->now_us();
-  if (cached_.has_value()) {
-    cached_->get(&score, sizeof(score), owner, disp);
-    cached_->flush(owner);
-  } else {
-    p_->get(&score, sizeof(score), owner, disp, win_);
-    p_->flush(owner, win_);
+  try {
+    if (cached_.has_value()) {
+      cached_->get(&score, sizeof(score), owner, disp);
+      cached_->flush(owner);
+    } else {
+      p_->get(&score, sizeof(score), owner, disp, win_);
+      p_->flush(owner, win_);
+    }
+  } catch (const fault::OpFailedError&) {
+    if (!cfg_.skip_dead_ranks) throw;
+    ++current_.dropped_gets;
+    current_.comm_us += p_->now_us() - c0;
+    return 0.0;  // the dead owner's mass leaks out of the ranking
   }
   current_.comm_us += p_->now_us() - c0;
   return score;

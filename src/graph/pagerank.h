@@ -36,6 +36,12 @@ struct PagerankConfig {
   int iterations = 10;
   PrBackend backend = PrBackend::kNone;
   clampi::Config clampi_cfg{};
+  /// Survivability (docs/FAULTS.md §6): drop score fetches against
+  /// dead/quarantined owners (they contribute 0 to the sum — mass leaks,
+  /// the ranking of reachable vertices survives) instead of aborting;
+  /// counted in Report::dropped_gets. Degraded reads, when enabled in the
+  /// clampi config, still serve cached scores for down owners.
+  bool skip_dead_ranks = false;
 };
 
 /// Serial reference (same fixed iteration count). Returns the scores.
@@ -48,6 +54,7 @@ class DistributedPagerank {
     double comm_us = 0.0;      ///< get+flush time only
     std::uint64_t remote_gets = 0;
     std::uint64_t local_reads = 0;
+    std::uint64_t dropped_gets = 0;  ///< skipped: owner dead/quarantined
   };
 
   DistributedPagerank(rmasim::Process& p, std::shared_ptr<const Csr> graph,

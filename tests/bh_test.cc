@@ -8,6 +8,8 @@
 
 #include "bh/octree.h"
 #include "bh/solver.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "netmodel/model.h"
 #include "rt/engine.h"
 
@@ -227,6 +229,36 @@ TEST(BhCaching, ClampiGetsHitsOnReusedNodes) {
     EXPECT_EQ(st->invalidations, 1u);
     p.barrier();
   });
+}
+
+TEST(BhCaching, SkipDeadRanksDropsDeadOwnersPayloads) {
+  // Rank 3 is dead from the start; with skip_dead_ranks payload fetches
+  // against it return a zero-mass cell (the traversal skips it, forces
+  // lose that rank's share of the mass) instead of aborting the step.
+  fault::Plan plan;
+  plan.kill_rank(3, 0.0);
+  Engine::Config ec = engine_cfg(4);
+  ec.injector = std::make_shared<fault::Injector>(plan);
+  Engine e(ec);
+  auto shared = std::make_shared<SharedBodies>(400, 23);
+  auto dropped = std::make_shared<std::vector<std::uint64_t>>(4, 0);
+  e.run([&](Process& p) {
+    SolverConfig cfg;
+    cfg.nbodies = shared->pos.size();
+    cfg.backend = CacheBackend::kClampi;
+    cfg.clampi_cfg.mode = Mode::kAlwaysCache;
+    cfg.skip_dead_ranks = true;
+    DistributedBarnesHut solver(p, shared, cfg);
+    const auto rep = solver.step();
+    (*dropped)[static_cast<std::size_t>(p.rank())] = rep.dropped_gets;
+    // The step completes with finite state everywhere.
+    for (std::size_t b = solver.first_body(); b < solver.last_body(); ++b) {
+      EXPECT_TRUE(std::isfinite(shared->pos[b].x));
+      EXPECT_TRUE(std::isfinite(shared->vel[b].y));
+    }
+    p.barrier();
+  });
+  EXPECT_GT((*dropped)[0] + (*dropped)[1] + (*dropped)[2], 0u);
 }
 
 TEST(BhCaching, AccessHistogramShowsReuse) {

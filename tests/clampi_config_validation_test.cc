@@ -128,6 +128,80 @@ TEST(ConfigValidation, RejectsMalformedBreakerKnobs) {
   EXPECT_NO_THROW(validate_config(on));
 }
 
+TEST(ConfigValidation, RejectsMalformedHealthKnobs) {
+  Config c;
+  c.health_failure_threshold = -2;
+  EXPECT_THROW(validate_config(c), util::ContractError);
+
+  // Dependent detector knobs are only checked once the detector is on.
+  Config off;
+  off.health_window_us = -1.0;
+  off.health_ewma_alpha = 7.0;
+  off.health_ewma_halflife_us = 0.0;
+  off.health_suspect_threshold = 0.0;
+  off.health_quarantine_dwell_us = -5.0;
+  off.health_probe_successes = 0;
+  EXPECT_NO_THROW(validate_config(off));
+
+  Config on;
+  on.health_failure_threshold = 3;
+  EXPECT_NO_THROW(validate_config(on));
+  on.health_window_us = 0.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_window_us = 10000.0;
+  on.health_ewma_alpha = 0.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_ewma_alpha = 1.5;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_ewma_alpha = 0.3;
+  on.health_ewma_halflife_us = 0.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_ewma_halflife_us = 5000.0;
+  on.health_suspect_threshold = 0.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_suspect_threshold = 2.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_suspect_threshold = 0.5;
+  on.health_quarantine_dwell_us = -1.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_quarantine_dwell_us = 5000.0;
+  on.health_probe_successes = 0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.health_probe_successes = 2;
+  EXPECT_NO_THROW(validate_config(on));
+
+  // The staleness bound is validated independently of the detector.
+  Config stale;
+  stale.degraded_reads = true;
+  stale.degraded_max_staleness_us = -1.0;
+  EXPECT_THROW(validate_config(stale), util::ContractError);
+  stale.degraded_max_staleness_us = 0.0;  // 0 = unbounded
+  EXPECT_NO_THROW(validate_config(stale));
+}
+
+TEST(ConfigValidation, HealthInfoKeysParse) {
+  const Info info{{"clampi_health_failure_threshold", "3"},
+                  {"clampi_health_window_us", "20000"},
+                  {"clampi_health_ewma_alpha", "0.25"},
+                  {"clampi_health_ewma_halflife_us", "4000"},
+                  {"clampi_health_suspect_threshold", "0.6"},
+                  {"clampi_health_quarantine_dwell_us", "8000"},
+                  {"clampi_health_probe_successes", "3"},
+                  {"clampi_degraded_reads", "true"},
+                  {"clampi_degraded_max_staleness_us", "250000"}};
+  const Config cfg = config_from_info(info);
+  EXPECT_EQ(cfg.health_failure_threshold, 3);
+  EXPECT_DOUBLE_EQ(cfg.health_window_us, 20000.0);
+  EXPECT_DOUBLE_EQ(cfg.health_ewma_alpha, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.health_ewma_halflife_us, 4000.0);
+  EXPECT_DOUBLE_EQ(cfg.health_suspect_threshold, 0.6);
+  EXPECT_DOUBLE_EQ(cfg.health_quarantine_dwell_us, 8000.0);
+  EXPECT_EQ(cfg.health_probe_successes, 3);
+  EXPECT_TRUE(cfg.degraded_reads);
+  EXPECT_DOUBLE_EQ(cfg.degraded_max_staleness_us, 250000.0);
+  EXPECT_NO_THROW(validate_config(cfg));
+}
+
 TEST(ConfigValidation, IntegrityInfoKeysParse) {
   const Info info{{"clampi_verify_every_n", "16"},
                   {"clampi_scrub_entries_per_epoch", "32"},

@@ -1,0 +1,607 @@
+// Per-target health subsystem (docs/FAULTS.md §6): failure-detector state
+// machine, per-target retry budgets (no cross-target starvation),
+// quarantine fast-fails, bounded-staleness degraded reads, dead-flush
+// in-flight handling and the typed target-status query API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clampi/clampi.h"
+#include "fault/fault.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
+#include "netmodel/model.h"
+#include "rt/engine.h"
+
+namespace {
+
+using namespace clampi;
+using rmasim::Engine;
+using rmasim::Process;
+
+Engine::Config ecfg(int nranks, std::shared_ptr<fault::Injector> inj = nullptr) {
+  Engine::Config cfg;
+  cfg.nranks = nranks;
+  cfg.model = std::make_shared<net::FlatModel>(10.0, 0.0);  // 10us per transfer
+  cfg.time_policy = rmasim::TimePolicy::kModeled;
+  cfg.injector = std::move(inj);
+  return cfg;
+}
+
+Config cache_cfg(Mode mode) {
+  Config cfg;
+  cfg.mode = mode;
+  cfg.index_entries = 512;
+  cfg.storage_bytes = 256 * 1024;
+  return cfg;
+}
+
+void fill_pattern(void* base, std::size_t n, int rank) {
+  auto* b = static_cast<std::uint8_t*>(base);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>((i * 7 + rank * 13) & 0xff);
+  }
+}
+
+std::uint8_t pattern_at(std::size_t i, int rank) {
+  return static_cast<std::uint8_t>((i * 7 + rank * 13) & 0xff);
+}
+
+// ---------------------------------------------------------------------------
+// HealthMonitor unit behaviour (no engine)
+// ---------------------------------------------------------------------------
+
+HealthMonitor::Config mon_cfg() {
+  HealthMonitor::Config c;
+  c.failure_threshold = 3;
+  c.window_us = 10000.0;
+  c.ewma_alpha = 0.5;
+  c.ewma_halflife_us = 1000.0;
+  c.suspect_threshold = 0.5;
+  c.quarantine_dwell_us = 1000.0;
+  c.probe_successes = 2;
+  return c;
+}
+
+TEST(HealthMonitor, DisabledDetectorStaysHealthyButAccountsBackoff) {
+  HealthMonitor::Config c = mon_cfg();
+  c.failure_threshold = 0;  // detector off
+  HealthMonitor m(c);
+  EXPECT_FALSE(m.enabled());
+  for (int i = 0; i < 20; ++i) m.record_failure(0, 100.0 * i, /*fatal=*/true);
+  EXPECT_EQ(m.state(0), HealthState::kHealthy);
+  EXPECT_DOUBLE_EQ(m.suspicion(0, 5000.0), 0.0);
+  // The per-target backoff pools must work unconditionally.
+  m.epoch_backoff_us(0) += 25.0;
+  m.epoch_backoff_us(2) += 5.0;
+  EXPECT_DOUBLE_EQ(m.epoch_backoff_us(0), 25.0);
+  EXPECT_DOUBLE_EQ(m.epoch_backoff_us(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.total_epoch_backoff_us(), 30.0);
+  m.on_epoch_close(1000.0, nullptr);
+  EXPECT_DOUBLE_EQ(m.total_epoch_backoff_us(), 0.0);
+}
+
+TEST(HealthMonitor, WindowedFailuresQuarantine) {
+  HealthMonitor m(mon_cfg());
+  EXPECT_EQ(m.record_failure(1, 10.0, false), HealthState::kSuspect);  // s = 0.5
+  EXPECT_EQ(m.record_failure(1, 20.0, false), HealthState::kSuspect);
+  // Third windowed failure reaches the threshold.
+  EXPECT_EQ(m.record_failure(1, 30.0, false), HealthState::kQuarantined);
+  const TargetStatus st = m.status(1, 30.0);
+  EXPECT_EQ(st.state, HealthState::kQuarantined);
+  EXPECT_EQ(st.failures, 3u);
+  EXPECT_DOUBLE_EQ(st.quarantined_since_us, 30.0);
+  EXPECT_FALSE(st.usable);
+  // Other targets are untouched.
+  EXPECT_EQ(m.state(0), HealthState::kHealthy);
+  EXPECT_TRUE(m.status(0, 30.0).usable);
+}
+
+TEST(HealthMonitor, FatalFailureQuarantinesImmediately) {
+  HealthMonitor m(mon_cfg());
+  EXPECT_EQ(m.record_failure(4, 100.0, /*fatal=*/true), HealthState::kQuarantined);
+  EXPECT_EQ(m.status(4, 100.0).failures, 1u);
+}
+
+TEST(HealthMonitor, SuspicionDecaysWithVirtualTime) {
+  HealthMonitor m(mon_cfg());
+  m.record_failure(0, 0.0, false);  // suspicion = alpha = 0.5
+  EXPECT_DOUBLE_EQ(m.suspicion(0, 0.0), 0.5);
+  // One half-life later the estimate halves without any new outcome.
+  EXPECT_NEAR(m.suspicion(0, 1000.0), 0.25, 1e-12);
+  EXPECT_NEAR(m.suspicion(0, 2000.0), 0.125, 1e-12);
+  // A success after the decay drops the target back below the suspect
+  // threshold and recovers the state.
+  EXPECT_EQ(m.state(0), HealthState::kSuspect);
+  EXPECT_EQ(m.record_success(0, 2000.0), HealthState::kHealthy);
+}
+
+TEST(HealthMonitor, EpochClosePromotesAfterDwell) {
+  HealthMonitor m(mon_cfg());
+  m.record_failure(2, 500.0, /*fatal=*/true);
+  m.epoch_backoff_us(2) += 40.0;
+
+  std::vector<std::pair<int, HealthState>> out;
+  m.on_epoch_close(1000.0, &out);  // dwell (1000us) not yet elapsed
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(m.state(2), HealthState::kQuarantined);
+  EXPECT_DOUBLE_EQ(m.epoch_backoff_us(2), 0.0);  // backoff resets regardless
+
+  m.on_epoch_close(1600.0, &out);  // 1100us in quarantine: promote
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].first, 2);
+  EXPECT_EQ(out[0].second, HealthState::kProbing);
+  EXPECT_EQ(m.state(2), HealthState::kProbing);
+}
+
+TEST(HealthMonitor, ProbeStreakRecloses) {
+  HealthMonitor m(mon_cfg());
+  m.record_failure(0, 0.0, /*fatal=*/true);
+  m.on_epoch_close(2000.0, nullptr);
+  ASSERT_EQ(m.state(0), HealthState::kProbing);
+  EXPECT_EQ(m.record_success(0, 2100.0), HealthState::kProbing);  // streak 1 of 2
+  EXPECT_EQ(m.record_success(0, 2200.0), HealthState::kHealthy);
+  const TargetStatus st = m.status(0, 2200.0);
+  EXPECT_DOUBLE_EQ(st.suspicion, 0.0);
+  EXPECT_LT(st.quarantined_since_us, 0.0);
+  EXPECT_EQ(st.failures, 1u);  // cumulative counters survive recovery
+  EXPECT_EQ(st.successes, 2u);
+}
+
+TEST(HealthMonitor, ProbeFailureRequarantines) {
+  HealthMonitor m(mon_cfg());
+  m.record_failure(0, 0.0, /*fatal=*/true);
+  m.on_epoch_close(2000.0, nullptr);
+  ASSERT_EQ(m.state(0), HealthState::kProbing);
+  EXPECT_EQ(m.record_failure(0, 2100.0, false), HealthState::kQuarantined);
+  EXPECT_DOUBLE_EQ(m.status(0, 2100.0).quarantined_since_us, 2100.0);
+}
+
+TEST(HealthMonitor, StateNames) {
+  EXPECT_STREQ(to_string(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(HealthState::kSuspect), "suspect");
+  EXPECT_STREQ(to_string(HealthState::kQuarantined), "quarantined");
+  EXPECT_STREQ(to_string(HealthState::kProbing), "probing");
+}
+
+// ---------------------------------------------------------------------------
+// Window integration
+// ---------------------------------------------------------------------------
+
+TEST(HealthWindow, RetryBudgetIsPerTarget) {
+  // Both targets always fail. With the pre-health *global* budget, target
+  // 1's retries would exhaust the pool and target 2 would give up with
+  // zero retries; per-target pools give each its own three.
+  fault::Plan plan;
+  plan.fail_target(1, 1.0).fail_target(2, 1.0);
+
+  Config ccfg = cache_cfg(Mode::kAlwaysCache);
+  ccfg.max_retries = 100;
+  ccfg.retry_backoff_us = 10.0;
+  ccfg.retry_backoff_factor = 1.0;
+  ccfg.retry_jitter = 0.0;
+  ccfg.epoch_retry_budget_us = 35.0;  // room for 3 x 10us per target
+
+  Engine e(ecfg(3, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf(64);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 0), fault::OpFailedError);
+      EXPECT_THROW(win.get(buf.data(), 64, 2, 0), fault::OpFailedError);
+      const Stats st = win.stats();
+      EXPECT_EQ(st.retries, 6u);        // 3 per target, not 3 total
+      EXPECT_EQ(st.retry_giveups, 2u);  // each target exhausts its own pool
+      EXPECT_EQ(st.injected_faults, 8u);
+      EXPECT_DOUBLE_EQ(win.epoch_backoff_us(1), 30.0);
+      EXPECT_DOUBLE_EQ(win.epoch_backoff_us(2), 30.0);
+      EXPECT_DOUBLE_EQ(win.epoch_backoff_us(), 60.0);  // summed accessor
+      win.flush_all();  // epoch boundary resets every pool
+      EXPECT_DOUBLE_EQ(win.epoch_backoff_us(), 0.0);
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, QuarantineFastFailsWithoutBurningRetries) {
+  fault::Plan plan;
+  plan.fail_target(1, 1.0);
+
+  Config ccfg = cache_cfg(Mode::kAlwaysCache);  // max_retries = 0
+  ccfg.health_failure_threshold = 2;
+  ccfg.health_window_us = 1e6;
+  ccfg.health_suspect_threshold = 0.9;
+  ccfg.health_quarantine_dwell_us = 1e9;  // never re-probed in this test
+
+  Engine e(ecfg(3, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    fill_pattern(base, 4096, p.rank());
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf(64);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 0), fault::OpFailedError);
+      EXPECT_EQ(win.target_health(1), HealthState::kHealthy);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 64), fault::OpFailedError);
+      EXPECT_EQ(win.target_health(1), HealthState::kQuarantined);
+      EXPECT_EQ(win.stats().health_quarantines, 1u);
+      EXPECT_EQ(win.stats().injected_faults, 2u);
+
+      // The third get fast-fails: no network op, no injected fault.
+      bool quarantined = false;
+      try {
+        win.get(buf.data(), 64, 1, 128);
+      } catch (const fault::OpFailedError& err) {
+        quarantined = err.failure() == fault::FailureKind::kQuarantined;
+      }
+      EXPECT_TRUE(quarantined);
+      EXPECT_EQ(win.stats().fast_fails, 1u);
+      EXPECT_EQ(win.stats().injected_faults, 2u);  // unchanged
+
+      // A healthy target is untouched by target 1's quarantine.
+      win.get(buf.data(), 64, 2, 0);
+      win.flush_all();
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ(buf[static_cast<std::size_t>(j)],
+                  pattern_at(static_cast<std::size_t>(j), 2));
+      }
+
+      const TargetStatus bad = win.target_status(1);
+      EXPECT_EQ(bad.state, HealthState::kQuarantined);
+      EXPECT_EQ(bad.failures, 2u);
+      EXPECT_EQ(bad.fast_fails, 1u);
+      EXPECT_FALSE(bad.usable);
+      EXPECT_FALSE(bad.dead);  // unreachable by policy, not by the injector
+      const TargetStatus good = win.target_status(2);
+      EXPECT_TRUE(good.usable);
+      EXPECT_GE(good.successes, 1u);
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, DegradedReadsServeDeadTargetInTransparentMode) {
+  // The headline behaviour: unlike cache_fallback (read-only modes only),
+  // bounded-staleness degraded reads work in kTransparent. The dead
+  // flush materializes in-flight data as last-known-good entries and the
+  // transparent invalidation retains them for the down target.
+  fault::Plan plan;
+  plan.kill_rank(1, 1000.0);
+
+  Config ccfg = cache_cfg(Mode::kTransparent);
+  ccfg.degraded_reads = true;
+  ccfg.degraded_max_staleness_us = 1e6;
+
+  Engine e(ecfg(2, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    fill_pattern(base, 4096, p.rank());
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf(64);
+      std::vector<std::uint8_t> buf2(64);
+      win.get(buf.data(), 64, 1, 0);    // issued while rank 1 is alive
+      win.get(buf2.data(), 64, 1, 64);  // (data movement is eager)
+      p.compute_us(2000.0);             // rank 1 dies with the epoch open
+      EXPECT_THROW(win.flush_all(), fault::OpFailedError);
+      // Both entries were materialized and retained across the epoch.
+      EXPECT_EQ(win.core().pending_entries(), 0u);
+      EXPECT_EQ(win.core().cached_entries(), 2u);
+
+      // Cached keys keep serving, with correct bytes and bounded age.
+      win.get(buf.data(), 64, 1, 0);
+      EXPECT_TRUE(win.last_was_degraded());
+      EXPECT_GT(win.last_degraded_age_us(), 0.0);
+      EXPECT_LE(win.last_degraded_age_us(), 1e6);
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ(buf[static_cast<std::size_t>(j)],
+                  pattern_at(static_cast<std::size_t>(j), 1));
+      }
+      win.get(buf2.data(), 64, 1, 64);
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ(buf2[static_cast<std::size_t>(j)],
+                  pattern_at(64 + static_cast<std::size_t>(j), 1));
+      }
+      EXPECT_EQ(win.stats().degraded_hits, 2u);
+      EXPECT_EQ(win.stats().fallback_hits, 0u);
+
+      // A key that was never cached must surface the death.
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 2048), fault::OpFailedError);
+      EXPECT_FALSE(win.last_was_degraded());
+      EXPECT_TRUE(win.core().validate());
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, DegradedReadsRespectStalenessBound) {
+  fault::Plan plan;
+  plan.kill_rank(1, 1000.0);
+
+  Config ccfg = cache_cfg(Mode::kTransparent);
+  ccfg.degraded_reads = true;
+  ccfg.degraded_max_staleness_us = 50000.0;
+
+  Engine e(ecfg(2, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    fill_pattern(base, 4096, p.rank());
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf(64);
+      win.get(buf.data(), 64, 1, 0);
+      p.compute_us(2000.0);
+      EXPECT_THROW(win.flush_all(), fault::OpFailedError);
+
+      win.get(buf.data(), 64, 1, 0);  // well inside the bound
+      EXPECT_TRUE(win.last_was_degraded());
+      EXPECT_EQ(win.stats().degraded_hits, 1u);
+
+      // Outlive the bound: the survivor is dropped, the get surfaces the
+      // rank death instead of silently serving over-stale bytes — and the
+      // ordinary hit path cannot resurrect the entry either.
+      p.compute_us(100000.0);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 0), fault::OpFailedError);
+      EXPECT_FALSE(win.last_was_degraded());
+      EXPECT_EQ(win.stats().degraded_hits, 1u);
+      EXPECT_EQ(win.stats().degraded_expired, 1u);
+      EXPECT_TRUE(win.core().validate());
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, DegradedReadsCountSeparatelyInAlwaysCacheMode) {
+  fault::Plan plan;
+  plan.kill_rank(1, 1000.0);
+
+  Config ccfg = cache_cfg(Mode::kAlwaysCache);
+  ccfg.degraded_reads = true;
+  ccfg.degraded_max_staleness_us = 1e6;  // cache_fallback stays false
+
+  Engine e(ecfg(2, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    fill_pattern(base, 4096, p.rank());
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf(64);
+      win.get(buf.data(), 64, 1, 0);
+      win.flush_all();
+      p.compute_us(2000.0);
+      win.get(buf.data(), 64, 1, 0);
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ(buf[static_cast<std::size_t>(j)],
+                  pattern_at(static_cast<std::size_t>(j), 1));
+      }
+      EXPECT_EQ(win.stats().degraded_hits, 1u);
+      EXPECT_EQ(win.stats().fallback_hits, 0u);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 2048), fault::OpFailedError);
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, SurvivorDroppedWhenTargetRevives) {
+  // fault::Plan::revive_rank brings the rank back: retained last-known-good
+  // entries must not be served as ordinary transparent-mode hits once the
+  // target is reachable again — they are dropped and re-fetched fresh.
+  fault::Plan plan;
+  plan.kill_rank(1, 1000.0).revive_rank(1, 3000.0);
+
+  Config ccfg = cache_cfg(Mode::kTransparent);
+  ccfg.degraded_reads = true;
+  ccfg.degraded_max_staleness_us = 1e7;
+
+  Engine e(ecfg(2, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    fill_pattern(base, 4096, p.rank());
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf(64);
+      win.get(buf.data(), 64, 1, 0);
+      p.compute_us(2000.0);
+      EXPECT_THROW(win.flush_all(), fault::OpFailedError);
+      win.get(buf.data(), 64, 1, 0);
+      EXPECT_TRUE(win.last_was_degraded());
+
+      p.compute_us(2000.0);  // past the revival instant
+      win.get(buf.data(), 64, 1, 0);  // fresh fetch from the revived rank
+      EXPECT_FALSE(win.last_was_degraded());
+      EXPECT_EQ(win.stats().degraded_expired, 1u);
+      win.flush_all();
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ(buf[static_cast<std::size_t>(j)],
+                  pattern_at(static_cast<std::size_t>(j), 1));
+      }
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, ReviveRankReclosesThroughProbing) {
+  // QUARANTINED -> PROBING (dwell elapsed, epoch boundary) -> HEALTHY
+  // (probe successes), exercised end-to-end against a revived rank.
+  fault::Plan plan;
+  plan.kill_rank(1, 1000.0).revive_rank(1, 3000.0);
+
+  Config ccfg = cache_cfg(Mode::kAlwaysCache);
+  ccfg.health_failure_threshold = 1;
+  ccfg.health_quarantine_dwell_us = 1500.0;
+  ccfg.health_probe_successes = 2;
+
+  Engine e(ecfg(2, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    fill_pattern(base, 4096, p.rank());
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf(64);
+      p.compute_us(2000.0);  // rank 1 is dead
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 0), fault::OpFailedError);
+      EXPECT_EQ(win.target_health(1), HealthState::kQuarantined);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 0), fault::OpFailedError);  // fast-fail
+      EXPECT_EQ(win.stats().fast_fails, 1u);
+
+      win.flush_all();  // epoch boundary before the dwell elapsed: no probe
+      EXPECT_EQ(win.target_health(1), HealthState::kQuarantined);
+
+      p.compute_us(2500.0);  // past dwell (3500 < 4500) and revival (3000)
+      win.flush_all();       // epoch boundary: half-open
+      EXPECT_EQ(win.target_health(1), HealthState::kProbing);
+      EXPECT_EQ(win.stats().health_probes, 1u);
+
+      win.get(buf.data(), 64, 1, 0);  // first successful probe
+      EXPECT_EQ(win.target_health(1), HealthState::kProbing);
+      win.get(buf.data(), 64, 1, 64);  // second: reclose
+      EXPECT_EQ(win.target_health(1), HealthState::kHealthy);
+      EXPECT_EQ(win.stats().health_recoveries, 1u);
+      win.flush_all();
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ(buf[static_cast<std::size_t>(j)],
+                  pattern_at(64 + static_cast<std::size_t>(j), 1));
+      }
+      EXPECT_TRUE(win.target_status(1).usable);
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, PerTargetFlushDiscardsOnlyDeadTargetsInflight) {
+  // flush(target) raising kRankDead mid-epoch: the dead target's pending
+  // copy-ins and PENDING entries are discarded, the healthy target's
+  // in-flight data survives and completes on its own flush.
+  fault::Plan plan;
+  plan.kill_rank(1, 50.0);
+
+  Config ccfg = cache_cfg(Mode::kAlwaysCache);
+
+  Engine e(ecfg(3, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    fill_pattern(base, 4096, p.rank());
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      std::vector<std::uint8_t> buf1(64);
+      std::vector<std::uint8_t> buf2(64);
+      win.get(buf1.data(), 64, 1, 0);  // issued while rank 1 is alive
+      win.get(buf2.data(), 64, 2, 0);
+      EXPECT_EQ(win.core().pending_entries(), 2u);
+      p.compute_us(100.0);  // rank 1 dies with both gets in flight
+      EXPECT_THROW(win.flush(1), fault::OpFailedError);
+      EXPECT_EQ(win.core().pending_entries(), 1u);  // only rank 2's remains
+      EXPECT_TRUE(win.core().validate());
+      win.flush(1);  // pending state was consumed: a repeat flush is clean
+      win.flush(2);
+      EXPECT_EQ(win.core().pending_entries(), 0u);
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ(buf2[static_cast<std::size_t>(j)],
+                  pattern_at(static_cast<std::size_t>(j), 2));
+      }
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, TraceRecordsHealthTransitions) {
+  fault::Plan plan;
+  plan.fail_target(1, 1.0);
+
+  Config ccfg = cache_cfg(Mode::kAlwaysCache);
+  ccfg.health_failure_threshold = 2;
+  ccfg.health_window_us = 1e6;
+  ccfg.health_suspect_threshold = 0.9;
+  ccfg.health_quarantine_dwell_us = 1e9;
+
+  Engine e(ecfg(2, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      trace::Trace t;
+      win.record_faults_to(&t);
+      std::vector<std::uint8_t> buf(64);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 0), fault::OpFailedError);
+      EXPECT_THROW(win.get(buf.data(), 64, 1, 64), fault::OpFailedError);
+      win.record_faults_to(nullptr);
+
+      std::size_t health_events = 0;
+      for (const auto& ev : t.events) {
+        if (ev.kind != trace::Event::Kind::kHealth) continue;
+        ++health_events;
+        EXPECT_EQ(ev.target, 1);
+        EXPECT_EQ(ev.disp,
+                  static_cast<std::uint64_t>(HealthState::kQuarantined));
+      }
+      EXPECT_EQ(health_events, 1u);
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+TEST(HealthWindow, TargetStatusReportsInjectorDeathWithoutDetector) {
+  fault::Plan plan;
+  plan.kill_rank(1, 1000.0);
+
+  Config ccfg = cache_cfg(Mode::kAlwaysCache);  // detector off
+
+  Engine e(ecfg(2, std::make_shared<fault::Injector>(plan)));
+  e.run([ccfg](Process& p) {
+    void* base = nullptr;
+    auto win = CachedWindow::allocate(p, 4096, &base, ccfg);
+    p.barrier();
+    if (p.rank() == 0) {
+      win.lock_all();
+      EXPECT_TRUE(win.target_status(1).usable);
+      p.compute_us(2000.0);
+      const TargetStatus st = win.target_status(1);
+      EXPECT_TRUE(st.dead);
+      EXPECT_FALSE(st.usable);
+      EXPECT_EQ(st.state, HealthState::kHealthy);  // detector is off
+      win.unlock_all();
+    }
+    p.barrier();
+    win.free_window();
+  });
+}
+
+}  // namespace

@@ -174,6 +174,54 @@ TEST(Trace, ReplayCoreSkipsFaultAnnotations) {
   EXPECT_EQ(sa.bytes_from_network, sb.bytes_from_network);
 }
 
+TEST(Trace, HealthEventsRoundTrip) {
+  Trace t;
+  t.add_get(1, 0, 64);
+  t.add_health(1, 2);   // target 1 -> kQuarantined
+  t.add_health(1, 3);   // target 1 -> kProbing
+  t.add_health(1, 0);   // target 1 -> kHealthy (reclosed)
+  t.add_flush_all();
+
+  std::stringstream ss;
+  t.save(ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("h 1 2"), std::string::npos);
+  EXPECT_NE(text.find("h 1 3"), std::string::npos);
+  EXPECT_NE(text.find("h 1 0"), std::string::npos);
+
+  const Trace u = Trace::load(ss);
+  ASSERT_EQ(u.events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(u.events[i].kind, t.events[i].kind);
+    EXPECT_EQ(u.events[i].target, t.events[i].target);
+    EXPECT_EQ(u.events[i].disp, t.events[i].disp);
+    EXPECT_EQ(u.events[i].bytes, t.events[i].bytes);
+  }
+}
+
+TEST(Trace, ReplayCoreSkipsHealthAnnotations) {
+  // Health-transition annotations must not perturb replay statistics, so
+  // traces recorded with the detector on replay like their plain twins.
+  Trace plain = sample_trace();
+  Trace annotated = sample_trace();
+  annotated.events.insert(annotated.events.begin() + 1,
+                          {Event::Kind::kHealth, 1, 2, 0});
+  annotated.events.insert(annotated.events.begin() + 2,
+                          {Event::Kind::kHealth, 1, 0, 0});
+
+  Config cfg;
+  cfg.index_entries = 64;
+  cfg.storage_bytes = 4096;
+  CacheCore a(cfg);
+  CacheCore b(cfg);
+  const Stats sa = trace::replay_core(plain, a);
+  const Stats sb = trace::replay_core(annotated, b);
+  EXPECT_EQ(sa.total_gets, sb.total_gets);
+  EXPECT_EQ(sa.hits_full, sb.hits_full);
+  EXPECT_EQ(sa.bytes_from_cache, sb.bytes_from_cache);
+  EXPECT_EQ(sa.bytes_from_network, sb.bytes_from_network);
+}
+
 TEST(Trace, ReplayCoreReproducesAccessMix) {
   // Two epochs of the same three keys: first all direct, then all hits;
   // after the invalidation everything is cold again.

@@ -64,6 +64,65 @@ TEST(FaultPlan, InjectorRejectsMalformedPlans) {
   EXPECT_THROW(fault::Injector{q}, util::ContractError);
 }
 
+TEST(FaultPlan, ReviveAndTargetFailHelpers) {
+  fault::Plan p;
+  p.kill_rank(2, 100.0).revive_rank(2, 500.0);
+  EXPECT_FALSE(p.trivial());
+  ASSERT_EQ(p.revive_us.size(), 3u);
+  EXPECT_LT(p.revive_us[0], 0.0);  // other ranks have no revival instant
+  EXPECT_DOUBLE_EQ(p.revive_us[2], 500.0);
+
+  fault::Plan q;
+  q.fail_target(1, 0.25);
+  EXPECT_FALSE(q.trivial());  // per-target failures alone make it non-trivial
+  ASSERT_EQ(q.target_fail_prob.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.target_fail_prob[0], 0.0);
+  EXPECT_DOUBLE_EQ(q.target_fail_prob[1], 0.25);
+}
+
+TEST(FaultPlan, InjectorRejectsMalformedRevivals) {
+  // Revival without a death instant is meaningless.
+  fault::Plan p;
+  p.revive_rank(1, 500.0);
+  EXPECT_THROW(fault::Injector{p}, util::ContractError);
+
+  // Revival must come strictly after the death.
+  fault::Plan q;
+  q.kill_rank(1, 500.0).revive_rank(1, 500.0);
+  EXPECT_THROW(fault::Injector{q}, util::ContractError);
+
+  fault::Plan r;
+  r.fail_target(1, 1.5);
+  EXPECT_THROW(fault::Injector{r}, util::ContractError);
+
+  fault::Plan ok;
+  ok.kill_rank(1, 500.0).revive_rank(1, 500.1);
+  EXPECT_NO_THROW(fault::Injector{ok});
+}
+
+TEST(FaultInjector, DeadIsFalseAfterRevival) {
+  fault::Plan p;
+  p.kill_rank(1, 100.0).revive_rank(1, 300.0);
+  fault::Injector inj(p);
+  inj.prepare(3);
+  EXPECT_FALSE(inj.dead(1, 50.0));
+  EXPECT_TRUE(inj.dead(1, 200.0));
+  EXPECT_FALSE(inj.dead(1, 300.0));  // alive again from the revival instant
+  EXPECT_FALSE(inj.dead(1, 1e9));
+  EXPECT_FALSE(inj.dead(0, 1e9));
+}
+
+TEST(FaultInjector, TargetFailProbIsPerTarget) {
+  fault::Plan p;
+  p.fail_target(1, 1.0);  // every op against rank 1 fails; rank 2 is clean
+  fault::Injector inj(p);
+  inj.prepare(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(inj.on_op(fault::OpKind::kGet, 0, 1, 64, 0.0).fail);
+    EXPECT_FALSE(inj.on_op(fault::OpKind::kGet, 0, 2, 64, 0.0).fail);
+  }
+}
+
 TEST(FaultInjector, DeterministicAcrossInstances) {
   fault::Plan p;
   p.fail_everywhere(0.3);

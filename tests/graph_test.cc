@@ -5,6 +5,8 @@
 #include <memory>
 #include <numeric>
 
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "graph/lcc.h"
 #include "graph/rmat.h"
 #include "netmodel/model.h"
@@ -177,6 +179,37 @@ TEST(LccDistributed, CachingProducesHitsOnSharedNeighbours) {
     EXPECT_GT(st->hit_ratio(), 0.4);
     p.barrier();
   });
+}
+
+TEST(LccDistributed, SkipDeadRanksDropsDeadOwnersAdjacency) {
+  // Rank 2 is dead from the start; with skip_dead_ranks triangles that
+  // need its adjacency lists are skipped (their wedges go uncounted)
+  // instead of aborting the whole computation.
+  auto g = std::make_shared<Csr>(rmat_graph({.scale = 9, .edge_factor = 8, .seed = 21}));
+  fault::Plan plan;
+  plan.kill_rank(2, 0.0);
+  Engine::Config ec = engine_cfg(4);
+  ec.injector = std::make_shared<fault::Injector>(plan);
+  Engine e(ec);
+  auto dropped = std::make_shared<std::vector<std::uint64_t>>(4, 0);
+  e.run([&](Process& p) {
+    LccConfig cfg;
+    cfg.backend = LccBackend::kClampi;
+    cfg.clampi_cfg.mode = Mode::kAlwaysCache;
+    cfg.clampi_cfg.index_entries = 4096;
+    cfg.clampi_cfg.storage_bytes = 4 << 20;
+    cfg.skip_dead_ranks = true;
+    DistributedLcc solver(p, g, cfg);
+    const auto rep = solver.run();
+    (*dropped)[static_cast<std::size_t>(p.rank())] = rep.dropped_gets;
+    // Coefficients stay well-formed under partial information.
+    for (const double c : solver.local_lcc()) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+    p.barrier();
+  });
+  EXPECT_GT((*dropped)[0] + (*dropped)[1] + (*dropped)[3], 0u);
 }
 
 TEST(LccDistributed, SizeHistogramTracksDegrees) {

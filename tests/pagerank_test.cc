@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "clampi/clampi.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "graph/pagerank.h"
 #include "graph/rmat.h"
 #include "netmodel/model.h"
@@ -112,6 +114,39 @@ TEST(PagerankDistributed, CachesWithinIterationInvalidatesBetween) {
     EXPECT_GT(st->hit_ratio(), 0.3);
     p.barrier();
   });
+}
+
+TEST(PagerankDistributed, SkipDeadRanksDropsDeadOwnersGets) {
+  // Rank 3 is dead from the start; with skip_dead_ranks the solver
+  // consults target_status() and drops fetches against it (the dead
+  // rank's mass leaks out of the ranking) instead of aborting.
+  auto g = std::make_shared<Csr>(graph::rmat_graph({.scale = 9, .edge_factor = 8, .seed = 4}));
+  fault::Plan plan;
+  plan.kill_rank(3, 0.0);
+  Engine::Config ec = ecfg(4);
+  ec.injector = std::make_shared<fault::Injector>(plan);
+  Engine e(ec);
+  auto dropped = std::make_shared<std::vector<std::uint64_t>>(4, 0);
+  e.run([&](Process& p) {
+    PagerankConfig cfg;
+    cfg.iterations = 4;
+    cfg.backend = PrBackend::kClampi;
+    cfg.clampi_cfg.index_entries = 4096;
+    cfg.clampi_cfg.storage_bytes = 1 << 20;
+    cfg.skip_dead_ranks = true;
+    DistributedPagerank solver(p, g, cfg);
+    const auto rep = solver.run();
+    (*dropped)[static_cast<std::size_t>(p.rank())] = rep.dropped_gets;
+    // Scores stay sane: finite, non-negative, no more than total mass.
+    for (graph::Vertex v = solver.first_vertex(); v < solver.last_vertex(); ++v) {
+      const double s = solver.local_scores()[v - solver.first_vertex()];
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+    p.barrier();
+  });
+  // Alive ranks with neighbours owned by rank 3 must have dropped gets.
+  EXPECT_GT((*dropped)[0] + (*dropped)[1] + (*dropped)[2], 0u);
 }
 
 // --- info-key configuration ---
