@@ -1,0 +1,269 @@
+// chaos_fuzz — randomized schedule fuzzer for the CLaMPI cache
+// (docs/CHAOS.md).
+//
+// Default mode generates schedules from sequential seeds, runs each one
+// under the semantics oracle, and on the first violation shrinks the
+// schedule to a minimal repro and writes it as a replayable artifact
+// (chaos_repro_<seed>.json). Exits nonzero iff any violation was found.
+//
+//   chaos_fuzz [--iters N] [--seed S] [--time-budget SEC]
+//   chaos_fuzz --replay FILE          re-run one artifact, print verdict
+//   chaos_fuzz --corpus DIR           replay the committed seed corpus
+//   chaos_fuzz --emit-corpus DIR      (re)write the corpus JSON files
+//   chaos_fuzz --plant-bug            enable the planted semantics bug
+//
+// Crash safety: the schedule currently executing is pre-serialized and a
+// panic hook (util::set_panic_hook) plus a terminate handler write it to
+// disk before the process dies, so even an abort inside the cache (a
+// CLAMPI_ASSERT, an escaped AbortError) leaves a replayable artifact.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/corpus.h"
+#include "chaos/generator.h"
+#include "chaos/runner.h"
+#include "chaos/shrink.h"
+#include "util/error.h"
+
+namespace chaos = clampi::chaos;
+
+namespace {
+
+// Pre-serialized schedule of the run in flight, for the crash paths.
+// Plain globals: the hook must not allocate or lock.
+std::string g_inflight_json;
+std::string g_inflight_path;
+
+void write_inflight_artifact() noexcept {
+  if (g_inflight_json.empty() || g_inflight_path.empty()) return;
+  std::FILE* f = std::fopen(g_inflight_path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(g_inflight_json.data(), 1, g_inflight_json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "chaos_fuzz: wrote in-flight repro artifact %s\n",
+               g_inflight_path.c_str());
+}
+
+void panic_hook() noexcept { write_inflight_artifact(); }
+
+[[noreturn]] void terminate_handler() {
+  write_inflight_artifact();
+  std::abort();
+}
+
+void arm_artifact(const chaos::Schedule& s, const std::string& path) {
+  g_inflight_json = s.to_json();
+  g_inflight_path = path;
+}
+
+void disarm_artifact() {
+  g_inflight_json.clear();
+  g_inflight_path.clear();
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << text << '\n';
+  return static_cast<bool>(out);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "chaos_fuzz: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void print_violations(const chaos::Outcome& o) {
+  for (const std::string& v : o.violations) {
+    std::fprintf(stderr, "  violation: %s\n", v.c_str());
+  }
+}
+
+/// Run one schedule with crash-artifact coverage.
+chaos::Outcome run_armed(const chaos::Schedule& s, const chaos::Options& opt,
+                         const std::string& artifact_path) {
+  arm_artifact(s, artifact_path);
+  chaos::Outcome o = chaos::run(s, opt);
+  disarm_artifact();
+  return o;
+}
+
+/// Shrink a failing schedule and write the minimal repro artifact.
+/// Returns the artifact path.
+std::string shrink_and_write(const chaos::Schedule& s, const chaos::Options& opt,
+                             const std::string& path) {
+  const chaos::ShrinkResult res = chaos::shrink(s, [&](const chaos::Schedule& cand) {
+    arm_artifact(cand, path);
+    const bool fails = !chaos::run(cand, opt).oracle_ok;
+    disarm_artifact();
+    return fails;
+  });
+  write_file(path, res.schedule.to_json());
+  std::fprintf(stderr,
+               "chaos_fuzz: shrunk to %zu steps in %zu candidate runs; "
+               "repro written to %s\n",
+               res.schedule.steps.size(), res.attempts, path.c_str());
+  // Re-print the minimal repro's violations (the triage starting point).
+  const chaos::Outcome o = run_armed(res.schedule, opt, path);
+  print_violations(o);
+  return path;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: chaos_fuzz [--iters N] [--seed S] [--time-budget SEC] "
+               "[--plant-bug]\n"
+               "       chaos_fuzz --replay FILE [--plant-bug]\n"
+               "       chaos_fuzz --corpus DIR\n"
+               "       chaos_fuzz --emit-corpus DIR\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iters = 200;
+  std::uint64_t base_seed = 1;
+  double time_budget_s = 0.0;  // 0 = unlimited
+  std::string replay_path;
+  std::string corpus_dir;
+  std::string emit_dir;
+  chaos::Options opt;
+#ifdef CLAMPI_CHAOS_MUTATION
+  opt.plant_bug = true;  // mutation-testing build: the oracle must fail
+#endif
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage());
+      }
+      return argv[++i];
+    };
+    if (a == "--iters") {
+      iters = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--seed") {
+      base_seed = std::strtoull(next(), nullptr, 10);
+    } else if (a == "--time-budget") {
+      time_budget_s = std::strtod(next(), nullptr);
+    } else if (a == "--replay") {
+      replay_path = next();
+    } else if (a == "--corpus") {
+      corpus_dir = next();
+    } else if (a == "--emit-corpus") {
+      emit_dir = next();
+    } else if (a == "--plant-bug") {
+      opt.plant_bug = true;
+    } else {
+      return usage();
+    }
+  }
+
+  clampi::util::set_panic_hook(&panic_hook);
+  std::set_terminate(&terminate_handler);
+
+  if (!emit_dir.empty()) {
+    for (const chaos::CorpusEntry& e : chaos::corpus()) {
+      const std::string path = emit_dir + "/" + e.name + ".json";
+      if (!write_file(path, e.build().to_json())) {
+        std::fprintf(stderr, "chaos_fuzz: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+  }
+
+  if (!replay_path.empty()) {
+    const chaos::Schedule s = chaos::Schedule::from_json(read_file(replay_path));
+    const chaos::Outcome o = run_armed(s, opt, replay_path + ".refail");
+    std::printf(
+        "replay %s: steps=%zu gets=%llu hits=%llu degraded=%llu faults=%llu "
+        "-> %s\n",
+        replay_path.c_str(), o.steps_run,
+        static_cast<unsigned long long>(o.gets),
+        static_cast<unsigned long long>(o.full_hits),
+        static_cast<unsigned long long>(o.degraded_serves),
+        static_cast<unsigned long long>(o.faults),
+        o.oracle_ok ? "OK" : "ORACLE VIOLATION");
+    print_violations(o);
+    return o.oracle_ok ? 0 : 1;
+  }
+
+  if (!corpus_dir.empty()) {
+    int bad = 0;
+    for (const chaos::CorpusEntry& e : chaos::corpus()) {
+      const std::string path = corpus_dir + "/" + e.name + ".json";
+      const chaos::Schedule s = chaos::Schedule::from_json(read_file(path));
+      const chaos::Outcome o = run_armed(s, opt, path + ".refail");
+      std::printf("corpus %-28s steps=%zu faults=%llu -> %s\n", e.name,
+                  o.steps_run, static_cast<unsigned long long>(o.faults),
+                  o.oracle_ok ? "OK" : "ORACLE VIOLATION");
+      if (!o.oracle_ok) {
+        print_violations(o);
+        ++bad;
+      }
+    }
+    return bad == 0 ? 0 : 1;
+  }
+
+  // --- fuzz loop ---
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t ran = 0;
+  std::uint64_t total_gets = 0, total_hits = 0, total_degraded = 0,
+                 total_faults = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    if (time_budget_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - t0;
+      if (elapsed.count() > time_budget_s) {
+        std::fprintf(stderr, "chaos_fuzz: time budget reached after %llu runs\n",
+                     static_cast<unsigned long long>(ran));
+        break;
+      }
+    }
+    const std::uint64_t seed = base_seed + i;
+    char path[64];
+    std::snprintf(path, sizeof path, "chaos_repro_%llu.json",
+                  static_cast<unsigned long long>(seed));
+    const chaos::Schedule s = chaos::generate(seed);
+    const chaos::Outcome o = run_armed(s, opt, path);
+    ++ran;
+    total_gets += o.gets;
+    total_hits += o.full_hits;
+    total_degraded += o.degraded_serves;
+    total_faults += o.faults;
+    if (!o.oracle_ok) {
+      std::fprintf(stderr, "chaos_fuzz: seed %llu FAILED (%zu steps):\n",
+                   static_cast<unsigned long long>(seed), s.steps.size());
+      print_violations(o);
+      shrink_and_write(s, opt, path);
+      return 1;
+    }
+  }
+  std::printf(
+      "chaos_fuzz: %llu schedules OK (seeds %llu..%llu): gets=%llu "
+      "full_hits=%llu degraded=%llu faults=%llu\n",
+      static_cast<unsigned long long>(ran),
+      static_cast<unsigned long long>(base_seed),
+      static_cast<unsigned long long>(base_seed + ran - 1),
+      static_cast<unsigned long long>(total_gets),
+      static_cast<unsigned long long>(total_hits),
+      static_cast<unsigned long long>(total_degraded),
+      static_cast<unsigned long long>(total_faults));
+  return 0;
+}

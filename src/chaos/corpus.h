@@ -1,0 +1,30 @@
+// chaos seed corpus — hand-distilled schedules for known-scary scenarios.
+//
+// Each entry is a small, named Schedule shaped like the minimal repros
+// the shrinker produces: a handful of steps aimed at one historically
+// delicate interaction (death during a flush, corruption overlapping the
+// degraded-read path, quarantine flapping, adaptive resizing under
+// pressure, ...). The fuzzer binary emits them as JSON
+// (`chaos_fuzz --emit-corpus`) into tests/chaos_corpus/, where they are
+// committed and replayed by ctest + the CI chaos job on every change —
+// a regression net that does not depend on the random generator ever
+// re-finding these shapes. All entries must replay with zero oracle
+// violations; the corpus test enforces that the committed files match
+// the builders bit-for-bit.
+#pragma once
+
+#include <vector>
+
+#include "chaos/schedule.h"
+
+namespace clampi::chaos {
+
+struct CorpusEntry {
+  const char* name;      ///< file stem: tests/chaos_corpus/<name>.json
+  Schedule (*build)();   ///< deterministic builder
+};
+
+/// The committed corpus, in emission order.
+const std::vector<CorpusEntry>& corpus();
+
+}  // namespace clampi::chaos

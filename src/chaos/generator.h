@@ -1,0 +1,34 @@
+// chaos schedule generator — one 64-bit seed to one valid Schedule.
+//
+// The generator draws the world size, the cache configuration, the fault
+// plan and the workload program from a single Xoshiro256 stream, so the
+// schedule is a pure function of the seed. It is also responsible for
+// *oracle soundness*: random knob combinations that would make the
+// semantics oracle unsound (serving legitimately-unverifiable bytes) are
+// coupled away rather than checked away:
+//
+//   - stale_put_prob > 0 forces shadow_verify_every_n = 1 (every full hit
+//     is healed against the origin window), disables transient failures
+//     and deaths (a skipped shadow sample would let a stale hit escape),
+//     and fixes each key's get size (a partial hit could serve a stale
+//     prefix that shadow-verify never covers);
+//   - storage_bitflip_prob > 0 forces verify_every_n = 1, so every found
+//     access re-checksums (and self-heals) before serving;
+//   - puts never overlap a get region that is still in flight on the same
+//     target (PENDING entries skip overlap invalidation by design — such
+//     an overlap is a data race under the MPI-3 epoch model, not a bug);
+//   - deaths and degraded epochs only ever hit server ranks (the driver
+//     must survive to finish the program), and revivals come after deaths.
+//
+// docs/CHAOS.md documents the full grammar.
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/schedule.h"
+
+namespace clampi::chaos {
+
+Schedule generate(std::uint64_t seed);
+
+}  // namespace clampi::chaos

@@ -1,0 +1,112 @@
+// chaos semantics oracle — lockstep shadow model of one randomized run.
+//
+// The oracle maintains, outside the system under test, the ground truth
+// the cache must agree with: a shadow copy of every server window (kept
+// current by replaying each successful put) plus per-byte last-write
+// stamps. The runner (runner.h) feeds it every completed operation and it
+// checks, after every step:
+//
+//   1. value correctness — a non-degraded get must deliver the shadow
+//      bytes. Immediately-served classifications (kHit, kDirect,
+//      kConflicting, kCapacity, kFailing) are checked on the spot;
+//      kHitPending / kPartialHit buffers are only final when their
+//      epoch's data arrives, so the oracle snapshots the expected bytes
+//      at issue time and defers the comparison to the flush that
+//      completes that target (dropped, not checked, when the flush
+//      itself fails — the window discards those pendings too);
+//   2. degraded serves — must be flagged as degraded, within the
+//      configured staleness bound, and byte-exact whenever no put ever
+//      landed on the region (then staleness permits only one value);
+//   3. stats conservation — total_gets equals the sum of the seven
+//      access classifications, failing splits exactly into
+//      failed_index + failed_capacity, and every counter is monotone;
+//   4. structural integrity — CacheCore::audit() (index ↔ storage ↔
+//      free-list cross-check) passes.
+//
+// Violations accumulate (capped) rather than throw, so one run reports
+// every divergence and the shrinker can treat "any violation" as the
+// failure predicate. docs/CHAOS.md documents the invariants.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.h"
+#include "clampi/window.h"
+
+namespace clampi::chaos {
+
+/// Initial contents of server rank `rank`'s window at byte `i` (the
+/// runner fills windows with this before the program starts, and the
+/// oracle seeds its shadow from it).
+inline std::uint8_t initial_byte(int rank, std::uint64_t i) {
+  return static_cast<std::uint8_t>((i * 7 + static_cast<std::uint64_t>(rank) * 13) & 0xff);
+}
+
+class Oracle {
+ public:
+  explicit Oracle(const Schedule& s);
+
+  /// Prefix subsequent violation messages with this step index.
+  void begin_step(std::size_t index) { step_ = index; }
+
+  /// Record a violation verbatim (used by the runner for invariants it
+  /// checks itself, e.g. hit-no-network).
+  void fail(const std::string& msg);
+
+  /// A put of `n` bytes landed successfully at (target, disp).
+  void on_put(int target, std::uint64_t disp, const std::uint8_t* data,
+              std::uint64_t n, double now_us);
+
+  /// A get completed (did not throw); `buf` is the user buffer, which the
+  /// runner keeps alive until the run ends (deferred checks read it at
+  /// flush time).
+  void on_get(const CachedWindow::GetObservation& o, const std::uint8_t* buf,
+              double now_us);
+
+  /// A flush/flush_all/invalidate completed; target < 0 means it
+  /// completed every target (flush_all, invalidate, or any epoch closure
+  /// in transparent mode). Runs the deferred checks it completes.
+  void on_flush_success(int target);
+  /// The flush failed (e.g. kRankDead): the window discarded the matching
+  /// pendings, so the oracle drops its deferred checks for them unchecked.
+  void on_flush_failure(int target);
+
+  /// Stats conservation + monotonicity (call after every step).
+  void check_stats(const Stats& st);
+  /// Structural audit (call after every step; cheap at chaos sizes).
+  void check_audit(const CacheCore& core);
+
+  bool ok() const { return violations_.empty(); }
+  /// True once the violation cap is reached — the runner stops early.
+  bool gave_up() const { return gave_up_; }
+  const std::vector<std::string>& violations() const { return violations_; }
+
+ private:
+  struct Deferred {
+    int target = -1;
+    std::uint64_t disp = 0;
+    const std::uint8_t* buf = nullptr;
+    std::vector<std::uint8_t> expected;  // shadow snapshot at issue time
+    std::size_t step = 0;                // issuing step (for messages)
+    const char* kind = "";               // "pending-hit" / "partial-hit"
+  };
+
+  void check_bytes(const std::uint8_t* got, const std::uint8_t* want,
+                   std::uint64_t n, int target, std::uint64_t disp,
+                   const char* what, std::size_t step);
+
+  Schedule s_;
+  std::vector<std::vector<std::uint8_t>> shadow_;   // [rank][byte]
+  std::vector<std::vector<double>> last_put_us_;    // [rank][byte]; <0 = never
+  std::vector<Deferred> deferred_;
+  Stats prev_{};
+  bool have_prev_ = false;
+  std::size_t step_ = 0;
+  bool gave_up_ = false;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace clampi::chaos

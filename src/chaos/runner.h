@@ -1,0 +1,54 @@
+// chaos runner — executes one Schedule against a real engine + cache,
+// with the semantics oracle (oracle.h) attached in lockstep.
+//
+// Rank 0 drives the Schedule's step program against a CachedWindow while
+// ranks 1..nranks-1 passively serve their windows (pre-filled with
+// initial_byte). Every completed get is classified through the window's
+// GetObservation tap and checked by the oracle; the engine's op_observer
+// counts network operations so the runner can additionally assert the
+// paper's core promise — a full cache hit touches the network zero times
+// (modulo explicitly-sampled shadow verification and self-healing).
+//
+// The run is deterministic in virtual time: the same Schedule always
+// produces the same Outcome, which is what makes shrinking (shrink.h)
+// and replay artifacts (docs/CHAOS.md) possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/schedule.h"
+#include "clampi/stats.h"
+
+namespace clampi::chaos {
+
+struct Options {
+  /// Mutation testing (satellite of docs/CHAOS.md): XOR byte 0 of every
+  /// full-hit serve after the cache delivered it. A correct oracle must
+  /// flag this immediately; the chaos CI job builds chaos_fuzz with this
+  /// defaulted on (-DCLAMPI_CHAOS_MUTATION=ON) and expects failure.
+  bool plant_bug = false;
+};
+
+struct Outcome {
+  bool completed = false;  ///< the program ran to the end, no escaped exception
+  bool oracle_ok = false;  ///< no oracle violations (the pass/fail verdict)
+  std::vector<std::string> violations;
+
+  // Run summary (for logs and corpus sanity checks).
+  std::size_t steps_run = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t faults = 0;            ///< OpFailedErrors the driver absorbed
+  std::uint64_t full_hits = 0;         ///< gets observed as AccessType::kHit
+  std::uint64_t degraded_serves = 0;   ///< gets observed via the degraded path
+  std::uint64_t net_ops = 0;           ///< one-sided ops seen by the engine
+  Stats stats{};                       ///< final cache stats of the driver window
+};
+
+/// Execute `s` once in virtual time and return the verdict.
+Outcome run(const Schedule& s, const Options& opt = {});
+
+}  // namespace clampi::chaos

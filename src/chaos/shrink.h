@@ -1,0 +1,40 @@
+// chaos shrinker — reduce a failing Schedule to a minimal repro.
+//
+// Classic delta debugging (ddmin) over the step program: try removing
+// ever-smaller chunks of steps, keeping any candidate that still fails,
+// until no single step can be removed. Between passes the shrinker also
+// tries semantic simplifications — zeroing whole perturbation classes of
+// the fault plan and switching off cache knobs — so the surviving repro
+// names only the machinery that actually matters.
+//
+// Every candidate is itself a valid Schedule, and simplifications are
+// *soundness-preserving*: a knob is only dropped when doing so cannot
+// make the oracle unsound (e.g. shadow-verify is only switched off once
+// stale puts are gone, checksum sampling only once bit rot is gone — the
+// same coupling rules the generator enforces, generator.h). The whole
+// process is deterministic: shrinking the same schedule against the same
+// predicate always yields the same minimal repro.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/schedule.h"
+
+namespace clampi::chaos {
+
+/// The failure predicate: true when the candidate still reproduces the
+/// failure being minimized (typically "runner reports any violation").
+using FailFn = std::function<bool(const Schedule&)>;
+
+struct ShrinkResult {
+  Schedule schedule;         ///< the minimal still-failing schedule
+  std::size_t attempts = 0;  ///< candidate runs the predicate was asked about
+  std::size_t rounds = 0;    ///< outer fixpoint iterations
+};
+
+/// Precondition: still_fails(input) is true (the caller established the
+/// failure); shrink() never re-checks the input itself.
+ShrinkResult shrink(const Schedule& input, const FailFn& still_fails);
+
+}  // namespace clampi::chaos

@@ -275,7 +275,14 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
     if (!extended) {
       Storage::Region* moved = storage_.alloc(bytes);
       if (moved != nullptr) {
-        if (!e.pending && e.size > 0) {
+        if (e.size > 0) {
+          // Copy even when the entry is pending: an entry extended twice
+          // within one epoch is pending *and* still holds its previously
+          // cached prefix, which no copy-in will rewrite at flush.
+          // (Found by chaos_fuzz seed 6: the prefix of a relocated
+          // pending entry read back as zeros. For a miss-born pending
+          // entry the copied bytes are garbage but harmless — its own
+          // copy-in overwrites them at flush.)
           std::memcpy(storage_.data(moved), storage_.data(e.region), e.size);
         }
         storage_.dealloc(e.region);
@@ -284,6 +291,9 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
       }
     }
     if (extended) {
+      res.prev_bytes = e.size;
+      res.prev_sig = e.sig;
+      res.prev_pending = e.pending;
       e.size = bytes;
       if (!e.pending) {
         e.pending = true;  // tail arrives at flush
@@ -529,6 +539,25 @@ void CacheCore::drop_failed(std::uint32_t id) {
   // Not an eviction: the entry never held valid data.
 }
 
+void CacheCore::revert_extension(std::uint32_t id, std::size_t prev_bytes,
+                                 std::uint64_t prev_sig, bool prev_pending) {
+  Entry& e = entries_[id];
+  CLAMPI_ASSERT(e.live, "revert_extension on a dead entry");
+  CLAMPI_ASSERT(e.pending, "revert_extension on a non-pending entry");
+  CLAMPI_ASSERT(prev_bytes <= e.size, "revert_extension grows the entry");
+  e.size = prev_bytes;
+  e.sig = prev_sig;
+  if (!prev_pending) {
+    e.pending = false;
+    CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
+    --pending_entries_;
+    // Re-seal: the checksum covers e.size bytes, which just shrank back.
+    if (integrity_on()) e.csum = entry_checksum(e);
+  }
+  // The (possibly relocated) region stays larger than needed; the
+  // allocator reclaims the slack at dealloc time.
+}
+
 std::size_t CacheCore::drop_pending(int target) {
   std::size_t dropped = 0;
   for (std::uint32_t id = 0; id < entries_.size(); ++id) {
@@ -613,29 +642,59 @@ void CacheCore::resize(std::size_t index_entries, std::size_t storage_bytes) {
   ++stats_.adjustments;
 }
 
-bool CacheCore::validate() const {
-  if (!index_.validate()) return false;
-  if (!storage_.validate()) return false;
-  if (index_.occupied() != live_entries_) return false;
-  std::size_t live = 0;
-  std::size_t pending = 0;
+bool CacheCore::entry_checksum_ok(std::uint32_t id) const {
+  const Entry& e = entries_[id];
+  if (!e.live || e.pending) return false;
+  if (!integrity_on()) return true;
+  return entry_checksum(e) == e.csum;
+}
+
+CacheCore::AuditReport CacheCore::audit() const {
+  AuditReport rep;
+  const auto fail = [&rep](const char* what) {
+    rep.ok = false;
+    if (rep.detail[0] == '\0') rep.detail = what;
+  };
+  if (!index_.validate()) fail("cuckoo index internal invariants");
+  if (!storage_.validate()) fail("storage allocator internal invariants");
+  if (index_.occupied() != live_entries_) fail("index occupancy != live entries");
   for (std::uint32_t id = 0; id < entries_.size(); ++id) {
     const Entry& e = entries_[id];
     if (!e.live) continue;
-    ++live;
-    if (e.pending) ++pending;
-    if (e.region == nullptr || e.region->free) return false;
-    if (e.region->size < e.size) return false;
-    if (e.hkey != make_hkey(e.key)) return false;
+    ++rep.live;
+    if (e.pending) ++rep.pending;
+    if (e.region == nullptr || e.region->free) {
+      fail("live entry with no (or freed) storage region");
+      continue;
+    }
+    if (e.region->size < e.size) fail("entry payload larger than its region");
+    if (e.hkey != make_hkey(e.key)) fail("stale cached hash key");
     // The entry must be findable through the index.
     const std::uint32_t found = index_.lookup(
         e.hkey, [&](std::uint32_t cand) { return entries_[cand].key == e.key; });
-    if (found != id) return false;
+    if (found != id) fail("live entry not findable through the index");
   }
-  if (live != live_entries_) return false;
-  if (pending != pending_entries_) return false;
-  if (storage_.allocated_regions() != live_entries_) return false;
-  return true;
+  if (rep.live != live_entries_) fail("live-entry counter drift");
+  if (rep.pending != pending_entries_) fail("pending-entry counter drift");
+  if (storage_.allocated_regions() != live_entries_) {
+    fail("allocated regions != live entries (leak or double-free)");
+  }
+  // Free-list cross-check: every slot is either live or on the free list,
+  // free ids are unique, and none of them is live.
+  if (rep.live + free_ids_.size() != entries_.size()) {
+    fail("live + free-list != entry slots");
+  }
+  std::vector<bool> on_free(entries_.size(), false);
+  for (const std::uint32_t id : free_ids_) {
+    if (id >= entries_.size()) {
+      fail("free-list id out of range");
+      continue;
+    }
+    if (entries_[id].live) fail("live entry on the free list");
+    if (on_free[id]) fail("duplicate id on the free list");
+    on_free[id] = true;
+  }
+  return rep;
 }
 
 }  // namespace clampi

@@ -41,6 +41,13 @@ class CacheCore {
     bool inserted = false;            ///< a new entry now awaits its data
     bool extended = false;            ///< partial hit: entry grew to `bytes`
     bool serve_now = false;           ///< cached prefix may be copied immediately
+    // Pre-extension geometry (valid when `extended`): lets a failed tail
+    // fetch revert the extension instead of dropping the entry — earlier
+    // gets in the epoch may already hold copy-in/copy-out registrations
+    // against it (found by chaos_fuzz seed 89).
+    std::size_t prev_bytes = 0;
+    std::uint64_t prev_sig = 0;
+    bool prev_pending = false;
     /// A sampled checksum verification caught a corrupt entry: it was
     /// quarantined and the access fell through to the miss path, so the
     /// data is transparently re-fetched (self-healing; docs/INTEGRITY.md).
@@ -87,6 +94,14 @@ class CacheCore {
   /// Returns the number dropped. Used when an epoch is abandoned because
   /// its flush failed: those entries will never receive their data.
   std::size_t drop_pending(int target);
+
+  /// Undo a partial-hit extension whose tail fetch failed: restore the
+  /// pre-extension size/signature/pending state recorded in Result. The
+  /// entry must NOT be dropped in that situation — earlier gets in the
+  /// epoch may hold pending copy-ins/outs against it, and its cached
+  /// prefix is still valid (relocation preserves it).
+  void revert_extension(std::uint32_t id, std::size_t prev_bytes,
+                        std::uint64_t prev_sig, bool prev_pending);
 
   /// Quarantine a CACHED entry whose bytes are corrupt or stale: dropped
   /// through the eviction path so the key misses (and re-fetches) next
@@ -161,7 +176,25 @@ class CacheCore {
   double score(std::uint32_t id) const;
 
   /// Cross-structure invariants (index <-> entries <-> storage). O(N).
-  bool validate() const;
+  bool validate() const { return audit().ok; }
+
+  /// Full cross-structure audit: everything validate() checks, plus the
+  /// free-list (every free id dead and unique, live + free == slots) and
+  /// counter consistency. O(N). The chaos oracle runs this at every epoch
+  /// boundary (docs/CHAOS.md); `detail` names the first violated
+  /// invariant so a shrunk repro points straight at the breakage.
+  struct AuditReport {
+    bool ok = true;
+    const char* detail = "";    ///< first violated invariant ("" if ok)
+    std::size_t live = 0;       ///< live entries counted by the walk
+    std::size_t pending = 0;    ///< PENDING entries counted by the walk
+  };
+  AuditReport audit() const;
+
+  /// True when `id` is a live CACHED entry whose payload still matches
+  /// its stored checksum (always true with integrity off). The degraded
+  /// read path consults this before serving a possibly-rotted entry.
+  bool entry_checksum_ok(std::uint32_t id) const;
 
  private:
   struct Entry {

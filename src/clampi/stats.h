@@ -85,6 +85,8 @@ struct Stats {
                                          ///< served from cache
   std::uint64_t degraded_expired = 0;    ///< retained entries dropped: over the
                                          ///< staleness bound or target recovered
+  std::uint64_t degraded_corrupt_drops = 0; ///< degraded serves refused because
+                                            ///< the entry failed its checksum
 
   /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
   /// PENDING (full and partial hits alike).
@@ -154,6 +156,7 @@ struct Stats {
     d.fast_fails = fast_fails - base.fast_fails;
     d.degraded_hits = degraded_hits - base.degraded_hits;
     d.degraded_expired = degraded_expired - base.degraded_expired;
+    d.degraded_corrupt_drops = degraded_corrupt_drops - base.degraded_corrupt_drops;
     return d;
   }
 };

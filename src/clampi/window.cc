@@ -189,6 +189,19 @@ bool CachedWindow::try_degraded_read(void* origin, std::size_t bytes, int target
   }
   if (core_->entry_bytes(id) < bytes) return false;
   if (core_->entry_signature(id) != sig) return false;  // layout must match
+  if (!core_->entry_checksum_ok(id)) {
+    // Bit rot does not spare a down target's retained entries, and the hit
+    // path's sampled verification never sees this entry (it serves here,
+    // outside access()). A corrupt "last known good" value is worse than
+    // failing honestly, so drop it and let the miss path surface the
+    // target's failure.
+    core_->quarantine(id);
+    ++st.corruption_detected;
+    ++st.degraded_corrupt_drops;
+    if (fault_trace_ != nullptr) fault_trace_->add_corruption(target, disp, bytes);
+    breaker_failure();
+    return false;
+  }
   if (degraded_on) {
     const double age = p_->now_us() - core_->entry_stamp(id);
     if (cfg_.degraded_max_staleness_us <= 0.0 ||
@@ -262,9 +275,17 @@ void CachedWindow::health_epoch_close() {
 void CachedWindow::rollback_failed(const CacheCore::Result& res,
                                    std::size_t pending_mark) {
   pending_.resize(pending_mark);
-  if (res.entry != kNoEntry && (res.inserted || res.extended)) {
+  if (res.entry == kNoEntry) return;
+  if (res.inserted) {
     // The entry is waiting for data that will never arrive.
     core_->drop_failed(res.entry);
+  } else if (res.extended) {
+    // A pre-existing entry grew for this access; earlier gets in the
+    // epoch may already hold copy-in/copy-out registrations against it,
+    // so dropping it would leave them dangling (chaos_fuzz seed 89).
+    // Shrink it back instead — its previously cached prefix is intact.
+    core_->revert_extension(res.entry, res.prev_bytes, res.prev_sig,
+                            res.prev_pending);
   }
 }
 
@@ -308,14 +329,32 @@ void CachedWindow::handle_result(const CacheCore::Result& res, void* origin,
   }
 }
 
+void CachedWindow::notify_get(int target, std::size_t disp, std::size_t bytes,
+                              bool degraded, bool healed) {
+  if (!get_observer_) [[likely]] return;
+  GetObservation o;
+  o.target = target;
+  o.disp = disp;
+  o.bytes = bytes;
+  o.type = last_access_;
+  o.degraded = degraded;
+  o.degraded_age_us = degraded ? last_degraded_age_us_ : 0.0;
+  o.healed = healed;
+  get_observer_(o);
+}
+
 void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t disp) {
   CLAMPI_REQUIRE(bytes > 0, "zero-byte get");
   last_phases_ = PhaseBreakdown{};
   if (breaker_says_passthrough()) {
     issue_network_get(origin, bytes, target, disp);
+    notify_get(target, disp, bytes, /*degraded=*/false, /*healed=*/false);
     return;
   }
-  if (try_degraded_read(origin, bytes, target, disp, /*sig=*/0)) return;
+  if (try_degraded_read(origin, bytes, target, disp, /*sig=*/0)) {
+    notify_get(target, disp, bytes, last_degraded_, /*healed=*/false);
+    return;
+  }
   const CacheCore::Result res =
       core_->access(Key{target, disp}, bytes, /*dtype_sig=*/0,
                     cfg_.collect_phase_timings ? &last_phases_ : nullptr);
@@ -334,6 +373,7 @@ void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t 
       shadow_verify(origin, bytes, target, disp, res.entry);
     }
   }
+  notify_get(target, disp, bytes, /*degraded=*/false, res.healed);
 }
 
 void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t count,

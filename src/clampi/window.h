@@ -115,6 +115,27 @@ class CachedWindow {
   /// (trace::RecordingWindow installs itself here). nullptr disables.
   void record_faults_to(trace::Trace* t) { fault_trace_ = t; }
 
+  /// One completed (non-throwing) untyped get(), as the cache classified
+  /// it. The chaos oracle (docs/CHAOS.md) taps this to know, per get,
+  /// whether the bytes in the user buffer came from the cache, the
+  /// network, or the bounded-staleness degraded path — the information it
+  /// needs to pick the right ground-truth check. Delivered after the data
+  /// is in place (including a shadow-verify re-serve), never on a get
+  /// that threw.
+  struct GetObservation {
+    int target = -1;
+    std::uint64_t disp = 0;
+    std::size_t bytes = 0;
+    AccessType type = AccessType::kDirect;
+    bool degraded = false;         ///< served via the bounded-staleness path
+    double degraded_age_us = 0.0;  ///< staleness of that serve (0 otherwise)
+    bool healed = false;           ///< sampled checksum caught + healed rot
+  };
+  using GetObserver = std::function<void(const GetObservation&)>;
+  /// Install (or with an empty function clear) the per-get observer.
+  /// The observer must not call back into this window.
+  void observe_gets(GetObserver obs) { get_observer_ = std::move(obs); }
+
   /// Total backoff charged to virtual time in the current epoch, summed
   /// across targets (the accounting itself is per-target; docs/FAULTS.md §6).
   double epoch_backoff_us() const { return health_.total_epoch_backoff_us(); }
@@ -228,6 +249,9 @@ class CachedWindow {
   /// Epoch-boundary integrity work: injected storage corruption (bit
   /// flips of cached bytes) followed by one bounded scrub slice.
   void integrity_epoch_tasks();
+  /// Deliver a GetObservation for a completed untyped get.
+  void notify_get(int target, std::size_t disp, std::size_t bytes, bool degraded,
+                  bool healed);
 
   rmasim::Process* p_;
   rmasim::Window win_;
@@ -250,6 +274,7 @@ class CachedWindow {
                                 ///< entries stamped earlier are cross-epoch
                                 ///< survivors (transparent degraded reads)
   trace::Trace* fault_trace_ = nullptr;
+  GetObserver get_observer_;  // chaos-oracle tap (empty = disabled)
   std::unique_ptr<CircuitBreaker> breaker_;  // null unless configured
   std::uint64_t shadow_tick_ = 0;            // shadow_verify_every_n sampling
   std::vector<std::byte> shadow_buf_;        // scratch for shadow fetches

@@ -1,6 +1,10 @@
 #include "fault/plan.h"
 
+#include "util/json.h"
+
 namespace clampi::fault {
+
+namespace json = util::json;
 
 bool Plan::trivial() const {
   for (const double p : fail_prob) {
@@ -65,6 +69,107 @@ Plan& Plan::corrupt_storage(double p) {
 Plan& Plan::stale_puts(double p) {
   stale_put_prob = p;
   return *this;
+}
+
+bool operator==(const DegradedEpoch& a, const DegradedEpoch& b) {
+  return a.rank == b.rank && a.from_us == b.from_us && a.until_us == b.until_us &&
+         a.latency_factor == b.latency_factor;
+}
+
+bool operator==(const Plan& a, const Plan& b) {
+  return a.seed == b.seed && a.fail_prob == b.fail_prob && a.spike_prob == b.spike_prob &&
+         a.spike_factor == b.spike_factor && a.spike_addend_us == b.spike_addend_us &&
+         a.degraded == b.degraded && a.death_us == b.death_us &&
+         a.revive_us == b.revive_us && a.target_fail_prob == b.target_fail_prob &&
+         a.storage_bitflip_prob == b.storage_bitflip_prob &&
+         a.stale_put_prob == b.stale_put_prob && a.topology == b.topology;
+}
+
+namespace {
+
+json::Value doubles_array(const std::vector<double>& v) {
+  json::Value arr = json::Value::array();
+  for (const double d : v) arr.push(json::Value::number(d));
+  return arr;
+}
+
+std::vector<double> doubles_from(const json::Value& arr) {
+  std::vector<double> out;
+  out.reserve(arr.items().size());
+  for (const json::Value& v : arr.items()) out.push_back(v.as_double());
+  return out;
+}
+
+}  // namespace
+
+std::string Plan::to_json() const {
+  json::Value root = json::Value::object();
+  root.set("seed", json::Value::number(seed));
+  json::Value fp = json::Value::array();
+  for (const double p : fail_prob) fp.push(json::Value::number(p));
+  root.set("fail_prob", std::move(fp));
+  root.set("spike_prob", json::Value::number(spike_prob));
+  root.set("spike_factor", json::Value::number(spike_factor));
+  root.set("spike_addend_us", json::Value::number(spike_addend_us));
+  json::Value deg = json::Value::array();
+  for (const DegradedEpoch& e : degraded) {
+    json::Value o = json::Value::object();
+    o.set("rank", json::Value::number(e.rank));
+    o.set("from_us", json::Value::number(e.from_us));
+    o.set("until_us", json::Value::number(e.until_us));
+    o.set("latency_factor", json::Value::number(e.latency_factor));
+    deg.push(std::move(o));
+  }
+  root.set("degraded", std::move(deg));
+  root.set("death_us", doubles_array(death_us));
+  root.set("revive_us", doubles_array(revive_us));
+  root.set("target_fail_prob", doubles_array(target_fail_prob));
+  root.set("storage_bitflip_prob", json::Value::number(storage_bitflip_prob));
+  root.set("stale_put_prob", json::Value::number(stale_put_prob));
+  json::Value topo = json::Value::object();
+  topo.set("ranks_per_node", json::Value::number(topology.ranks_per_node));
+  topo.set("nodes_per_group", json::Value::number(topology.nodes_per_group));
+  root.set("topology", std::move(topo));
+  return root.dump();
+}
+
+Plan Plan::from_json(const std::string& text) {
+  const json::Value root = json::Value::parse(text);
+  Plan p;
+  p.seed = root.get_u64("seed", p.seed);
+  if (const json::Value* fp = root.find("fail_prob")) {
+    CLAMPI_REQUIRE(fp->items().size() == p.fail_prob.size(),
+                   "plan: fail_prob must have one probability per distance tier");
+    for (std::size_t i = 0; i < p.fail_prob.size(); ++i) {
+      p.fail_prob[i] = fp->items()[i].as_double();
+    }
+  }
+  p.spike_prob = root.get_double("spike_prob", p.spike_prob);
+  p.spike_factor = root.get_double("spike_factor", p.spike_factor);
+  p.spike_addend_us = root.get_double("spike_addend_us", p.spike_addend_us);
+  if (const json::Value* deg = root.find("degraded")) {
+    for (const json::Value& o : deg->items()) {
+      DegradedEpoch e;
+      e.rank = o.get_int("rank", e.rank);
+      e.from_us = o.get_double("from_us", e.from_us);
+      e.until_us = o.get_double("until_us", e.until_us);
+      e.latency_factor = o.get_double("latency_factor", e.latency_factor);
+      p.degraded.push_back(e);
+    }
+  }
+  if (const json::Value* v = root.find("death_us")) p.death_us = doubles_from(*v);
+  if (const json::Value* v = root.find("revive_us")) p.revive_us = doubles_from(*v);
+  if (const json::Value* v = root.find("target_fail_prob")) {
+    p.target_fail_prob = doubles_from(*v);
+  }
+  p.storage_bitflip_prob = root.get_double("storage_bitflip_prob", p.storage_bitflip_prob);
+  p.stale_put_prob = root.get_double("stale_put_prob", p.stale_put_prob);
+  if (const json::Value* topo = root.find("topology")) {
+    p.topology.ranks_per_node = topo->get_int("ranks_per_node", p.topology.ranks_per_node);
+    p.topology.nodes_per_group =
+        topo->get_int("nodes_per_group", p.topology.nodes_per_group);
+  }
+  return p;
 }
 
 }  // namespace clampi::fault

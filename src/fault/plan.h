@@ -32,6 +32,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "netmodel/hierarchy.h"
@@ -111,6 +112,24 @@ struct Plan {
   Plan& corrupt_storage(double p);
   /// Puts skip the overlap invalidation with probability `p`.
   Plan& stale_puts(double p);
+
+  // --- serialization (chaos repro artifacts; docs/CHAOS.md) ---
+  /// Lossless JSON encoding of every perturbation class (including
+  /// revive_us and target_fail_prob) plus the topology. from_json of the
+  /// result reproduces a field-identical Plan, so a replayed repro
+  /// artifact drives the Injector to the bit-identical schedule.
+  std::string to_json() const;
+  /// Parses a Plan serialized by to_json(); unknown keys are ignored and
+  /// absent keys keep their defaults. Throws util::ContractError on
+  /// malformed input.
+  static Plan from_json(const std::string& text);
+
+  friend bool operator==(const Plan&, const Plan&);
 };
+
+bool operator==(const DegradedEpoch&, const DegradedEpoch&);
+inline bool operator==(const net::Topology& a, const net::Topology& b) {
+  return a.ranks_per_node == b.ranks_per_node && a.nodes_per_group == b.nodes_per_group;
+}
 
 }  // namespace clampi::fault

@@ -591,9 +591,15 @@ void Process::get(void* origin, std::size_t bytes, int target, std::size_t disp,
       me.clock.advance_us(m.issue_us(rank_, wt, bytes));
       const fault::OpDesc d{fault::OpKind::kGet, rank_, wt, disp, bytes,
                             me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
       me.clock.exit_runtime();
       throw fault::OpFailedError(fv.kind, d);
     }
+  }
+  if (engine_->cfg_.op_observer) {
+    engine_->cfg_.op_observer(
+        {fault::OpKind::kGet, rank_, wt, disp, bytes, me.clock.now_us()},
+        /*failed=*/false);
   }
   // Data is copied eagerly (legal under the epoch model: the source may not
   // be concurrently modified within the epoch); the completion time is what
@@ -625,9 +631,15 @@ void Process::put(const void* origin, std::size_t bytes, int target, std::size_t
       me.clock.advance_us(m.issue_us(rank_, wt, bytes));
       const fault::OpDesc d{fault::OpKind::kPut, rank_, wt, disp, bytes,
                             me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
       me.clock.exit_runtime();
       throw fault::OpFailedError(fv.kind, d);
     }
+  }
+  if (engine_->cfg_.op_observer) {
+    engine_->cfg_.op_observer(
+        {fault::OpKind::kPut, rank_, wt, disp, bytes, me.clock.now_us()},
+        /*failed=*/false);
   }
   std::memcpy(wo.base[static_cast<std::size_t>(target)] + disp, origin, bytes);
   const double t0 = me.clock.now_us();
@@ -659,9 +671,15 @@ void Process::get_blocks(void* origin, int target, std::size_t disp, const Block
       me.clock.advance_us(m.issue_us(rank_, wt, total));
       const fault::OpDesc d{fault::OpKind::kGetBlocks, rank_, wt, disp, total,
                             me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
       me.clock.exit_runtime();
       throw fault::OpFailedError(fv.kind, d);
     }
+  }
+  if (engine_->cfg_.op_observer) {
+    engine_->cfg_.op_observer(
+        {fault::OpKind::kGetBlocks, rank_, wt, disp, total, me.clock.now_us()},
+        /*failed=*/false);
   }
   auto* out = static_cast<std::byte*>(origin);
   const std::byte* in = wo.base[static_cast<std::size_t>(target)];
@@ -697,6 +715,7 @@ void Process::flush(int target, Window w) {
       // complete them. Pending state is already cleared (taken above), so
       // a subsequent flush of the same target succeeds trivially.
       const fault::OpDesc d{fault::OpKind::kFlush, rank_, wt, 0, 0, me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
       me.clock.exit_runtime();
       throw fault::OpFailedError(fault::FailureKind::kRankDead, d);
     }
@@ -728,6 +747,7 @@ void Process::flush_all(Window w) {
   if (dead_target >= 0) {
     const fault::OpDesc d{fault::OpKind::kFlush, rank_, dead_target, 0, 0,
                           me.clock.now_us()};
+    if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
     me.clock.exit_runtime();
     throw fault::OpFailedError(fault::FailureKind::kRankDead, d);
   }
@@ -818,9 +838,15 @@ void Process::get_accumulate(const void* origin, void* result, std::size_t count
       me.clock.advance_us(m.issue_us(rank_, wt, bytes));
       const fault::OpDesc d{fault::OpKind::kAtomic, rank_, wt, disp, bytes,
                             me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
       me.clock.exit_runtime();
       throw fault::OpFailedError(fv.kind, d);
     }
+  }
+  if (engine_->cfg_.op_observer) {
+    engine_->cfg_.op_observer(
+        {fault::OpKind::kAtomic, rank_, wt, disp, bytes, me.clock.now_us()},
+        /*failed=*/false);
   }
   // Element-wise atomicity is free: the scheduler serializes ranks, and
   // accumulates (unlike put/get) are permitted to race per MPI-3.
@@ -869,9 +895,15 @@ void Process::compare_and_swap(const void* desired, const void* expected, void* 
       me.clock.advance_us(m.issue_us(rank_, wt, bytes));
       const fault::OpDesc d{fault::OpKind::kAtomic, rank_, wt, disp, bytes,
                             me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
       me.clock.exit_runtime();
       throw fault::OpFailedError(fv.kind, d);
     }
+  }
+  if (engine_->cfg_.op_observer) {
+    engine_->cfg_.op_observer(
+        {fault::OpKind::kAtomic, rank_, wt, disp, bytes, me.clock.now_us()},
+        /*failed=*/false);
   }
   std::byte* slot = wo.base[static_cast<std::size_t>(target)] + disp;
   std::memcpy(result, slot, bytes);

@@ -229,6 +229,15 @@ class Engine {
     /// injector with an all-zero Plan is guaranteed to produce
     /// bit-identical virtual-time results to null.
     std::shared_ptr<fault::Injector> injector;
+    /// Optional per-operation observer: invoked once for every one-sided
+    /// data operation (get / put / get_blocks / accumulate family) with
+    /// the operation descriptor and whether the injector failed it, and
+    /// for flushes that fail against a dead target. Runs on the issuing
+    /// rank's thread while it holds the scheduler baton, so observers see
+    /// a serialized operation stream; they must not call back into
+    /// Process. The chaos semantics oracle (src/chaos) uses this to
+    /// assert, e.g., that cache hits issue no network operations.
+    std::function<void(const fault::OpDesc&, bool failed)> op_observer;
   };
 
   explicit Engine(Config cfg);

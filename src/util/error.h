@@ -27,9 +27,33 @@ class ContractError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Last-gasp callback invoked by panic() before the backtrace and abort.
+/// Long-running harnesses (the chaos fuzzer, bench drivers) install one to
+/// dump their in-flight repro artifact so an aborting invariant violation
+/// does not lose the schedule that provoked it. The hook must be
+/// async-termination-safe in spirit: no allocation-heavy work, no throwing
+/// (a throw out of the hook would call std::terminate anyway). A plain
+/// function pointer keeps this header dependency-free.
+using PanicHook = void (*)() noexcept;
+
+inline PanicHook& panic_hook_slot() {
+  static PanicHook hook = nullptr;
+  return hook;
+}
+
+/// Installs (or with nullptr clears) the process-wide panic hook; returns
+/// the previous hook so scoped users can restore it.
+inline PanicHook set_panic_hook(PanicHook hook) {
+  PanicHook& slot = panic_hook_slot();
+  const PanicHook prev = slot;
+  slot = hook;
+  return prev;
+}
+
 [[noreturn]] inline void panic(const char* file, int line, const std::string& msg) {
   std::fprintf(stderr, "clampi: internal invariant violated at %s:%d: %s\n", file, line,
                msg.c_str());
+  if (const PanicHook hook = panic_hook_slot()) hook();
 #ifdef CLAMPI_HAVE_BACKTRACE
   // Post-mortem aid: aborts happen deep inside the cache machinery, and
   // the raw frames (symbolized with addr2line) identify the caller.

@@ -1,0 +1,415 @@
+// Minimal JSON reading/writing for repro artifacts and plan serialization.
+//
+// The chaos harness (src/chaos) persists failing schedules as replayable
+// JSON artifacts and fault::Plan round-trips through it, so the format
+// must be lossless for the types those structures carry. Two deliberate
+// deviations from a general-purpose JSON library follow from that:
+//
+//   - numbers keep their source text. A 64-bit seed does not survive a
+//     trip through double, so as_u64() re-parses the original token and
+//     number(std::uint64_t) formats decimal digits directly;
+//   - doubles are written with %.17g, which round-trips IEEE binary64
+//     exactly (shortest-exact formatting is not worth the code here).
+//
+// Parsing errors throw util::ContractError with an offset, consistent
+// with the repository's misuse-throws convention (util/error.h).
+#pragma once
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace clampi::util::json {
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  // --- constructors ---
+  static Value null() { return Value(); }
+  static Value boolean(bool b) {
+    Value v;
+    v.kind_ = Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value number(double d) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = buf;
+    return v;
+  }
+  static Value number(std::uint64_t u) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, u);
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = buf;
+    return v;
+  }
+  static Value number(std::int64_t i) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, i);
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = buf;
+    return v;
+  }
+  static Value number(int i) { return number(static_cast<std::int64_t>(i)); }
+  static Value str(std::string s) {
+    Value v;
+    v.kind_ = Kind::kString;
+    v.scalar_ = std::move(s);
+    return v;
+  }
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  // --- scalar accessors (throw ContractError on kind mismatch) ---
+  bool as_bool() const {
+    require(kind_ == Kind::kBool, "json: not a bool");
+    return bool_;
+  }
+  double as_double() const {
+    require(kind_ == Kind::kNumber, "json: not a number");
+    return std::strtod(scalar_.c_str(), nullptr);
+  }
+  std::uint64_t as_u64() const {
+    require(kind_ == Kind::kNumber, "json: not a number");
+    require(scalar_.find_first_of(".eE-") == std::string::npos,
+            "json: not an unsigned integer: " + scalar_);
+    return std::strtoull(scalar_.c_str(), nullptr, 10);
+  }
+  std::int64_t as_i64() const {
+    require(kind_ == Kind::kNumber, "json: not a number");
+    require(scalar_.find_first_of(".eE") == std::string::npos,
+            "json: not an integer: " + scalar_);
+    return std::strtoll(scalar_.c_str(), nullptr, 10);
+  }
+  int as_int() const { return static_cast<int>(as_i64()); }
+  const std::string& as_string() const {
+    require(kind_ == Kind::kString, "json: not a string");
+    return scalar_;
+  }
+
+  // --- array access ---
+  const std::vector<Value>& items() const {
+    require(kind_ == Kind::kArray, "json: not an array");
+    return items_;
+  }
+  void push(Value v) {
+    require(kind_ == Kind::kArray, "json: push on a non-array");
+    items_.push_back(std::move(v));
+  }
+
+  // --- object access (insertion order preserved) ---
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    require(kind_ == Kind::kObject, "json: not an object");
+    return members_;
+  }
+  const Value* find(const std::string& key) const {
+    require(kind_ == Kind::kObject, "json: not an object");
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool has(const std::string& key) const { return find(key) != nullptr; }
+  const Value& at(const std::string& key) const {
+    const Value* v = find(key);
+    require(v != nullptr, "json: missing key \"" + key + "\"");
+    return *v;
+  }
+  Value& set(const std::string& key, Value v) {
+    require(kind_ == Kind::kObject, "json: set on a non-object");
+    for (auto& [k, old] : members_) {
+      if (k == key) {
+        old = std::move(v);
+        return old;
+      }
+    }
+    members_.emplace_back(key, std::move(v));
+    return members_.back().second;
+  }
+
+  /// Convenience: at(key).as_double() with a default when absent.
+  double get_double(const std::string& key, double dflt) const {
+    const Value* v = find(key);
+    return v == nullptr ? dflt : v->as_double();
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t dflt) const {
+    const Value* v = find(key);
+    return v == nullptr ? dflt : v->as_u64();
+  }
+  int get_int(const std::string& key, int dflt) const {
+    const Value* v = find(key);
+    return v == nullptr ? dflt : v->as_int();
+  }
+  bool get_bool(const std::string& key, bool dflt) const {
+    const Value* v = find(key);
+    return v == nullptr ? dflt : v->as_bool();
+  }
+
+  // --- serialization ---
+  /// `indent` < 0 produces a single line; >= 0 pretty-prints with that
+  /// many spaces per level.
+  std::string dump(int indent = -1) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+  }
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static Value parse(std::string_view text) {
+    std::size_t pos = 0;
+    Value v = parse_value(text, pos);
+    skip_ws(text, pos);
+    require(pos == text.size(), "json: trailing characters at offset " +
+                                    std::to_string(pos));
+    return v;
+  }
+
+ private:
+  static void require(bool cond, const std::string& msg) {
+    if (!cond) throw ContractError(msg);
+  }
+
+  static void skip_ws(std::string_view t, std::size_t& p) {
+    while (p < t.size() && (t[p] == ' ' || t[p] == '\t' || t[p] == '\n' || t[p] == '\r')) {
+      ++p;
+    }
+  }
+
+  static char expect(std::string_view t, std::size_t& p, const char* what) {
+    require(p < t.size(), std::string("json: unexpected end of input, expected ") + what);
+    return t[p];
+  }
+
+  static bool consume(std::string_view t, std::size_t& p, std::string_view word) {
+    if (t.substr(p, word.size()) != word) return false;
+    p += word.size();
+    return true;
+  }
+
+  static std::string parse_string(std::string_view t, std::size_t& p) {
+    require(t[p] == '"', "json: expected string at offset " + std::to_string(p));
+    ++p;
+    std::string out;
+    while (true) {
+      require(p < t.size(), "json: unterminated string");
+      const char c = t[p++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      require(p < t.size(), "json: unterminated escape");
+      const char e = t[p++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          require(p + 4 <= t.size(), "json: truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = t[p++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else require(false, "json: bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by this repository's writers).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default: require(false, std::string("json: bad escape \\") + e);
+      }
+    }
+  }
+
+  static Value parse_value(std::string_view t, std::size_t& p) {
+    skip_ws(t, p);
+    const char c = expect(t, p, "a value");
+    if (c == '{') {
+      ++p;
+      Value v = object();
+      skip_ws(t, p);
+      if (expect(t, p, "'}' or a key") == '}') {
+        ++p;
+        return v;
+      }
+      while (true) {
+        skip_ws(t, p);
+        std::string key = parse_string(t, p);
+        skip_ws(t, p);
+        require(expect(t, p, "':'") == ':', "json: expected ':' at offset " +
+                                                std::to_string(p));
+        ++p;
+        v.members_.emplace_back(std::move(key), parse_value(t, p));
+        skip_ws(t, p);
+        const char d = expect(t, p, "',' or '}'");
+        ++p;
+        if (d == '}') return v;
+        require(d == ',', "json: expected ',' or '}' at offset " + std::to_string(p - 1));
+      }
+    }
+    if (c == '[') {
+      ++p;
+      Value v = array();
+      skip_ws(t, p);
+      if (expect(t, p, "']' or a value") == ']') {
+        ++p;
+        return v;
+      }
+      while (true) {
+        v.items_.push_back(parse_value(t, p));
+        skip_ws(t, p);
+        const char d = expect(t, p, "',' or ']'");
+        ++p;
+        if (d == ']') return v;
+        require(d == ',', "json: expected ',' or ']' at offset " + std::to_string(p - 1));
+      }
+    }
+    if (c == '"') {
+      Value v;
+      v.kind_ = Kind::kString;
+      v.scalar_ = parse_string(t, p);
+      return v;
+    }
+    if (consume(t, p, "true")) return boolean(true);
+    if (consume(t, p, "false")) return boolean(false);
+    if (consume(t, p, "null")) return null();
+    // Number: keep the raw token so integers stay lossless.
+    const std::size_t start = p;
+    if (p < t.size() && (t[p] == '-' || t[p] == '+')) ++p;
+    while (p < t.size() &&
+           (std::isdigit(static_cast<unsigned char>(t[p])) || t[p] == '.' ||
+            t[p] == 'e' || t[p] == 'E' || t[p] == '-' || t[p] == '+')) {
+      ++p;
+    }
+    require(p > start, "json: unexpected character at offset " + std::to_string(start));
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.scalar_ = std::string(t.substr(start, p - start));
+    // Validate: the token must parse as a number in full.
+    char* end = nullptr;
+    std::strtod(v.scalar_.c_str(), &end);
+    require(end == v.scalar_.c_str() + v.scalar_.size(),
+            "json: malformed number \"" + v.scalar_ + "\"");
+    return v;
+  }
+
+  static void write_string(std::string& out, const std::string& s) {
+    out.push_back('"');
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    out.push_back('"');
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const auto nl = [&](int d) {
+      if (indent < 0) return;
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    };
+    switch (kind_) {
+      case Kind::kNull: out += "null"; break;
+      case Kind::kBool: out += bool_ ? "true" : "false"; break;
+      case Kind::kNumber: out += scalar_; break;
+      case Kind::kString: write_string(out, scalar_); break;
+      case Kind::kArray: {
+        out.push_back('[');
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          nl(depth + 1);
+          items_[i].write(out, indent, depth + 1);
+        }
+        if (!items_.empty()) nl(depth);
+        out.push_back(']');
+        break;
+      }
+      case Kind::kObject: {
+        out.push_back('{');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          nl(depth + 1);
+          write_string(out, members_[i].first);
+          out.push_back(':');
+          if (indent >= 0) out.push_back(' ');
+          members_[i].second.write(out, indent, depth + 1);
+        }
+        if (!members_.empty()) nl(depth);
+        out.push_back('}');
+        break;
+      }
+    }
+  }
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number token (lossless) or string payload
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace clampi::util::json

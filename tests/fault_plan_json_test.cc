@@ -1,0 +1,76 @@
+// fault::Plan JSON round-trip: every perturbation class a chaos repro
+// artifact can carry must survive to_json -> from_json bit-for-bit
+// (docs/CHAOS.md). Includes the later-added classes (revive_us,
+// target_fail_prob) that an earlier serializer could silently drop.
+#include <gtest/gtest.h>
+
+#include "fault/plan.h"
+#include "util/error.h"
+
+namespace clampi::fault {
+namespace {
+
+Plan full_plan() {
+  Plan p;
+  p.seed = 0xdeadbeefcafef00dull;  // > 2^53: must not round through double
+  p.fail_everywhere(0.0625);
+  p.spike_prob = 0.25;
+  p.spike_factor = 3.5;
+  p.spike_addend_us = 12.75;
+  p.degrade_rank(2, 6.0, 1000.0, 50000.0);
+  p.degrade_rank(1, 2.5);  // open-ended epoch (kForever)
+  p.kill_rank(3, 20000.0);
+  p.revive_rank(3, 45000.0);
+  p.fail_target(1, 0.125);
+  p.corrupt_storage(0.001953125);
+  p.stale_puts(0.375);
+  p.topology.ranks_per_node = 4;
+  return p;
+}
+
+TEST(FaultPlanJson, RoundTripsEveryPerturbationClass) {
+  const Plan p = full_plan();
+  const Plan q = Plan::from_json(p.to_json());
+  EXPECT_EQ(p, q);
+  // Spot-check the classes that ride in vectors (the easiest to lose).
+  ASSERT_EQ(q.degraded.size(), 2u);
+  EXPECT_EQ(q.degraded[0].rank, 2);
+  EXPECT_DOUBLE_EQ(q.degraded[1].until_us, kForever);
+  ASSERT_GT(q.death_us.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.death_us[3], 20000.0);
+  ASSERT_GT(q.revive_us.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.revive_us[3], 45000.0);
+  ASSERT_GT(q.target_fail_prob.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.target_fail_prob[1], 0.125);
+  EXPECT_EQ(q.seed, 0xdeadbeefcafef00dull);
+}
+
+TEST(FaultPlanJson, DefaultPlanRoundTripsTrivial) {
+  const Plan p;
+  const Plan q = Plan::from_json(p.to_json());
+  EXPECT_EQ(p, q);
+  EXPECT_TRUE(q.trivial());
+}
+
+TEST(FaultPlanJson, SecondRoundTripIsAFixpoint) {
+  const Plan p = full_plan();
+  const std::string once = p.to_json();
+  const std::string twice = Plan::from_json(once).to_json();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(FaultPlanJson, AbsentKeysKeepDefaults) {
+  const Plan q = Plan::from_json("{\"spike_prob\": 0.5}");
+  EXPECT_DOUBLE_EQ(q.spike_prob, 0.5);
+  EXPECT_TRUE(q.degraded.empty());
+  EXPECT_TRUE(q.death_us.empty());
+  EXPECT_EQ(q.seed, Plan{}.seed);
+}
+
+TEST(FaultPlanJson, MalformedInputThrows) {
+  EXPECT_THROW(Plan::from_json("{"), util::ContractError);
+  EXPECT_THROW(Plan::from_json("not json"), util::ContractError);
+}
+
+}  // namespace
+}  // namespace clampi::fault
