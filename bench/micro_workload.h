@@ -6,11 +6,11 @@
 //      frequent than the rest.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/skew.h"
 
 namespace clampi::benchx {
 
@@ -39,19 +39,13 @@ struct MicroWorkload {
     }
     w.window_bytes = cursor;
 
-    // Normal(N/2, N/4) sampling via Box-Muller, resampling out-of-range
-    // draws (the paper samples indices of the distinct set).
+    // Normal(N/2, N/4) index sampling (the paper samples indices of the
+    // distinct set); the sampler is shared with the KV workload engine.
     w.seq.reserve(z);
-    const double mu = static_cast<double>(n) / 2.0;
-    const double sigma = static_cast<double>(n) / 4.0;
+    util::NormalIndexSampler normal(n, static_cast<double>(n) / 2.0,
+                                    static_cast<double>(n) / 4.0);
     while (w.seq.size() < z) {
-      const double u1 = rng.uniform();
-      const double u2 = rng.uniform();
-      if (u1 <= 0.0) continue;
-      const double g = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
-      const double v = mu + sigma * g;
-      if (v < 0.0 || v >= static_cast<double>(n)) continue;
-      w.seq.push_back(static_cast<std::uint32_t>(v));
+      w.seq.push_back(static_cast<std::uint32_t>(normal(rng)));
     }
     return w;
   }

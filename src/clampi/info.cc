@@ -202,6 +202,11 @@ Info stats_to_info(const Stats& s) {
   put("fast_fails", s.fast_fails);
   put("degraded_hits", s.degraded_hits);
   put("degraded_expired", s.degraded_expired);
+  put("degraded_corrupt_drops", s.degraded_corrupt_drops);
+  put("kv_bucket_reads", s.kv_bucket_reads);
+  put("kv_chain_reads", s.kv_chain_reads);
+  put("kv_version_rereads", s.kv_version_rereads);
+  put("put_invalidation_ops", s.put_invalidation_ops);
   return out;
 }
 

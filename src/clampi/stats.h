@@ -88,6 +88,14 @@ struct Stats {
   std::uint64_t degraded_corrupt_drops = 0; ///< degraded serves refused because
                                             ///< the entry failed its checksum
 
+  // Read/write shape of the KV subsystem layered on this window (src/kv):
+  // fed through CachedWindow's note_kv_* hooks, zero for non-KV workloads.
+  std::uint64_t kv_bucket_reads = 0;      ///< main-bucket fetches issued by kv lookups
+  std::uint64_t kv_chain_reads = 0;       ///< overflow-chain follows (extra hops)
+  std::uint64_t kv_version_rereads = 0;   ///< stale-generation images re-read uncached
+  std::uint64_t put_invalidation_ops = 0; ///< puts whose overlap invalidation
+                                          ///< dropped at least one cached entry
+
   /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
   /// PENDING (full and partial hits alike).
   std::uint64_t hitting() const { return hits_full + hits_pending + hits_partial; }
@@ -157,6 +165,10 @@ struct Stats {
     d.degraded_hits = degraded_hits - base.degraded_hits;
     d.degraded_expired = degraded_expired - base.degraded_expired;
     d.degraded_corrupt_drops = degraded_corrupt_drops - base.degraded_corrupt_drops;
+    d.kv_bucket_reads = kv_bucket_reads - base.kv_bucket_reads;
+    d.kv_chain_reads = kv_chain_reads - base.kv_chain_reads;
+    d.kv_version_rereads = kv_version_rereads - base.kv_version_rereads;
+    d.put_invalidation_ops = put_invalidation_ops - base.put_invalidation_ops;
     return d;
   }
 };

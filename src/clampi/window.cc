@@ -514,7 +514,11 @@ void CachedWindow::put(const void* origin, std::size_t bytes, int target,
     ++core_->mutable_stats().stale_puts_injected;
     return;
   }
-  core_->invalidate_overlap(target, disp, bytes);
+  const std::size_t dropped = core_->invalidate_overlap(target, disp, bytes);
+  // Fan-out accounting: put_invalidations counts entries dropped; this
+  // counts puts that hit at least one cached entry, so fan-out per
+  // invalidating put = put_invalidations / put_invalidation_ops.
+  if (dropped > 0) ++core_->mutable_stats().put_invalidation_ops;
 }
 
 void CachedWindow::process_pending(int target) {

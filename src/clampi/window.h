@@ -155,6 +155,14 @@ class CachedWindow {
   bool last_was_degraded() const { return last_degraded_; }
   double last_degraded_age_us() const { return last_degraded_age_us_; }
 
+  // --- KV-layer accounting hooks (src/kv, docs/KV.md) ---
+  // The DHT layered on this window reports the shape of its lookups so
+  // cache counters and KV counters land in one Stats block (and flow out
+  // through stats_to_info / the cache explorer together).
+  void note_kv_bucket_read() { ++core_->mutable_stats().kv_bucket_reads; }
+  void note_kv_chain_read() { ++core_->mutable_stats().kv_chain_reads; }
+  void note_kv_version_reread() { ++core_->mutable_stats().kv_version_rereads; }
+
   // --- integrity guard introspection (docs/INTEGRITY.md) ---
   /// Breaker state; kClosed when no breaker is configured
   /// (breaker_failure_threshold == 0).

@@ -1,0 +1,328 @@
+#include "kv/store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/fault.h"
+#include "util/error.h"
+#include "util/skew.h"
+
+namespace clampi::kv {
+
+namespace {
+
+void validate(const StoreConfig& cfg, int nranks) {
+  CLAMPI_REQUIRE(cfg.nkeys >= 1, "kv: nkeys must be >= 1");
+  CLAMPI_REQUIRE(cfg.nservers >= 1 && cfg.nservers <= nranks,
+                 "kv: nservers must be in [1, nranks]");
+  CLAMPI_REQUIRE(cfg.replication >= 1 &&
+                     cfg.replication <= std::min(cfg.nservers, kMaxReplicas),
+                 "kv: replication must be in [1, min(nservers, kMaxReplicas)]");
+  CLAMPI_REQUIRE(cfg.layout.slots_per_bucket >= 1, "kv: slots_per_bucket must be >= 1");
+  CLAMPI_REQUIRE(cfg.layout.value_capacity >= 1, "kv: value_capacity must be >= 1");
+  CLAMPI_REQUIRE(cfg.initial_value_len <= cfg.layout.value_capacity,
+                 "kv: initial_value_len exceeds value_capacity");
+  CLAMPI_REQUIRE(cfg.load_factor > 0.0, "kv: load_factor must be > 0");
+  CLAMPI_REQUIRE(cfg.balance_slack >= 1.0, "kv: balance_slack must be >= 1");
+  CLAMPI_REQUIRE(cfg.overflow_frac >= 0.0, "kv: overflow_frac must be >= 0");
+  // Transparent mode would invalidate the whole cache at every per-target
+  // flush; the KV layer owns epoch invalidation (Listing 1), so insist on it.
+  CLAMPI_REQUIRE(cfg.cache.mode == Mode::kUserDefined,
+                 "kv: cache.mode must be kUserDefined");
+}
+
+}  // namespace
+
+Store::Store(rmasim::Process& p, const StoreConfig& cfg)
+    : p_(&p), cfg_(cfg), ring_(cfg.nservers, cfg.vnodes, cfg.seed) {
+  validate(cfg_, p.nranks());
+
+  // Shard geometry, identical on every rank: room for this server's share
+  // of nkeys * replication entries (plus slack for ring imbalance), sized
+  // so main buckets run at `load_factor` occupancy, with an overflow pool
+  // for the chains. load_factor > 1 deliberately undersizes the main array
+  // to exercise chain follows.
+  const double share = static_cast<double>(cfg_.nkeys) * cfg_.replication /
+                       cfg_.nservers * cfg_.balance_slack;
+  const double per_bucket = cfg_.layout.slots_per_bucket * cfg_.load_factor;
+  main_buckets_ = static_cast<std::size_t>(std::ceil(share / per_bucket));
+  if (main_buckets_ < 1) main_buckets_ = 1;
+  std::size_t overflow =
+      static_cast<std::size_t>(std::ceil(main_buckets_ * cfg_.overflow_frac));
+  if (overflow < 1) overflow = 1;
+  nbuckets_ = main_buckets_ + overflow;
+  CLAMPI_REQUIRE(nbuckets_ < kNoBucket, "kv: shard exceeds bucket index space");
+  shard_bytes_ = nbuckets_ * cfg_.layout.bucket_bytes();
+
+  const std::size_t my_bytes =
+      p.rank() < cfg_.nservers ? shard_bytes_ : cfg_.layout.bucket_bytes();
+  void* base = nullptr;
+  win_ = std::make_unique<CachedWindow>(
+      CachedWindow::allocate(p, my_bytes, &base, cfg_.cache));
+  base_ = static_cast<std::byte*>(base);
+  bucket_buf_.resize(cfg_.layout.bucket_bytes());
+  slot_buf_.resize(cfg_.layout.slot_bytes());
+  loc_cache_.resize(static_cast<std::size_t>(cfg_.nservers));
+
+  if (is_server()) load_shard();
+  p.barrier();  // no reads before every shard is populated
+}
+
+std::uint64_t Store::key_at(std::uint64_t i) const {
+  CLAMPI_REQUIRE(i < cfg_.nkeys, "kv: key rank out of range");
+  return util::mix64(i ^ (cfg_.seed * 0x2545f4914f6cdd1dull));
+}
+
+std::uint32_t Store::bucket_index(std::uint64_t key) const {
+  return static_cast<std::uint32_t>(
+      util::mix64(key ^ cfg_.seed ^ 0x6275636bull) % main_buckets_);
+}
+
+std::uint32_t Store::initial_len(std::uint64_t key) const {
+  if (cfg_.initial_value_len != 0) return cfg_.initial_value_len;
+  const std::uint32_t cap = cfg_.layout.value_capacity;
+  const std::uint32_t lo = cap < 8 ? 1 : 8;
+  return lo + static_cast<std::uint32_t>(util::mix64(key ^ 0x6c656eull) % (cap - lo + 1));
+}
+
+void Store::load_shard() {
+  overflow_cursor_ = static_cast<std::uint32_t>(main_buckets_);
+  for (std::uint32_t b = 0; b < nbuckets_; ++b) {
+    BucketHeader h;
+    h.generation = generation_;
+    store_header(shard_bucket(b), h);
+  }
+  int reps[kMaxReplicas];
+  for (std::uint64_t i = 0; i < cfg_.nkeys; ++i) {
+    const std::uint64_t key = key_at(i);
+    ring_.replicas(key, cfg_.replication, reps);
+    bool mine = false;
+    for (int r = 0; r < cfg_.replication; ++r) mine = mine || reps[r] == p_->rank();
+    if (!mine) continue;
+    insert_local(key);
+    ++keys_loaded_;
+  }
+}
+
+void Store::insert_local(std::uint64_t key) {
+  std::uint32_t b = bucket_index(key);
+  for (;;) {
+    std::byte* bk = shard_bucket(b);
+    BucketHeader h = load_header(bk);
+    if (h.count < cfg_.layout.slots_per_bucket) {
+      SlotMeta m;
+      m.key = key;
+      m.seq = 0;
+      m.len = initial_len(key);
+      std::byte* slot = bk + cfg_.layout.slot_offset(h.count);
+      store_slot_meta(slot, m);
+      fill_value(key, m.seq, m.len, slot + Layout::kSlotHeaderBytes);
+      ++h.count;
+      store_header(bk, h);
+      return;
+    }
+    if (h.chain != kNoBucket) {
+      b = h.chain;
+      continue;
+    }
+    CLAMPI_REQUIRE(overflow_cursor_ < nbuckets_,
+                   "kv: overflow pool exhausted; raise overflow_frac or balance_slack");
+    h.chain = overflow_cursor_++;
+    store_header(bk, h);
+    b = h.chain;
+  }
+}
+
+void Store::read_bucket(int server, std::uint32_t b, bool cached, GetMeta* m) {
+  const std::size_t bb = cfg_.layout.bucket_bytes();
+  const std::size_t disp = static_cast<std::size_t>(b) * bb;
+  ++m->bucket_reads;
+  if (b < main_buckets_) {
+    win_->note_kv_bucket_read();
+  } else {
+    win_->note_kv_chain_read();
+    ++m->chain_follows;
+  }
+  if (!cached) {
+    win_->get_nocache(bucket_buf_.data(), bb, server, disp);
+    win_->flush(server);
+    return;
+  }
+  win_->get(bucket_buf_.data(), bb, server, disp);
+  if (win_->last_was_degraded()) m->degraded = true;
+  if (win_->last_access() == AccessType::kHit) {
+    ++m->cached_hits;  // local copy, nothing in flight: skip the flush
+  } else {
+    win_->flush(server);
+  }
+}
+
+bool Store::lookup_on(int server, std::uint64_t key, bool cached,
+                      std::byte* value_out, GetMeta* m) {
+  std::uint32_t b = bucket_index(key);
+  std::size_t hops = 0;
+  for (;;) {
+    read_bucket(server, b, cached, m);
+    BucketHeader h = load_header(bucket_buf_.data());
+    if (h.generation != generation_ && cached) {
+      // Cached image predates the current owner-side write epoch (reload):
+      // versioned re-read straight from the server.
+      win_->note_kv_version_reread();
+      m->version_reread = true;
+      read_bucket(server, b, /*cached=*/false, m);
+      h = load_header(bucket_buf_.data());
+    }
+    CLAMPI_REQUIRE(h.generation == generation_,
+                   "kv: server bucket carries unexpected generation");
+    CLAMPI_REQUIRE(h.count <= cfg_.layout.slots_per_bucket,
+                   "kv: bucket header count out of range");
+    for (std::uint32_t s = 0; s < h.count; ++s) {
+      const std::byte* slot = bucket_buf_.data() + cfg_.layout.slot_offset(s);
+      const SlotMeta sm = load_slot_meta(slot);
+      if (sm.key != key) continue;
+      CLAMPI_REQUIRE(sm.len <= cfg_.layout.value_capacity,
+                     "kv: slot length exceeds value_capacity");
+      std::memcpy(value_out, slot + Layout::kSlotHeaderBytes, sm.len);
+      m->seq = sm.seq;
+      m->len = sm.len;
+      m->generation = h.generation;
+      return true;
+    }
+    if (h.chain == kNoBucket) return false;
+    CLAMPI_REQUIRE(h.chain < nbuckets_, "kv: chain link out of range");
+    b = h.chain;
+    CLAMPI_REQUIRE(++hops <= nbuckets_, "kv: chain cycle detected");
+  }
+}
+
+bool Store::get_impl(std::uint64_t key, std::byte* value_out, GetMeta* meta,
+                     bool cached) {
+  GetMeta local;
+  GetMeta* m = meta ? meta : &local;
+  *m = GetMeta{};
+  int reps[kMaxReplicas];
+  ring_.replicas(key, cfg_.replication, reps);
+  for (int pos = 0; pos < cfg_.replication; ++pos) {
+    try {
+      const bool found = lookup_on(reps[pos], key, cached, value_out, m);
+      // Membership is identical on every replica (update-only store), so a
+      // clean miss on a reachable replica is authoritative.
+      m->server = reps[pos];
+      m->replica_pos = pos;
+      m->rerouted = pos > 0;
+      return found;
+    } catch (const fault::OpFailedError&) {
+      // Replica unreachable (dead or quarantined): fall through.
+    }
+  }
+  return false;
+}
+
+bool Store::get(std::uint64_t key, std::byte* value_out, GetMeta* meta) {
+  return get_impl(key, value_out, meta, /*cached=*/true);
+}
+
+bool Store::get_uncached(std::uint64_t key, std::byte* value_out, GetMeta* meta) {
+  return get_impl(key, value_out, meta, /*cached=*/false);
+}
+
+bool Store::locate_on(int server, std::uint64_t key, bool cached, Locator* loc) {
+  auto& memo = loc_cache_[static_cast<std::size_t>(server)];
+  const auto it = memo.find(key);
+  if (it != memo.end()) {
+    *loc = it->second;
+    return true;
+  }
+  GetMeta scratch;
+  std::uint32_t b = bucket_index(key);
+  std::size_t hops = 0;
+  for (;;) {
+    read_bucket(server, b, cached, &scratch);
+    const BucketHeader h = load_header(bucket_buf_.data());
+    CLAMPI_REQUIRE(h.count <= cfg_.layout.slots_per_bucket,
+                   "kv: bucket header count out of range");
+    for (std::uint32_t s = 0; s < h.count; ++s) {
+      const SlotMeta sm =
+          load_slot_meta(bucket_buf_.data() + cfg_.layout.slot_offset(s));
+      if (sm.key != key) continue;
+      loc->bucket = b;
+      loc->slot = s;
+      memo.emplace(key, *loc);  // placement is immutable after load
+      return true;
+    }
+    if (h.chain == kNoBucket) return false;
+    CLAMPI_REQUIRE(h.chain < nbuckets_, "kv: chain link out of range");
+    b = h.chain;
+    CLAMPI_REQUIRE(++hops <= nbuckets_, "kv: chain cycle detected");
+  }
+}
+
+bool Store::put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
+                std::uint32_t len, PutMeta* meta, bool use_cache) {
+  CLAMPI_REQUIRE(len >= 1 && len <= cfg_.layout.value_capacity,
+                 "kv: put length outside [1, value_capacity]");
+  PutMeta local;
+  PutMeta* m = meta ? meta : &local;
+  *m = PutMeta{};
+  SlotMeta sm;
+  sm.key = key;
+  sm.seq = seq;
+  sm.len = len;
+  store_slot_meta(slot_buf_.data(), sm);
+  std::memcpy(slot_buf_.data() + Layout::kSlotHeaderBytes, value, len);
+  const std::size_t nbytes = Layout::kSlotHeaderBytes + len;
+
+  int reps[kMaxReplicas];
+  ring_.replicas(key, cfg_.replication, reps);
+  for (int pos = 0; pos < cfg_.replication; ++pos) {
+    const int server = reps[pos];
+    try {
+      Locator loc;
+      const bool present = locate_on(server, key, use_cache, &loc);
+      CLAMPI_REQUIRE(present, "kv: put targets a key absent from the store");
+      const std::size_t disp =
+          static_cast<std::size_t>(loc.bucket) * cfg_.layout.bucket_bytes() +
+          cfg_.layout.slot_offset(loc.slot);
+      // The put's overlap invalidation drops this rank's cached copy of the
+      // bucket, so our own next read re-fetches: read-your-writes.
+      win_->put(slot_buf_.data(), nbytes, server, disp);
+      win_->flush(server);
+      ++m->applied;
+      m->applied_mask |= 1u << pos;
+    } catch (const fault::OpFailedError&) {
+      ++m->skipped;
+    }
+  }
+  return m->applied > 0;
+}
+
+void Store::invalidate_cache() { win_->invalidate(); }
+
+void Store::reload(std::uint64_t generation, bool invalidate_caches) {
+  CLAMPI_REQUIRE(generation > generation_, "kv: reload generation must increase");
+  p_->barrier();  // writers must not run while readers hold epochs open
+  if (is_server()) {
+    const std::uint32_t seq = static_cast<std::uint32_t>(generation - 1);
+    for (std::uint32_t b = 0; b < nbuckets_; ++b) {
+      std::byte* bk = shard_bucket(b);
+      BucketHeader h = load_header(bk);
+      for (std::uint32_t s = 0; s < h.count; ++s) {
+        std::byte* slot = bk + cfg_.layout.slot_offset(s);
+        SlotMeta sm = load_slot_meta(slot);
+        sm.seq = seq;
+        store_slot_meta(slot, sm);
+        fill_value(sm.key, sm.seq, sm.len, slot + Layout::kSlotHeaderBytes);
+      }
+      h.generation = generation;
+      store_header(bk, h);
+    }
+  }
+  p_->barrier();
+  generation_ = generation;
+  // Listing 1: writes landed, drop everything cached. A rank that skips
+  // this is still safe — its stale-generation buckets trigger uncached
+  // re-reads — just slower.
+  if (invalidate_caches) win_->invalidate();
+}
+
+}  // namespace clampi::kv

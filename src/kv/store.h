@@ -1,0 +1,178 @@
+// kv::Store — a cached, resilient distributed hash table over rmasim
+// windows and CLaMPI (docs/KV.md).
+//
+// Server ranks (window-comm ranks [0, nservers)) own open-addressed bucket
+// shards inside an exposed window; every rank — server or dedicated client
+// — wraps the window in a CachedWindow, so a get is one or two cacheable
+// bucket-sized RMA reads (bucket.h describes the codec). Clients map
+// key -> (owner rank, bucket displacement) through a consistent-hash ring
+// (ring.h) with `replication` replicas per key, issue gets through the
+// cache (hot buckets become cache-resident and never touch the network),
+// route puts as owner-side slot writes whose local overlap invalidation
+// keeps read-your-writes exact, and handle collision chains and versioned
+// re-reads at this layer.
+//
+// Consistency story (docs/KV.md):
+//   - own writes: exact (the put's overlap invalidation drops the writer's
+//     cached bucket; the next read re-fetches);
+//   - other clients' writes: visible after the reader's next cache
+//     invalidation — staleness is bounded by the KV workload's epoch
+//     length (Mode::kUserDefined + clampi_invalidate, paper Listing 1);
+//   - owner-side write epochs (reload): generation-stamped; a cached
+//     bucket from an older generation triggers an uncached re-read.
+//
+// Resilience: with replication > 1 a get falls through the replica list
+// when a replica is dead or quarantined; with degraded reads enabled the
+// CachedWindow additionally serves still-cached buckets of a down target
+// within the configured staleness bound before any rerouting happens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "clampi/clampi.h"
+#include "kv/bucket.h"
+#include "kv/ring.h"
+
+namespace clampi::kv {
+
+inline constexpr int kMaxReplicas = 4;
+
+struct StoreConfig {
+  std::uint64_t nkeys = std::uint64_t{1} << 20;  ///< dense ranks [0, nkeys)
+  int nservers = 4;       ///< window-comm ranks [0, nservers) hold shards
+  int replication = 1;    ///< replicas per key (1..min(nservers, kMaxReplicas))
+  int vnodes = 64;        ///< ring points per server
+  double load_factor = 0.7;    ///< target main-bucket occupancy (> 1 forces chains)
+  double balance_slack = 1.3;  ///< shard headroom over the uniform share
+  double overflow_frac = 0.4;  ///< overflow buckets per main bucket
+  Layout layout;
+  /// 0 = deterministic per-key length in [min(8, cap), cap]; otherwise
+  /// every initially-loaded value has exactly this many bytes.
+  std::uint32_t initial_value_len = 0;
+  std::uint64_t seed = 0x6b7653eedull;
+  /// CLaMPI config of the per-rank CachedWindow. mode must be
+  /// kUserDefined: epoch invalidation is the KV layer's job.
+  Config cache;
+};
+
+/// How a get was served (one op may touch several buckets: chain follows
+/// and versioned re-reads).
+struct GetMeta {
+  int server = -1;       ///< replica that served
+  int replica_pos = 0;   ///< its index in the key's replica list
+  std::uint32_t seq = 0;
+  std::uint32_t len = 0;
+  std::uint64_t generation = 0;
+  int bucket_reads = 0;  ///< bucket fetches issued (first + chains + rereads)
+  int chain_follows = 0;
+  int cached_hits = 0;   ///< of which were served as full cache hits
+  bool degraded = false; ///< some read came through the bounded-staleness path
+  bool rerouted = false; ///< a preferred replica failed first
+  bool version_reread = false;  ///< stale-generation image re-read uncached
+};
+
+struct PutMeta {
+  int applied = 0;                 ///< replicas that accepted the write
+  int skipped = 0;                 ///< replicas skipped as unreachable
+  std::uint32_t applied_mask = 0;  ///< bit per replica position
+};
+
+class Store {
+ public:
+  /// Collective over the world communicator: allocates the window
+  /// (servers: shard bytes, others: one dummy bucket), loads the initial
+  /// key population owner-side, and barriers.
+  Store(rmasim::Process& p, const StoreConfig& cfg);
+
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Key identifier of dense rank `i` in [0, nkeys): a fixed 64-bit
+  /// scramble, so Zipf rank 0 is a pseudo-random key, not key 0.
+  std::uint64_t key_at(std::uint64_t i) const;
+
+  /// Cached get: replica fall-through, collision chains, versioned
+  /// re-reads. Returns false only when the key is unreachable on every
+  /// replica (never throws for fault-induced failures).
+  bool get(std::uint64_t key, std::byte* value_out, GetMeta* meta = nullptr);
+  /// Baseline path: every bucket read bypasses the cache (get_nocache).
+  bool get_uncached(std::uint64_t key, std::byte* value_out, GetMeta* meta = nullptr);
+
+  /// Update an existing key (the serving workload is update-only; inserts
+  /// happen at load/reload). Writes the slot on every reachable replica
+  /// and flushes; the caller owns seq monotonicity per key (single writer
+  /// per key). Returns true if at least one replica applied.
+  bool put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
+           std::uint32_t len, PutMeta* meta = nullptr, bool use_cache = true);
+
+  /// Listing-1 epoch invalidation: drop this rank's cache so the next
+  /// reads observe all writes since the previous invalidation.
+  void invalidate_cache();
+
+  /// Owner-side write epoch (collective; call with no epoch open): every
+  /// server rewrites its live slots with seq = generation - 1 values and
+  /// stamps the new generation, then every rank invalidates its cache
+  /// (Listing 1). `generation` must exceed the current one.
+  /// `invalidate_caches = false` skips this rank's invalidation — the
+  /// generation-stamped buckets then exercise the versioned re-read
+  /// safety net instead of relying on the epoch protocol (tests).
+  void reload(std::uint64_t generation, bool invalidate_caches = true);
+
+  // --- introspection ---
+  CachedWindow& window() { return *win_; }
+  const Ring& ring() const { return ring_; }
+  const StoreConfig& config() const { return cfg_; }
+  std::uint64_t generation() const { return generation_; }
+  bool is_server() const { return p_->rank() < cfg_.nservers; }
+  std::size_t main_buckets() const { return main_buckets_; }
+  std::size_t total_buckets() const { return nbuckets_; }
+  std::size_t shard_bytes() const { return shard_bytes_; }
+  std::uint64_t keys_loaded() const { return keys_loaded_; }  ///< this server's
+
+  /// Free the underlying window (collective).
+  void free_window() { win_->free_window(); }
+
+ private:
+  struct Locator {
+    std::uint32_t bucket = 0;
+    std::uint32_t slot = 0;
+  };
+
+  /// Fetch bucket `b` of `server` into bucket_buf_. Cached reads skip the
+  /// flush on a full hit (no network op was issued). Throws
+  /// fault::OpFailedError when the server is unreachable.
+  void read_bucket(int server, std::uint32_t b, bool cached, GetMeta* m);
+  /// Walk the chain on one server. True: key found, value copied out.
+  bool lookup_on(int server, std::uint64_t key, bool cached, std::byte* value_out,
+                 GetMeta* m);
+  /// Find the key's (bucket, slot) on one server, memoized (slot placement
+  /// is immutable after load).
+  bool locate_on(int server, std::uint64_t key, bool cached, Locator* loc);
+  bool get_impl(std::uint64_t key, std::byte* value_out, GetMeta* meta, bool cached);
+  std::uint32_t bucket_index(std::uint64_t key) const;
+  std::uint32_t initial_len(std::uint64_t key) const;
+  void load_shard();
+  void insert_local(std::uint64_t key);
+  std::byte* shard_bucket(std::uint32_t b) { return base_ + b * cfg_.layout.bucket_bytes(); }
+
+  rmasim::Process* p_;
+  StoreConfig cfg_;
+  Ring ring_;
+  std::unique_ptr<CachedWindow> win_;
+  std::byte* base_ = nullptr;
+  std::uint64_t generation_ = 1;
+  std::size_t main_buckets_ = 0;
+  std::size_t nbuckets_ = 0;
+  std::size_t shard_bytes_ = 0;
+  std::uint32_t overflow_cursor_ = 0;
+  std::uint64_t keys_loaded_ = 0;
+  std::vector<std::byte> bucket_buf_;
+  std::vector<std::byte> slot_buf_;
+  std::vector<std::unordered_map<std::uint64_t, Locator>> loc_cache_;  // per server
+};
+
+}  // namespace clampi::kv

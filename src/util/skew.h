@@ -1,0 +1,133 @@
+// Skewed-key samplers shared by the workload generators.
+//
+// Every synthetic workload in the repository that needs a popularity
+// distribution draws from here, so the bench workloads (bench/micro_workload.h)
+// and the KV workload engine (src/kv/workload.h) agree on what "skew s"
+// means and stay reproducible given a seed.
+//
+//   ZipfSampler          power-law ranks (rank 0 hottest), the classic
+//                        "millions of users, few hot keys" shape. O(1) per
+//                        draw via Hormann & Derflinger rejection-inversion
+//                        (the algorithm behind Apache Commons RNG's
+//                        RejectionInversionZipfSampler): no O(n) zeta
+//                        precomputation, so a sampler over 10^6+ keys costs
+//                        nothing to set up.
+//   NormalIndexSampler   the paper's Sec. IV-A micro-workload shape:
+//                        indices drawn from N(mu, sigma) clipped to [0, n)
+//                        by resampling (Box-Muller).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace clampi::util {
+
+/// Zipf(n, s): P(rank = k) proportional to 1 / (k+1)^s for k in [0, n).
+/// s = 0 degenerates to uniform; s around 0.99 is the YCSB default.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    CLAMPI_REQUIRE(n >= 1, "ZipfSampler: n must be >= 1");
+    CLAMPI_REQUIRE(s >= 0.0, "ZipfSampler: exponent must be >= 0");
+    if (s_ == 0.0) return;  // uniform fast path
+    h_x1_ = h_integral(1.5) - 1.0;
+    h_n_ = h_integral(static_cast<double>(n_) + 0.5);
+    threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+  }
+
+  std::uint64_t n() const { return n_; }
+  double exponent() const { return s_; }
+
+  /// Draw a rank in [0, n); rank 0 is the most popular.
+  template <class Rng>
+  std::uint64_t operator()(Rng& rng) const {
+    if (s_ == 0.0) return rng.bounded(n_);
+    // Rejection-inversion over the hat H(x): invert a uniform draw from
+    // [H(n + 1/2), H(3/2)] and accept k = round(x) when x is close enough
+    // (the common case, decided without evaluating h) or by the exact test.
+    for (;;) {
+      const double u = h_n_ + rng.uniform() * (h_x1_ - h_n_);
+      const double x = h_integral_inverse(u);
+      std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (static_cast<double>(k) - x <= threshold_) return k - 1;
+      if (u >= h_integral(static_cast<double>(k) + 0.5) - h(static_cast<double>(k))) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s, written via expm1/log1p helpers so the s -> 1
+  // limit is smooth (Hormann & Derflinger 1996, Sec. 4).
+  double h_integral(double x) const {
+    const double lx = std::log(x);
+    return helper2((1.0 - s_) * lx) * lx;
+  }
+  double h(double x) const { return std::exp(-s_ * std::log(x)); }
+  double h_integral_inverse(double x) const {
+    double t = x * (1.0 - s_);
+    if (t < -1.0) t = -1.0;  // round-off guard near the distribution head
+    return std::exp(helper1(t) * x);
+  }
+  /// log1p(x)/x, Taylor-expanded near 0.
+  static double helper1(double x) {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+  }
+  /// expm1(x)/x, Taylor-expanded near 0.
+  static double helper2(double x) {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 + x * x / 6.0;
+  }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double threshold_ = 0.0;
+};
+
+/// Indices from N(mu, sigma) clipped to [0, n) by resampling — the
+/// paper's micro-benchmark reuse distribution (Sec. IV-A).
+class NormalIndexSampler {
+ public:
+  NormalIndexSampler(std::uint64_t n, double mu, double sigma)
+      : n_(n), mu_(mu), sigma_(sigma) {
+    CLAMPI_REQUIRE(n >= 1, "NormalIndexSampler: n must be >= 1");
+  }
+
+  template <class Rng>
+  std::uint64_t operator()(Rng& rng) const {
+    for (;;) {
+      const double u1 = rng.uniform();
+      const double u2 = rng.uniform();
+      if (u1 <= 0.0) continue;
+      const double g =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+      const double v = mu_ + sigma_ * g;
+      if (v < 0.0 || v >= static_cast<double>(n_)) continue;
+      return static_cast<std::uint64_t>(v);
+    }
+  }
+
+ private:
+  std::uint64_t n_;
+  double mu_;
+  double sigma_;
+};
+
+/// SplitMix64 finalizer as a standalone u64 -> u64 bijection: scrambles a
+/// dense rank space into sparse key identifiers (and backs the
+/// deterministic value patterns in src/kv) without constructing a
+/// generator.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace clampi::util

@@ -1,0 +1,117 @@
+// Tests for the shared skewed-key samplers (util/skew.h): Zipf via
+// rejection-inversion, the normal index sampler, and the mix64 scrambler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/skew.h"
+
+namespace {
+
+using clampi::util::NormalIndexSampler;
+using clampi::util::Xoshiro256;
+using clampi::util::ZipfSampler;
+
+std::vector<std::uint64_t> histogram(const ZipfSampler& z, std::uint64_t draws,
+                                     std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> counts(z.n(), 0);
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    const std::uint64_t k = z(rng);
+    EXPECT_LT(k, z.n());
+    ++counts[k];
+  }
+  return counts;
+}
+
+/// Pearson chi-square statistic of the observed histogram against the
+/// exact Zipf pmf (computable directly for small n).
+double chi_square(const std::vector<std::uint64_t>& counts, double s,
+                  std::uint64_t draws) {
+  const std::uint64_t n = counts.size();
+  double norm = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) norm += std::pow(static_cast<double>(k), -s);
+  double stat = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    const double expected =
+        static_cast<double>(draws) * std::pow(static_cast<double>(k), -s) / norm;
+    const double diff = static_cast<double>(counts[k - 1]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(ZipfSampler, ChiSquareMatchesExactPmf) {
+  // n = 32 bins, 200k draws. 99.9th percentile of chi^2 with df = 31 is
+  // ~61.1; a correct sampler passes with the fixed seed, a subtly skewed
+  // one (wrong normalization, off-by-one rank) blows far past it.
+  for (const double s : {0.5, 0.99, 1.0, 1.5}) {
+    const ZipfSampler z(32, s);
+    const auto counts = histogram(z, 200000, /*seed=*/42);
+    EXPECT_LT(chi_square(counts, s, 200000), 61.1) << "s = " << s;
+  }
+}
+
+TEST(ZipfSampler, UniformWhenExponentZero) {
+  const ZipfSampler z(32, 0.0);
+  const auto counts = histogram(z, 200000, /*seed=*/7);
+  EXPECT_LT(chi_square(counts, 0.0, 200000), 61.1);
+}
+
+TEST(ZipfSampler, DeterministicGivenSeed) {
+  const ZipfSampler z(1000, 0.99);
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(z(a), z(b));
+}
+
+TEST(ZipfSampler, RankZeroIsHottest) {
+  const ZipfSampler z(std::uint64_t{1} << 20, 0.99);
+  Xoshiro256 rng(9);
+  std::uint64_t head = 0, tail = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t k = z(rng);
+    ASSERT_LT(k, std::uint64_t{1} << 20);
+    if (k == 0) ++head;
+    if (k >= std::uint64_t{1} << 19) ++tail;
+  }
+  // p(rank 0) ~ 1/H ~ 6.7% at s=0.99, n=2^20; the entire top half of the
+  // rank space together carries only a few percent.
+  EXPECT_GT(head, 2000u);
+  EXPECT_LT(tail, 5000u);
+}
+
+TEST(ZipfSampler, SingleElementAndValidation) {
+  const ZipfSampler one(1, 0.99);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(one(rng), 0u);
+  EXPECT_THROW(ZipfSampler(0, 1.0), clampi::util::ContractError);
+  EXPECT_THROW(ZipfSampler(10, -0.5), clampi::util::ContractError);
+}
+
+TEST(NormalIndexSampler, InRangeAndCentered) {
+  const std::uint64_t n = 1024;
+  const NormalIndexSampler sampler(n, n / 2.0, n / 8.0);
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = sampler(rng);
+    ASSERT_LT(v, n);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / 20000.0, n / 2.0, n / 32.0);
+}
+
+TEST(Mix64, ScramblesWithoutCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(clampi::util::mix64(i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);  // it's a bijection: no collisions ever
+  EXPECT_NE(clampi::util::mix64(0), 0u);
+}
+
+}  // namespace
