@@ -185,6 +185,10 @@ Schedule generate(std::uint64_t seed) {
     }
     s.steps.push_back(st);
   }
+  // Drawn last so the step stream above is unchanged for a given seed.
+  // 1/2/4 shards: every index/storage size this generator emits (and the
+  // adaptive min bounds in Schedule::config()) divides evenly by 4.
+  s.audit_shards = std::uint64_t{1} << rng.bounded(3);
   return s;
 }
 

@@ -63,6 +63,9 @@ constexpr MonoField kMonotone[] = {
     {&Stats::degraded_hits, "degraded_hits"},
     {&Stats::degraded_expired, "degraded_expired"},
     {&Stats::degraded_corrupt_drops, "degraded_corrupt_drops"},
+    {&Stats::shard_lock_acquisitions, "shard_lock_acquisitions"},
+    {&Stats::shard_lock_contended, "shard_lock_contended"},
+    {&Stats::cross_shard_ops, "cross_shard_ops"},
 };
 
 }  // namespace
@@ -234,7 +237,7 @@ void Oracle::check_audit(const CacheCore& core) {
   if (!rep.ok) {
     char msg[160];
     std::snprintf(msg, sizeof msg, "step %zu: audit: %s (live=%zu pending=%zu)",
-                  step_, rep.detail, rep.live, rep.pending);
+                  step_, rep.detail.c_str(), rep.live, rep.pending);
     fail(msg);
   }
 }

@@ -8,6 +8,8 @@
 
 #include "clampi/checksum.h"
 #include "util/align.h"
+#include "util/rng.h"
+#include "util/spin_mutex.h"
 
 namespace clampi {
 
@@ -28,6 +30,78 @@ class PhaseTimer {
  private:
   bool enabled_;
   double last_ = 0.0;
+};
+
+// Per-shard seed salt: Weyl increments of the golden-ratio constant give
+// every shard independent index hash functions and sampling streams while
+// shard 0 keeps the unsalted seeds — with cache_shards == 1 the single
+// shard is seeded exactly like the pre-sharding cache.
+constexpr std::uint64_t kShardSeedSalt = 0x9e3779b97f4a7c15ull;
+
+// Every Stats counter a shard can accumulate locally. sync_hot_counters()
+// folds the per-shard sums into the core's stats_ block as deltas, so
+// fields written by both a shard (under its lock) and the CachedWindow
+// driver (through mutable_stats()) add up instead of clobbering each
+// other. Fields only ever written through mutable_stats() sum to zero
+// across shards and fold as a no-op, so the list is simply *all* of them
+// — a new Stats counter works here without registration.
+constexpr std::uint64_t Stats::* kShardSummedCounters[] = {
+    &Stats::total_gets,
+    &Stats::hits_full,
+    &Stats::hits_pending,
+    &Stats::hits_partial,
+    &Stats::direct,
+    &Stats::conflicting,
+    &Stats::capacity,
+    &Stats::failing,
+    &Stats::failed_index,
+    &Stats::failed_capacity,
+    &Stats::evictions,
+    &Stats::eviction_rounds,
+    &Stats::visited_slots,
+    &Stats::visited_nonempty,
+    &Stats::invalidations,
+    &Stats::adjustments,
+    &Stats::index_probes,
+    &Stats::index_tag_false_positives,
+    &Stats::index_kick_steps,
+    &Stats::storage_fastbin_allocs,
+    &Stats::storage_tree_allocs,
+    &Stats::storage_pool_reuses,
+    &Stats::checksum_verifications,
+    &Stats::corruption_detected,
+    &Stats::self_heals,
+    &Stats::scrub_entries_scanned,
+    &Stats::scrub_corruptions,
+    &Stats::shadow_verifications,
+    &Stats::shadow_mismatches,
+    &Stats::put_invalidations,
+    &Stats::stale_puts_injected,
+    &Stats::storage_bitflips,
+    &Stats::breaker_trips,
+    &Stats::breaker_recloses,
+    &Stats::breaker_passthrough_gets,
+    &Stats::bytes_from_cache,
+    &Stats::bytes_from_network,
+    &Stats::injected_faults,
+    &Stats::retries,
+    &Stats::retry_giveups,
+    &Stats::fallback_hits,
+    &Stats::health_suspects,
+    &Stats::health_quarantines,
+    &Stats::health_probes,
+    &Stats::health_recoveries,
+    &Stats::fast_fails,
+    &Stats::degraded_hits,
+    &Stats::degraded_expired,
+    &Stats::degraded_corrupt_drops,
+    &Stats::shard_lock_acquisitions,
+    &Stats::shard_lock_contended,
+    &Stats::cross_shard_ops,
+    &Stats::kv_bucket_reads,
+    &Stats::kv_chain_reads,
+    &Stats::kv_version_rereads,
+    &Stats::put_invalidation_ops,
 };
 
 }  // namespace
@@ -69,22 +143,137 @@ const char* to_string(ScoreKind s) {
   return "?";
 }
 
+// One lock-striped partition: a full single-shard cache in miniature.
+// alignas(64) + one heap allocation per shard keep the mutex and the hot
+// members of different shards on different cache lines (no false sharing
+// between concurrently-held locks).
+struct alignas(64) CacheCore::Shard {
+  mutable util::SpinMutex mu;
+  /// False on a single-shard cache: the lock guards below become no-ops,
+  /// so cache_shards = 1 keeps the pre-sharding lock-free hot path (and
+  /// its single-threaded-only contract; see cache.h).
+  const bool locking;
+  EntryOps ops;  ///< per-shard index callbacks (stable address, see index)
+  CuckooIndex<EntryOps> index;
+  Storage storage;
+  std::vector<Entry> entries;
+  std::vector<std::uint32_t> free_ids;  ///< local ids (shard bits stripped)
+  std::vector<std::uint32_t> path;      ///< scratch: cuckoo insertion path
+  std::size_t live = 0;
+  std::size_t pending = 0;
+  std::uint64_t g = 0;   ///< |C_w.G| restricted to this shard's key stream
+  double ags = 0.0;      ///< running average get size of this shard
+  std::uint64_t verify_tick = 0;  ///< hit counter for verify_every_n sampling
+  util::Xoshiro256 rng;           ///< eviction sampling
+  CuckooIndex<EntryOps>::Counters counter_base;  ///< banked across resize()
+  mutable Stats stats;  ///< per-shard counters, folded by sync_hot_counters()
+
+  Shard(std::size_t index_slots, std::size_t storage_capacity, const Config& cfg,
+        std::uint64_t index_seed, std::uint64_t rng_seed, std::uint32_t shard_bits)
+      : locking(cfg.cache_shards > 1),
+        ops{this, shard_bits},
+        index(index_slots, cfg.cuckoo_arity, cfg.max_insert_iters, index_seed, &ops),
+        storage(storage_capacity),
+        rng(rng_seed) {}
+
+  /// Counting guard for the access/entry paths: a failed try_lock is the
+  /// contention signal, and both counters are bumped under the lock so
+  /// they never race.
+  class AccessLock {
+   public:
+    explicit AccessLock(const Shard& s) : s_(s) {
+      if (!s_.locking) return;
+      const bool contended = !s_.mu.try_lock();
+      if (contended) s_.mu.lock();
+      ++s_.stats.shard_lock_acquisitions;
+      if (contended) ++s_.stats.shard_lock_contended;
+    }
+    ~AccessLock() {
+      if (s_.locking) s_.mu.unlock();
+    }
+    AccessLock(const AccessLock&) = delete;
+    AccessLock& operator=(const AccessLock&) = delete;
+
+   private:
+    const Shard& s_;
+  };
+
+  /// Plain guard for maintenance walks and aggregate reads (not counted
+  /// as hot-path acquisitions).
+  class Lock {
+   public:
+    explicit Lock(const Shard& s) : s_(s) {
+      if (s_.locking) s_.mu.lock();
+    }
+    ~Lock() {
+      if (s_.locking) s_.mu.unlock();
+    }
+    Lock(const Lock&) = delete;
+    Lock& operator=(const Lock&) = delete;
+
+   private:
+    const Shard& s_;
+  };
+
+  /// Every shard lock, acquired in ascending shard order (the repo-wide
+  /// lock order for cross-shard operations) and released in reverse.
+  class AllLock {
+   public:
+    explicit AllLock(const std::vector<std::unique_ptr<Shard>>& shards)
+        : shards_(shards) {
+      if (!shards_.front()->locking) return;
+      for (const auto& sp : shards_) sp->mu.lock();
+    }
+    ~AllLock() {
+      if (!shards_.front()->locking) return;
+      for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+        (*it)->mu.unlock();
+      }
+    }
+    AllLock(const AllLock&) = delete;
+    AllLock& operator=(const AllLock&) = delete;
+
+   private:
+    const std::vector<std::unique_ptr<Shard>>& shards_;
+  };
+};
+
+std::uint64_t CacheCore::EntryOps::hash_key(std::uint32_t id) const {
+  // Per-shard ops: the shard is implicit, so decoding the (global) id is
+  // one shift — the probe loop never chases through the shard table.
+  return shard->entries[id >> shard_bits].hkey;
+}
+
 namespace {
-// Validation must precede the index/storage member constructors: a
-// malformed config (cuckoo_arity = 0, index_entries = 0) would trip their
-// internals before the constructor body ran.
+// Validation must precede the shard constructors: a malformed config
+// (cuckoo_arity = 0, index_entries = 0, non-power-of-two cache_shards)
+// would trip their internals before the constructor body ran.
 const Config& validated(const Config& cfg) {
   validate_config(cfg);
   return cfg;
 }
 }  // namespace
 
-CacheCore::CacheCore(const Config& cfg)
-    : cfg_(validated(cfg)),
-      ops_{this},
-      index_(cfg.index_entries, cfg.cuckoo_arity, cfg.max_insert_iters, cfg.seed, &ops_),
-      storage_(cfg.storage_bytes),
-      sample_rng_(cfg.seed ^ 0xa5a5a5a5a5a5a5a5ull) {}
+CacheCore::CacheCore(const Config& cfg) : cfg_(validated(cfg)) {
+  const std::size_t n = cfg_.cache_shards;
+  std::uint32_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  shard_bits_ = bits;
+  shard_mask_ = static_cast<std::uint32_t>(n - 1);
+  const std::size_t per_index = cfg_.index_entries / n;
+  const std::size_t per_storage = cfg_.storage_bytes / n;
+  shards_.reserve(n);
+  for (std::size_t si = 0; si < n; ++si) {
+    const std::uint64_t salt = static_cast<std::uint64_t>(si) * kShardSeedSalt;
+    shards_.push_back(std::make_unique<Shard>(
+        per_index, per_storage, cfg_, cfg_.seed ^ salt,
+        (cfg_.seed ^ 0xa5a5a5a5a5a5a5a5ull) ^ salt, shard_bits_));
+  }
+  shard_tab_.reserve(n);
+  for (const auto& sp : shards_) shard_tab_.push_back(sp.get());
+}
+
+CacheCore::~CacheCore() = default;
 
 std::uint64_t CacheCore::make_hkey(Key k) {
   // SplitMix-style mix of (target, disp); exact matching is done on the
@@ -97,45 +286,49 @@ std::uint64_t CacheCore::make_hkey(Key k) {
   return z ^ (z >> 31);
 }
 
-std::uint32_t CacheCore::alloc_entry() {
-  if (!free_ids_.empty()) {
-    const std::uint32_t id = free_ids_.back();
-    free_ids_.pop_back();
-    return id;
-  }
-  entries_.emplace_back();
-  return static_cast<std::uint32_t>(entries_.size() - 1);
+std::size_t CacheCore::shard_of(Key key) const {
+  return shard_of_hkey(make_hkey(key));
 }
 
-void CacheCore::release_entry(std::uint32_t id) {
-  Entry& e = entries_[id];
+std::uint32_t CacheCore::alloc_entry(Shard& s, std::size_t shard_idx) {
+  if (!s.free_ids.empty()) {
+    const std::uint32_t local = s.free_ids.back();
+    s.free_ids.pop_back();
+    return encode_id(shard_idx, local);
+  }
+  s.entries.emplace_back();
+  return encode_id(shard_idx, static_cast<std::uint32_t>(s.entries.size() - 1));
+}
+
+void CacheCore::release_entry(Shard& s, std::uint32_t id) {
+  Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(!e.pending, "releasing a PENDING entry");
   e.live = false;
   e.region = nullptr;
-  free_ids_.push_back(id);
+  s.free_ids.push_back(local_of(id));
 }
 
-void CacheCore::evict_entry(std::uint32_t id) {
-  Entry& e = entries_[id];
+void CacheCore::evict_entry(Shard& s, std::uint32_t id) {
+  Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(e.live, "evicting a dead entry");
   CLAMPI_ASSERT(!e.pending, "evicting a PENDING entry");
-  const bool erased = index_.erase(id);
+  const bool erased = s.index.erase(id);
   CLAMPI_ASSERT(erased, "live entry missing from the index");
-  storage_.dealloc(e.region);
-  --live_entries_;
-  release_entry(id);
-  ++stats_.evictions;
+  s.storage.dealloc(e.region);
+  --s.live;
+  release_entry(s, id);
+  ++s.stats.evictions;
 }
 
-double CacheCore::score(std::uint32_t id) const {
-  const Entry& e = entries_[id];
+double CacheCore::score_locked(const Shard& s, std::uint32_t id) const {
+  const Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(e.live, "scoring a dead entry");
   const double rt =
-      g_ == 0 ? 1.0 : static_cast<double>(e.last) / static_cast<double>(g_);
+      s.g == 0 ? 1.0 : static_cast<double>(e.last) / static_cast<double>(s.g);
   double rp = 1.0;
-  if (ags_ > 0.0) {
-    const double dc = static_cast<double>(storage_.adjacent_free(e.region));
-    rp = std::min(std::abs(ags_ - dc) / ags_, 1.0);
+  if (s.ags > 0.0) {
+    const double dc = static_cast<double>(s.storage.adjacent_free(e.region));
+    rp = std::min(std::abs(s.ags - dc) / s.ags, 1.0);
   }
   switch (cfg_.score) {
     case ScoreKind::kFull: return rp * rt;
@@ -145,10 +338,16 @@ double CacheCore::score(std::uint32_t id) const {
   return rp * rt;
 }
 
-bool CacheCore::capacity_eviction_round() {
-  ++stats_.eviction_rounds;
-  const std::size_t n = index_.nslots();
-  const std::size_t start = sample_rng_.bounded(n);
+double CacheCore::score(std::uint32_t id) const {
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  return score_locked(s, id);
+}
+
+bool CacheCore::capacity_eviction_round(Shard& s) {
+  ++s.stats.eviction_rounds;
+  const std::size_t n = s.index.nslots();
+  const std::size_t start = s.rng.bounded(n);
   const auto sample = static_cast<std::size_t>(cfg_.sample_size);
 
   std::uint32_t best = kNoEntry;
@@ -158,16 +357,16 @@ bool CacheCore::capacity_eviction_round() {
   // Scan M slots; if they were all empty, keep scanning until the first
   // non-empty one (v_i = max(M, k_i), Sec. III-D).
   while (scanned < n) {
-    const std::uint32_t id = index_.entry_at((start + scanned) % n);
+    const std::uint32_t id = s.index.entry_at((start + scanned) % n);
     ++scanned;
-    ++stats_.visited_slots;
+    ++s.stats.visited_slots;
     if (id != kNoEntry) {
-      ++stats_.visited_nonempty;
+      ++s.stats.visited_nonempty;
       ++nonempty;
-      if (!entries_[id].pending) {
-        const double s = score(id);
-        if (s < best_score) {
-          best_score = s;
+      if (!s.entries[local_of(id)].pending) {
+        const double sc = score_locked(s, id);
+        if (sc < best_score) {
+          best_score = sc;
           best = id;
         }
       }
@@ -175,50 +374,78 @@ bool CacheCore::capacity_eviction_round() {
     if (scanned >= sample && nonempty >= 1) break;
   }
   if (best == kNoEntry) return false;  // nothing evictable (e.g. all pending)
-  evict_entry(best);
+  evict_entry(s, best);
   return true;
 }
 
-bool CacheCore::insert_with_conflict_handling(std::uint32_t id, bool& conflicted) {
+bool CacheCore::insert_with_conflict_handling(Shard& s, std::uint32_t id,
+                                              bool& conflicted) {
   conflicted = false;
-  Entry& e = entries_[id];
-  if (index_.insert(e.hkey, id, &path_)) return true;
+  Entry& e = s.entries[local_of(id)];
+  if (s.index.insert(e.hkey, id, &s.path)) return true;
   conflicted = true;
   for (int attempt = 0; attempt < cfg_.max_conflict_evictions; ++attempt) {
     // Victim: the lowest-scoring evictable entry on the insertion path.
     std::uint32_t victim = kNoEntry;
     double victim_score = std::numeric_limits<double>::infinity();
-    for (const std::uint32_t cand : path_) {
-      if (cand == kNoEntry || !entries_[cand].live || entries_[cand].pending) continue;
-      const double s = score(cand);
-      if (s < victim_score) {
-        victim_score = s;
+    for (const std::uint32_t cand : s.path) {
+      if (cand == kNoEntry || !s.entries[local_of(cand)].live ||
+          s.entries[local_of(cand)].pending) {
+        continue;
+      }
+      const double sc = score_locked(s, cand);
+      if (sc < victim_score) {
+        victim_score = sc;
         victim = cand;
       }
     }
     if (victim == kNoEntry) return false;
-    evict_entry(victim);
-    if (index_.insert(e.hkey, id, &path_)) return true;
+    evict_entry(s, victim);
+    if (s.index.insert(e.hkey, id, &s.path)) return true;
   }
   return false;
 }
 
 CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dtype_sig,
                                     PhaseBreakdown* phases) {
+  return access_impl(key, bytes, dtype_sig, phases, nullptr);
+}
+
+CacheCore::Result CacheCore::access_read(Key key, std::size_t bytes, std::byte* dest,
+                                         std::uint64_t dtype_sig) {
+  return access_impl(key, bytes, dtype_sig, nullptr, dest);
+}
+
+CacheCore::Result CacheCore::access_impl(Key key, std::size_t bytes,
+                                         std::uint64_t dtype_sig,
+                                         PhaseBreakdown* phases, std::byte* dest) {
   CLAMPI_REQUIRE(bytes > 0, "zero-byte get_c");
   PhaseTimer timer(phases != nullptr && cfg_.collect_phase_timings);
 
-  ++g_;
-  ++stats_.total_gets;
-  ags_ += (static_cast<double>(bytes) - ags_) / static_cast<double>(g_);
-
   const std::uint64_t hkey = make_hkey(key);
+  // Resolved with a real branch, not a select: on a single-shard cache
+  // the pointer load must not wait out make_hkey's multiply chain (a cmov
+  // would carry that data dependency into every member access below).
+  std::size_t shard_idx = 0;
+  Shard* sp = shard_tab_.front();
+  if (shard_bits_ != 0) {
+    shard_idx = static_cast<std::size_t>(hkey >> (64 - shard_bits_));
+    sp = shard_tab_[shard_idx];
+  }
+  Shard& s = *sp;
+  Shard::AccessLock lock(s);
+
+  ++s.g;
+  ++s.stats.total_gets;
+  s.ags += (static_cast<double>(bytes) - s.ags) / static_cast<double>(s.g);
+
   int probes = 0;
-  std::uint32_t found = index_.lookup(
-      hkey, [&](std::uint32_t id) { return entries_[id].key == key; }, &probes);
+  std::uint32_t found = s.index.lookup(
+      hkey, [&](std::uint32_t id) { return s.entries[local_of(id)].key == key; },
+      &probes);
   // Probe counting lives here, not in the index: this store lands next to
   // the stats stores access() performs anyway, keeping lookup() store-free.
-  stats_.index_probes += static_cast<std::uint64_t>(probes);
+  s.stats.index_probes += static_cast<std::uint64_t>(probes);
   if (phases != nullptr) timer.lap(&phases->lookup_ns);
 
   Result res;
@@ -227,53 +454,60 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
   // verify_every_n == 0). On a mismatch the entry is quarantined and the
   // access falls through to the miss path below, which re-fetches and
   // re-caches the data — the caller never sees the corrupt bytes.
-  if (cfg_.verify_every_n != 0 && found != kNoEntry && !entries_[found].pending)
-      [[unlikely]] {
-    if (++verify_tick_ >= cfg_.verify_every_n) {
-      verify_tick_ = 0;
-      ++stats_.checksum_verifications;
-      const Entry& e = entries_[found];
-      if (entry_checksum(e) != e.csum) {
-        ++stats_.corruption_detected;
-        ++stats_.self_heals;
-        quarantine(found);
+  if (cfg_.verify_every_n != 0 && found != kNoEntry &&
+      !s.entries[local_of(found)].pending) [[unlikely]] {
+    if (++s.verify_tick >= cfg_.verify_every_n) {
+      s.verify_tick = 0;
+      ++s.stats.checksum_verifications;
+      const Entry& e = s.entries[local_of(found)];
+      if (entry_checksum(s, e) != e.csum) {
+        ++s.stats.corruption_detected;
+        ++s.stats.self_heals;
+        evict_entry(s, found);  // quarantine; lock already held
         res.healed = true;
         found = kNoEntry;  // continue as a miss: transparent re-fetch
       }
     }
   }
   if (found != kNoEntry) {
-    Entry& e = entries_[found];
-    e.last = g_;
+    Entry& e = s.entries[local_of(found)];
+    e.last = s.g;
     res.entry = found;
     if (bytes <= e.size) {
       // --- full hit ---
       res.cached_bytes = bytes;
-      stats_.bytes_from_cache += bytes;
+      s.stats.bytes_from_cache += bytes;
       if (e.pending) {
-        ++stats_.hits_pending;
+        ++s.stats.hits_pending;
         res.type = AccessType::kHitPending;
         res.serve_now = false;
       } else {
-        ++stats_.hits_full;
+        ++s.stats.hits_full;
         res.type = AccessType::kHit;
         res.serve_now = true;
+        // access_read(): copy out while the lock pins the region — a
+        // concurrent capacity eviction in this shard could otherwise free
+        // or reuse it between unlock and the caller's memcpy.
+        if (dest != nullptr) std::memcpy(dest, s.storage.data(e.region), bytes);
       }
       if (phases != nullptr) phases->type = res.type;
       return res;
     }
     // --- partial hit: prefix from cache, tail from the network ---
-    ++stats_.hits_partial;
+    ++s.stats.hits_partial;
     res.type = AccessType::kPartialHit;
     res.cached_bytes = e.size;
     res.serve_now = !e.pending;
-    stats_.bytes_from_cache += e.size;
-    stats_.bytes_from_network += bytes - e.size;
+    s.stats.bytes_from_cache += e.size;
+    s.stats.bytes_from_network += bytes - e.size;
+    if (dest != nullptr && res.serve_now && e.size > 0) {
+      std::memcpy(dest, s.storage.data(e.region), e.size);
+    }
     // Extend only if S_w has room (no evictions for extensions: keeps the
     // weak-caching overhead bound). Try in place first, then relocate.
-    bool extended = storage_.try_extend(e.region, bytes);
+    bool extended = s.storage.try_extend(e.region, bytes);
     if (!extended) {
-      Storage::Region* moved = storage_.alloc(bytes);
+      Storage::Region* moved = s.storage.alloc(bytes);
       if (moved != nullptr) {
         if (e.size > 0) {
           // Copy even when the entry is pending: an entry extended twice
@@ -283,9 +517,9 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
           // pending entry read back as zeros. For a miss-born pending
           // entry the copied bytes are garbage but harmless — its own
           // copy-in overwrites them at flush.)
-          std::memcpy(storage_.data(moved), storage_.data(e.region), e.size);
+          std::memcpy(s.storage.data(moved), s.storage.data(e.region), e.size);
         }
-        storage_.dealloc(e.region);
+        s.storage.dealloc(e.region);
         e.region = moved;
         extended = true;
       }
@@ -297,7 +531,7 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
       e.size = bytes;
       if (!e.pending) {
         e.pending = true;  // tail arrives at flush
-        ++pending_entries_;
+        ++s.pending;
       }
       res.extended = true;
       // The (possibly different) requester layout now defines the entry's
@@ -312,26 +546,27 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
   }
 
   // --- miss ---
-  stats_.bytes_from_network += bytes;
-  const std::uint32_t id = alloc_entry();
+  s.stats.bytes_from_network += bytes;
+  const std::uint32_t id = alloc_entry(s, shard_idx);
   // Born PENDING so the eviction rounds below never consider the entry a
   // victim while it has no region yet.
-  entries_[id] = Entry{key,     hkey, dtype_sig,        bytes,        nullptr,
-                       g_,      /*csum=*/0, /*stamp=*/0.0,
-                       /*pending=*/true, /*live=*/true};
-  ++pending_entries_;
+  s.entries[local_of(id)] = Entry{key,     hkey, dtype_sig,        bytes,        nullptr,
+                                  s.g,     /*csum=*/0, /*stamp=*/0.0,
+                                  /*pending=*/true, /*live=*/true};
+  ++s.pending;
   const auto discard_new_entry = [&] {
-    entries_[id].pending = false;
-    --pending_entries_;
-    entries_[id].live = false;
-    release_entry(id);
+    Entry& ne = s.entries[local_of(id)];
+    ne.pending = false;
+    --s.pending;
+    ne.live = false;
+    release_entry(s, id);
   };
 
   bool conflicted = false;
-  if (!insert_with_conflict_handling(id, conflicted)) {
+  if (!insert_with_conflict_handling(s, id, conflicted)) {
     discard_new_entry();
-    ++stats_.failing;
-    ++stats_.failed_index;
+    ++s.stats.failing;
+    ++s.stats.failed_index;
     res.type = AccessType::kFailing;
     res.entry = kNoEntry;
     if (phases != nullptr) {
@@ -348,43 +583,44 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
     }
   }
 
-  Storage::Region* region = storage_.alloc(bytes);
+  Storage::Region* region = s.storage.alloc(bytes);
   bool capacity_evicted = false;
-  // Requests larger than all of S_w can never fit; evicting for them
-  // would only throw away useful entries before failing anyway.
+  // Requests larger than all of this shard's S_w partition can never fit;
+  // evicting for them would only throw away useful entries before failing
+  // anyway.
   if (region == nullptr &&
-      util::round_up(bytes, util::kCacheLineBytes) <= storage_.capacity()) {
+      util::round_up(bytes, util::kCacheLineBytes) <= s.storage.capacity()) {
     // One sampled eviction round: constant per-access overhead ("weak
     // caching", Sec. III-D2). If space still cannot be made, fail.
-    capacity_evicted = capacity_eviction_round();
-    if (capacity_evicted) region = storage_.alloc(bytes);
+    capacity_evicted = capacity_eviction_round(s);
+    if (capacity_evicted) region = s.storage.alloc(bytes);
     if (phases != nullptr) timer.lap(&phases->eviction_ns);
   }
   if (region == nullptr) {
-    const bool erased = index_.erase(id);
+    const bool erased = s.index.erase(id);
     CLAMPI_ASSERT(erased, "fresh entry missing from the index");
     discard_new_entry();
-    ++stats_.failing;
-    ++stats_.failed_capacity;
+    ++s.stats.failing;
+    ++s.stats.failed_capacity;
     res.type = AccessType::kFailing;
     res.entry = kNoEntry;
     if (phases != nullptr) phases->type = res.type;
     return res;
   }
 
-  Entry& e = entries_[id];
+  Entry& e = s.entries[local_of(id)];
   e.region = region;  // pending already set at creation
-  ++live_entries_;
+  ++s.live;
   res.entry = id;
   res.inserted = true;
   if (conflicted) {
-    ++stats_.conflicting;
+    ++s.stats.conflicting;
     res.type = AccessType::kConflicting;
   } else if (capacity_evicted) {
-    ++stats_.capacity;
+    ++s.stats.capacity;
     res.type = AccessType::kCapacity;
   } else {
-    ++stats_.direct;
+    ++s.stats.direct;
     res.type = AccessType::kDirect;
   }
   if (phases != nullptr) {
@@ -395,153 +631,232 @@ CacheCore::Result CacheCore::access(Key key, std::size_t bytes, std::uint64_t dt
 }
 
 std::byte* CacheCore::entry_data(std::uint32_t id) {
-  Entry& e = entries_[id];
+  Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(e.live, "entry_data on a dead entry");
-  return storage_.data(e.region);
+  return s.storage.data(e.region);
 }
 
 const std::byte* CacheCore::entry_data(std::uint32_t id) const {
-  const Entry& e = entries_[id];
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  const Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(e.live, "entry_data on a dead entry");
-  return storage_.data(e.region);
+  return s.storage.data(e.region);
 }
 
 std::size_t CacheCore::entry_bytes(std::uint32_t id) const {
-  CLAMPI_ASSERT(entries_[id].live, "entry_bytes on a dead entry");
-  return entries_[id].size;
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  CLAMPI_ASSERT(s.entries[local_of(id)].live, "entry_bytes on a dead entry");
+  return s.entries[local_of(id)].size;
 }
 
 Key CacheCore::entry_key(std::uint32_t id) const {
-  CLAMPI_ASSERT(entries_[id].live, "entry_key on a dead entry");
-  return entries_[id].key;
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  CLAMPI_ASSERT(s.entries[local_of(id)].live, "entry_key on a dead entry");
+  return s.entries[local_of(id)].key;
 }
 
 std::uint64_t CacheCore::entry_signature(std::uint32_t id) const {
-  CLAMPI_ASSERT(entries_[id].live, "entry_signature on a dead entry");
-  return entries_[id].sig;
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  CLAMPI_ASSERT(s.entries[local_of(id)].live, "entry_signature on a dead entry");
+  return s.entries[local_of(id)].sig;
 }
 
 bool CacheCore::entry_pending(std::uint32_t id) const {
-  CLAMPI_ASSERT(entries_[id].live, "entry_pending on a dead entry");
-  return entries_[id].pending;
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  CLAMPI_ASSERT(s.entries[local_of(id)].live, "entry_pending on a dead entry");
+  return s.entries[local_of(id)].pending;
 }
 
 void CacheCore::mark_cached(std::uint32_t id) {
-  Entry& e = entries_[id];
+  Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(e.live, "mark_cached on a dead entry");
   if (e.pending) {
     e.pending = false;
-    CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
-    --pending_entries_;
+    CLAMPI_ASSERT(s.pending > 0, "pending counter underflow");
+    --s.pending;
   }
   // Seal the payload: the checksum is the entry's end-to-end integrity
   // witness from here until eviction (verified on sampled hits and by the
   // scrubber). Skipped entirely when no integrity feature will read it.
-  if (integrity_on()) e.csum = entry_checksum(e);
+  if (integrity_on()) e.csum = entry_checksum(s, e);
 }
 
 void CacheCore::set_entry_stamp(std::uint32_t id, double us) {
-  CLAMPI_ASSERT(entries_[id].live, "set_entry_stamp on a dead entry");
-  entries_[id].stamp = us;
+  Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  CLAMPI_ASSERT(s.entries[local_of(id)].live, "set_entry_stamp on a dead entry");
+  s.entries[local_of(id)].stamp = us;
 }
 
 double CacheCore::entry_stamp(std::uint32_t id) const {
-  CLAMPI_ASSERT(entries_[id].live, "entry_stamp on a dead entry");
-  return entries_[id].stamp;
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  CLAMPI_ASSERT(s.entries[local_of(id)].live, "entry_stamp on a dead entry");
+  return s.entries[local_of(id)].stamp;
 }
 
-std::uint64_t CacheCore::entry_checksum(const Entry& e) const {
-  return checksum64(storage_.data(e.region), e.size, cfg_.seed);
+std::uint64_t CacheCore::entry_checksum(const Shard& s, const Entry& e) const {
+  return checksum64(s.storage.data(e.region), e.size, cfg_.seed);
 }
 
 void CacheCore::quarantine(std::uint32_t id) {
   // Dropped through the regular eviction path: the index forgets the key,
   // the region returns to S_w, and the next get_c re-fetches from the
   // origin window. Cause-specific counters are the caller's business.
-  evict_entry(id);
+  Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  evict_entry(s, id);
 }
 
 std::size_t CacheCore::invalidate_overlap(int target, std::uint64_t disp,
                                           std::size_t bytes) {
-  std::size_t dropped = 0;
-  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
-    const Entry& e = entries_[id];
-    if (!e.live || e.pending || e.key.target != target) continue;
-    if (e.key.disp >= disp + bytes || e.key.disp + e.size <= disp) continue;
-    evict_entry(id);
-    ++dropped;
+  std::size_t total = 0;
+  bool counted = false;
+  // One shard at a time: overlapping keys can hash anywhere, but no two
+  // shard locks are ever held together on this path.
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = *shards_[si];
+    Shard::Lock lock(s);
+    if (!counted && shards_.size() > 1) {
+      ++s.stats.cross_shard_ops;
+      counted = true;
+    }
+    std::size_t dropped = 0;
+    for (std::uint32_t local = 0; local < s.entries.size(); ++local) {
+      const Entry& e = s.entries[local];
+      if (!e.live || e.pending || e.key.target != target) continue;
+      if (e.key.disp >= disp + bytes || e.key.disp + e.size <= disp) continue;
+      evict_entry(s, encode_id(si, local));
+      ++dropped;
+    }
+    s.stats.put_invalidations += dropped;
+    total += dropped;
   }
-  stats_.put_invalidations += dropped;
-  return dropped;
+  return total;
 }
 
-bool CacheCore::entry_invariants_ok(std::uint32_t id) const {
-  const Entry& e = entries_[id];
+bool CacheCore::entry_invariants_ok(const Shard& s, std::uint32_t id) const {
+  const Entry& e = s.entries[local_of(id)];
   if (e.region == nullptr || e.region->free) return false;
   if (e.region->size < e.size) return false;
   if (e.hkey != make_hkey(e.key)) return false;
-  const std::uint32_t found = index_.lookup(
-      e.hkey, [&](std::uint32_t cand) { return entries_[cand].key == e.key; });
+  const std::uint32_t found = s.index.lookup(
+      e.hkey, [&](std::uint32_t cand) { return s.entries[local_of(cand)].key == e.key; });
   return found == id;
 }
 
 CacheCore::ScrubReport CacheCore::scrub(std::size_t max_entries) {
   ScrubReport rep;
-  if (entries_.empty() || max_entries == 0) return rep;
-  // Walk the entry table as a ring from where the last slice stopped, so
-  // over successive epochs every live entry is visited regardless of the
-  // per-epoch budget (amortization math in docs/INTEGRITY.md).
-  const std::size_t nslots = entries_.size();
-  if (scrub_cursor_ >= nslots) scrub_cursor_ = 0;  // table shrank (invalidate)
-  std::size_t visited = 0;
-  while (visited < nslots && rep.scanned < max_entries) {
-    const std::uint32_t id = scrub_cursor_;
-    scrub_cursor_ = static_cast<std::uint32_t>((scrub_cursor_ + 1) % nslots);
-    ++visited;
-    const Entry& e = entries_[id];
-    if (!e.live || e.pending) continue;
-    ++rep.scanned;
-    if (!entry_invariants_ok(id)) {
-      rep.invariants_ok = false;
-      continue;  // structural damage: report, do not touch
-    }
-    if (integrity_on() && entry_checksum(e) != e.csum) {
-      ++rep.corrupted;
-      ++stats_.scrub_corruptions;
-      ++stats_.corruption_detected;
-      quarantine(id);
-    }
+  if (max_entries == 0) return rep;
+  const std::size_t nshards = shards_.size();
+  // The ring is the concatenation of the shards' entry tables; its length
+  // bounds the slots visited per call exactly like the single-table walk
+  // did, so a slice never loops over the same slot twice.
+  std::size_t total_slots = 0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    total_slots += sp->entries.size();
   }
-  stats_.scrub_entries_scanned += rep.scanned;
+  if (total_slots == 0) return rep;
+  if (scrub_shard_ >= nshards) scrub_shard_ = 0;
+  std::size_t visited = 0;
+  bool counted_cross = false;
+  std::size_t shards_entered = 0;
+  while (visited < total_slots && rep.scanned < max_entries) {
+    const std::size_t si = scrub_shard_;
+    Shard& s = *shards_[si];
+    Shard::Lock lock(s);
+    ++shards_entered;
+    if (shards_entered > 1 && !counted_cross) {
+      ++s.stats.cross_shard_ops;  // the slice crossed a shard boundary
+      counted_cross = true;
+    }
+    const std::size_t nslots = s.entries.size();
+    if (nslots == 0) {
+      scrub_shard_ = static_cast<std::uint32_t>((si + 1) % nshards);
+      scrub_cursor_ = 0;
+      continue;
+    }
+    if (scrub_cursor_ >= nslots) scrub_cursor_ = 0;  // table shrank (invalidate)
+    std::size_t scanned_here = 0;
+    while (visited < total_slots && rep.scanned < max_entries) {
+      const std::uint32_t local = scrub_cursor_;
+      ++visited;
+      const Entry& e = s.entries[local];
+      if (e.live && !e.pending) {
+        ++rep.scanned;
+        ++scanned_here;
+        const std::uint32_t gid = encode_id(si, local);
+        if (!entry_invariants_ok(s, gid)) {
+          rep.invariants_ok = false;  // structural damage: report, don't touch
+        } else if (integrity_on() && entry_checksum(s, e) != e.csum) {
+          ++rep.corrupted;
+          ++s.stats.scrub_corruptions;
+          ++s.stats.corruption_detected;
+          evict_entry(s, gid);  // quarantine; lock already held
+        }
+      }
+      ++scrub_cursor_;
+      if (scrub_cursor_ >= nslots) {
+        scrub_cursor_ = 0;
+        if (nshards > 1) {
+          // End of this shard's table: the ring continues next shard.
+          scrub_shard_ = static_cast<std::uint32_t>((si + 1) % nshards);
+          break;
+        }
+      }
+    }
+    s.stats.scrub_entries_scanned += scanned_here;
+  }
   return rep;
 }
 
 std::uint32_t CacheCore::find_cached(Key key) const {
-  const std::uint32_t found = index_.lookup(
-      make_hkey(key), [&](std::uint32_t id) { return entries_[id].key == key; });
-  if (found == kNoEntry || entries_[found].pending) return kNoEntry;
+  const std::uint64_t hkey = make_hkey(key);
+  const Shard& s = *shard_tab_[shard_of_hkey(hkey)];
+  Shard::AccessLock lock(s);
+  const std::uint32_t found = s.index.lookup(
+      hkey, [&](std::uint32_t id) { return s.entries[local_of(id)].key == key; });
+  if (found == kNoEntry || s.entries[local_of(found)].pending) return kNoEntry;
   return found;
 }
 
-void CacheCore::drop_failed(std::uint32_t id) {
-  Entry& e = entries_[id];
+void CacheCore::drop_failed_locked(Shard& s, std::uint32_t id) {
+  Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(e.live, "drop_failed on a dead entry");
   if (e.pending) {
     e.pending = false;
-    CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
-    --pending_entries_;
+    CLAMPI_ASSERT(s.pending > 0, "pending counter underflow");
+    --s.pending;
   }
-  const bool erased = index_.erase(id);
+  const bool erased = s.index.erase(id);
   CLAMPI_ASSERT(erased, "live entry missing from the index");
-  storage_.dealloc(e.region);
-  --live_entries_;
-  release_entry(id);
+  s.storage.dealloc(e.region);
+  --s.live;
+  release_entry(s, id);
   // Not an eviction: the entry never held valid data.
+}
+
+void CacheCore::drop_failed(std::uint32_t id) {
+  Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  drop_failed_locked(s, id);
 }
 
 void CacheCore::revert_extension(std::uint32_t id, std::size_t prev_bytes,
                                  std::uint64_t prev_sig, bool prev_pending) {
-  Entry& e = entries_[id];
+  Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  Entry& e = s.entries[local_of(id)];
   CLAMPI_ASSERT(e.live, "revert_extension on a dead entry");
   CLAMPI_ASSERT(e.pending, "revert_extension on a non-pending entry");
   CLAMPI_ASSERT(prev_bytes <= e.size, "revert_extension grows the entry");
@@ -549,42 +864,61 @@ void CacheCore::revert_extension(std::uint32_t id, std::size_t prev_bytes,
   e.sig = prev_sig;
   if (!prev_pending) {
     e.pending = false;
-    CLAMPI_ASSERT(pending_entries_ > 0, "pending counter underflow");
-    --pending_entries_;
+    CLAMPI_ASSERT(s.pending > 0, "pending counter underflow");
+    --s.pending;
     // Re-seal: the checksum covers e.size bytes, which just shrank back.
-    if (integrity_on()) e.csum = entry_checksum(e);
+    if (integrity_on()) e.csum = entry_checksum(s, e);
   }
   // The (possibly relocated) region stays larger than needed; the
   // allocator reclaims the slack at dealloc time.
 }
 
 std::size_t CacheCore::drop_pending(int target) {
-  std::size_t dropped = 0;
-  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
-    const Entry& e = entries_[id];
-    if (!e.live || !e.pending) continue;
-    if (target >= 0 && e.key.target != target) continue;
-    drop_failed(id);
-    ++dropped;
+  std::size_t total = 0;
+  bool counted = false;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = *shards_[si];
+    Shard::Lock lock(s);
+    if (!counted && shards_.size() > 1) {
+      ++s.stats.cross_shard_ops;
+      counted = true;
+    }
+    for (std::uint32_t local = 0; local < s.entries.size(); ++local) {
+      const Entry& e = s.entries[local];
+      if (!e.live || !e.pending) continue;
+      if (target >= 0 && e.key.target != target) continue;
+      drop_failed_locked(s, encode_id(si, local));
+      ++total;
+    }
   }
-  return dropped;
+  return total;
 }
 
 void CacheCore::invalidate() {
-  CLAMPI_REQUIRE(pending_entries_ == 0,
+  Shard::AllLock all(shards_);
+  std::size_t pending = 0;
+  for (const auto& sp : shards_) pending += sp->pending;
+  CLAMPI_REQUIRE(pending == 0,
                  "invalidate with PENDING entries outstanding (flush first)");
-  index_.clear();
-  storage_.reset();
-  entries_.clear();
-  free_ids_.clear();
-  live_entries_ = 0;
-  ++stats_.invalidations;
-  // g_ and ags_ deliberately persist: C_w.G counts gets over the window's
-  // lifetime (Sec. III-A/III-D1).
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    s.index.clear();
+    s.storage.reset();
+    s.entries.clear();
+    s.free_ids.clear();
+    s.live = 0;
+    // s.g and s.ags deliberately persist: C_w.G counts gets over the
+    // window's lifetime (Sec. III-A/III-D1).
+  }
+  ++shards_[0]->stats.invalidations;
+  if (shards_.size() > 1) ++shards_[0]->stats.cross_shard_ops;
 }
 
 std::size_t CacheCore::invalidate_retaining(const std::vector<int>& keep_targets) {
-  CLAMPI_REQUIRE(pending_entries_ == 0,
+  Shard::AllLock all(shards_);
+  std::size_t pending = 0;
+  for (const auto& sp : shards_) pending += sp->pending;
+  CLAMPI_REQUIRE(pending == 0,
                  "invalidate_retaining with PENDING entries outstanding (flush first)");
   const auto retained = [&](std::int32_t t) {
     for (const int k : keep_targets) {
@@ -593,106 +927,240 @@ std::size_t CacheCore::invalidate_retaining(const std::vector<int>& keep_targets
     return false;
   };
   std::size_t kept = 0;
-  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
-    Entry& e = entries_[id];
-    if (!e.live) continue;
-    if (retained(e.key.target)) {
-      ++kept;
-      continue;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    Shard& s = *shards_[si];
+    for (std::uint32_t local = 0; local < s.entries.size(); ++local) {
+      Entry& e = s.entries[local];
+      if (!e.live) continue;
+      if (retained(e.key.target)) {
+        ++kept;
+        continue;
+      }
+      // Dropped like evict_entry, but not counted as an eviction: this is
+      // an invalidation, not capacity/conflict pressure.
+      const bool erased = s.index.erase(encode_id(si, local));
+      CLAMPI_ASSERT(erased, "live entry missing from the index");
+      s.storage.dealloc(e.region);
+      --s.live;
+      release_entry(s, encode_id(si, local));
     }
-    // Dropped like evict_entry, but not counted as an eviction: this is an
-    // invalidation, not capacity/conflict pressure.
-    const bool erased = index_.erase(id);
-    CLAMPI_ASSERT(erased, "live entry missing from the index");
-    storage_.dealloc(e.region);
-    --live_entries_;
-    release_entry(id);
   }
-  ++stats_.invalidations;
+  ++shards_[0]->stats.invalidations;
+  if (shards_.size() > 1) ++shards_[0]->stats.cross_shard_ops;
   return kept;
 }
 
 void CacheCore::sync_hot_counters() const {
-  const auto& ic = index_.counters();
-  stats_.index_tag_false_positives =
-      index_counter_base_.tag_false_positives + ic.tag_false_positives;
-  stats_.index_kick_steps = index_counter_base_.kick_steps + ic.kick_steps;
-  const auto& sc = storage_.counters();  // monotonic across rebuild/reset
-  stats_.storage_fastbin_allocs = sc.fastbin_allocs;
-  stats_.storage_tree_allocs = sc.tree_allocs;
-  stats_.storage_pool_reuses = sc.pool_reuses;
+  // Fold the live index/storage counters into each shard's stats block
+  // (overwrite: base + live, both monotone), then fold every per-shard
+  // counter into stats_ as a delta against the previous fold — direct
+  // writes to stats_ through mutable_stats() survive untouched.
+  for (const auto& sp : shards_) {
+    const Shard& s = *sp;
+    const auto& ic = s.index.counters();
+    s.stats.index_tag_false_positives =
+        s.counter_base.tag_false_positives + ic.tag_false_positives;
+    s.stats.index_kick_steps = s.counter_base.kick_steps + ic.kick_steps;
+    const auto& sc = s.storage.counters();  // monotonic across rebuild/reset
+    s.stats.storage_fastbin_allocs = sc.fastbin_allocs;
+    s.stats.storage_tree_allocs = sc.tree_allocs;
+    s.stats.storage_pool_reuses = sc.pool_reuses;
+  }
+  for (const auto field : kShardSummedCounters) {
+    std::uint64_t sum = 0;
+    for (const auto& sp : shards_) sum += sp->stats.*field;
+    stats_.*field += sum - shard_prev_.*field;
+    shard_prev_.*field = sum;
+  }
 }
 
 void CacheCore::resize(std::size_t index_entries, std::size_t storage_bytes) {
-  CLAMPI_REQUIRE(pending_entries_ == 0,
+  Shard::AllLock all(shards_);
+  std::size_t pending = 0;
+  for (const auto& sp : shards_) pending += sp->pending;
+  CLAMPI_REQUIRE(pending == 0,
                  "resize with PENDING entries outstanding (flush first)");
-  // Bank the outgoing index's counters: the new CuckooIndex restarts at 0.
-  const auto& ic = index_.counters();
-  index_counter_base_.tag_false_positives += ic.tag_false_positives;
-  index_counter_base_.kick_steps += ic.kick_steps;
-  cfg_.index_entries = index_entries;
-  cfg_.storage_bytes = storage_bytes;
-  index_ = CuckooIndex<EntryOps>(index_entries, cfg_.cuckoo_arity, cfg_.max_insert_iters,
-                                 cfg_.seed, &ops_);
-  storage_.rebuild(storage_bytes);
-  entries_.clear();
-  free_ids_.clear();
-  live_entries_ = 0;
-  ++stats_.invalidations;
-  ++stats_.adjustments;
+  const std::size_t n = shards_.size();
+  // Round to the sharded partition grid (identity at n == 1); a shard
+  // index can never be empty.
+  std::size_t per_index = index_entries / n;
+  if (per_index == 0) per_index = 1;
+  std::size_t per_storage = storage_bytes / n;
+  cfg_.index_entries = per_index * n;
+  cfg_.storage_bytes = per_storage * n;
+  for (std::size_t si = 0; si < n; ++si) {
+    Shard& s = *shards_[si];
+    // Bank the outgoing index's counters: the new CuckooIndex restarts at 0.
+    const auto& ic = s.index.counters();
+    s.counter_base.tag_false_positives += ic.tag_false_positives;
+    s.counter_base.kick_steps += ic.kick_steps;
+    const std::uint64_t salt = static_cast<std::uint64_t>(si) * kShardSeedSalt;
+    s.index = CuckooIndex<EntryOps>(per_index, cfg_.cuckoo_arity,
+                                    cfg_.max_insert_iters, cfg_.seed ^ salt, &s.ops);
+    s.storage.rebuild(per_storage);
+    s.entries.clear();
+    s.free_ids.clear();
+    s.live = 0;
+  }
+  ++shards_[0]->stats.invalidations;
+  ++shards_[0]->stats.adjustments;
+  if (n > 1) ++shards_[0]->stats.cross_shard_ops;
+}
+
+std::size_t CacheCore::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    total += sp->storage.capacity();
+  }
+  return total;
+}
+
+std::size_t CacheCore::free_bytes() const {
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    total += sp->storage.free_bytes();
+  }
+  return total;
+}
+
+std::size_t CacheCore::cached_entries() const {
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    total += sp->live;
+  }
+  return total;
+}
+
+std::size_t CacheCore::pending_entries() const {
+  std::size_t total = 0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    total += sp->pending;
+  }
+  return total;
+}
+
+std::uint64_t CacheCore::processed_gets() const {
+  std::uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    total += sp->g;
+  }
+  return total;
+}
+
+double CacheCore::average_get_size() const {
+  if (shards_.size() == 1) {
+    Shard::Lock lock(*shards_[0]);
+    return shards_[0]->ags;
+  }
+  std::uint64_t total_g = 0;
+  double weighted = 0.0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    total_g += sp->g;
+    weighted += static_cast<double>(sp->g) * sp->ags;
+  }
+  return total_g == 0 ? 0.0 : weighted / static_cast<double>(total_g);
+}
+
+std::size_t CacheCore::entry_slots() const {
+  std::size_t largest = 0;
+  for (const auto& sp : shards_) {
+    Shard::Lock lock(*sp);
+    largest = std::max(largest, sp->entries.size());
+  }
+  return largest << shard_bits_;
+}
+
+bool CacheCore::entry_live(std::uint32_t id) const {
+  const Shard& s = shard_for(id);
+  Shard::Lock lock(s);
+  const std::uint32_t local = local_of(id);
+  // Ids are shard-encoded, so the iteration surface [0, entry_slots())
+  // contains encodings past a smaller shard's table end.
+  return local < s.entries.size() && s.entries[local].live;
 }
 
 bool CacheCore::entry_checksum_ok(std::uint32_t id) const {
-  const Entry& e = entries_[id];
+  const Shard& s = shard_for(id);
+  Shard::AccessLock lock(s);
+  const Entry& e = s.entries[local_of(id)];
   if (!e.live || e.pending) return false;
   if (!integrity_on()) return true;
-  return entry_checksum(e) == e.csum;
+  return entry_checksum(s, e) == e.csum;
 }
 
 CacheCore::AuditReport CacheCore::audit() const {
   AuditReport rep;
-  const auto fail = [&rep](const char* what) {
-    rep.ok = false;
-    if (rep.detail[0] == '\0') rep.detail = what;
-  };
-  if (!index_.validate()) fail("cuckoo index internal invariants");
-  if (!storage_.validate()) fail("storage allocator internal invariants");
-  if (index_.occupied() != live_entries_) fail("index occupancy != live entries");
-  for (std::uint32_t id = 0; id < entries_.size(); ++id) {
-    const Entry& e = entries_[id];
-    if (!e.live) continue;
-    ++rep.live;
-    if (e.pending) ++rep.pending;
-    if (e.region == nullptr || e.region->free) {
-      fail("live entry with no (or freed) storage region");
-      continue;
+  Shard::AllLock all(shards_);
+  const std::size_t n = shards_.size();
+  if (n > 1) ++shards_[0]->stats.cross_shard_ops;
+  for (std::size_t si = 0; si < n; ++si) {
+    const Shard& s = *shards_[si];
+    const auto fail = [&rep, si](const char* what) {
+      rep.ok = false;
+      if (rep.detail.empty()) {
+        rep.detail = "shard " + std::to_string(si) + ": " + what;
+      }
+    };
+    if (!s.index.validate()) fail("cuckoo index internal invariants");
+    if (!s.storage.validate()) fail("storage allocator internal invariants");
+    // Partition invariants: every shard holds exactly 1/N of I_w and S_w.
+    if (s.index.nslots() * n != cfg_.index_entries) {
+      fail("index partition size != index_entries / cache_shards");
     }
-    if (e.region->size < e.size) fail("entry payload larger than its region");
-    if (e.hkey != make_hkey(e.key)) fail("stale cached hash key");
-    // The entry must be findable through the index.
-    const std::uint32_t found = index_.lookup(
-        e.hkey, [&](std::uint32_t cand) { return entries_[cand].key == e.key; });
-    if (found != id) fail("live entry not findable through the index");
-  }
-  if (rep.live != live_entries_) fail("live-entry counter drift");
-  if (rep.pending != pending_entries_) fail("pending-entry counter drift");
-  if (storage_.allocated_regions() != live_entries_) {
-    fail("allocated regions != live entries (leak or double-free)");
-  }
-  // Free-list cross-check: every slot is either live or on the free list,
-  // free ids are unique, and none of them is live.
-  if (rep.live + free_ids_.size() != entries_.size()) {
-    fail("live + free-list != entry slots");
-  }
-  std::vector<bool> on_free(entries_.size(), false);
-  for (const std::uint32_t id : free_ids_) {
-    if (id >= entries_.size()) {
-      fail("free-list id out of range");
-      continue;
+    if (s.storage.capacity() !=
+        util::round_up(cfg_.storage_bytes / n, util::kCacheLineBytes)) {
+      fail("storage partition size != storage_bytes / cache_shards");
     }
-    if (entries_[id].live) fail("live entry on the free list");
-    if (on_free[id]) fail("duplicate id on the free list");
-    on_free[id] = true;
+    if (s.index.occupied() != s.live) fail("index occupancy != live entries");
+    std::size_t live_here = 0;
+    std::size_t pending_here = 0;
+    for (std::uint32_t local = 0; local < s.entries.size(); ++local) {
+      const Entry& e = s.entries[local];
+      if (!e.live) continue;
+      ++live_here;
+      if (e.pending) ++pending_here;
+      if (e.region == nullptr || e.region->free) {
+        fail("live entry with no (or freed) storage region");
+        continue;
+      }
+      if (e.region->size < e.size) fail("entry payload larger than its region");
+      if (e.hkey != make_hkey(e.key)) fail("stale cached hash key");
+      if (shard_of_hkey(e.hkey) != si) fail("entry routed to the wrong shard");
+      // The entry must be findable through its shard's index.
+      const std::uint32_t gid = encode_id(si, local);
+      const std::uint32_t found = s.index.lookup(
+          e.hkey,
+          [&](std::uint32_t cand) { return s.entries[local_of(cand)].key == e.key; });
+      if (found != gid) fail("live entry not findable through the index");
+    }
+    rep.live += live_here;
+    rep.pending += pending_here;
+    if (live_here != s.live) fail("live-entry counter drift");
+    if (pending_here != s.pending) fail("pending-entry counter drift");
+    if (s.storage.allocated_regions() != s.live) {
+      fail("allocated regions != live entries (leak or double-free)");
+    }
+    // Free-list cross-check: every slot is either live or on the free
+    // list, free ids are unique, and none of them is live.
+    if (live_here + s.free_ids.size() != s.entries.size()) {
+      fail("live + free-list != entry slots");
+    }
+    std::vector<bool> on_free(s.entries.size(), false);
+    for (const std::uint32_t local : s.free_ids) {
+      if (local >= s.entries.size()) {
+        fail("free-list id out of range");
+        continue;
+      }
+      if (s.entries[local].live) fail("live entry on the free list");
+      if (on_free[local]) fail("duplicate id on the free list");
+      on_free[local] = true;
+    }
   }
   return rep;
 }

@@ -1,0 +1,86 @@
+// Spin-then-park mutex for the sharded cache core (docs/PERF.md).
+//
+// Shard critical sections are tens of nanoseconds (an index probe plus a
+// handful of counter stores), so a parked-only std::mutex pays a futex
+// round trip for contention windows that a few PAUSE iterations would
+// ride out, while a pure spinlock burns a core when a section does go
+// long (a capacity-eviction round, a cross-shard audit holding all
+// locks). This lock spins briefly with exponential backoff, then parks on
+// the state word via C++20 atomic wait/notify (futex-backed on Linux).
+//
+// State word: 0 = free, 1 = locked, 2 = locked with (possible) waiters —
+// the classic three-state futex mutex. unlock() only issues a notify when
+// a waiter may exist, so the uncontended round trip is one CAS + one
+// store.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace clampi::util {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinMutex {
+ public:
+  SpinMutex() = default;
+  SpinMutex(const SpinMutex&) = delete;
+  SpinMutex& operator=(const SpinMutex&) = delete;
+
+  /// One shot, no spinning. The sharded hot path uses the failure as its
+  /// contention signal (Stats::shard_lock_contended) before falling back
+  /// to lock().
+  bool try_lock() noexcept {
+    std::uint32_t expected = 0;
+    return state_.compare_exchange_strong(expected, 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+  void lock() noexcept {
+    std::uint32_t c = 0;
+    if (state_.compare_exchange_strong(c, 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    // Bounded spin: re-check with plain loads (no cache-line ping-pong
+    // from failed CASes) and back off exponentially.
+    int spins = 1;
+    for (int round = 0; round < kSpinRounds; ++round) {
+      for (int i = 0; i < spins; ++i) cpu_relax();
+      if (spins < kMaxSpinBatch) spins <<= 1;
+      if (state_.load(std::memory_order_relaxed) == 0) {
+        c = 0;
+        if (state_.compare_exchange_weak(c, 1, std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+      }
+    }
+    // Park. From here on we always install state 2, so unlock() knows to
+    // notify; the final exchange(0) in unlock resets the waiter hint.
+    while (state_.exchange(2, std::memory_order_acquire) != 0) {
+      state_.wait(2, std::memory_order_relaxed);
+    }
+  }
+
+  void unlock() noexcept {
+    if (state_.exchange(0, std::memory_order_release) == 2) {
+      state_.notify_one();
+    }
+  }
+
+ private:
+  static constexpr int kSpinRounds = 6;     // ~1+2+4+...+32 PAUSEs total
+  static constexpr int kMaxSpinBatch = 32;
+  std::atomic<std::uint32_t> state_{0};
+};
+
+}  // namespace clampi::util

@@ -1,0 +1,296 @@
+// Sharded concurrent cache core (docs/PERF.md "Sharding").
+//
+// Covers the three legs of the sharding contract:
+//   1. shard boundaries — fingerprint -> shard routing, the shard-encoded
+//      entry ids, and the single-shard (cache_shards = 1) degenerate case;
+//   2. cross-shard maintenance — invalidate_overlap / invalidate / scrub /
+//      audit spanning every shard, with the cross_shard_ops counter;
+//   3. an 8-thread differential hammer: each thread drives its own key
+//      set (the same-key external-serialization contract) against a
+//      per-key sequential shadow model, with a concurrent auditor taking
+//      all shard locks, under ThreadSanitizer in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "clampi/cache.h"
+#include "clampi/config.h"
+
+namespace {
+
+using namespace clampi;
+
+Config sharded_config(std::size_t shards) {
+  Config cfg;
+  cfg.cache_shards = shards;
+  cfg.index_entries = 1024;
+  cfg.storage_bytes = std::size_t{256} << 10;
+  return cfg;
+}
+
+/// Deterministic payload: every byte of `key`'s value is a function of the
+/// key and the offset, so a served prefix is checkable at any length
+/// without tracking what was written when.
+std::byte pattern_byte(Key key, std::size_t off) {
+  const auto v = static_cast<std::uint64_t>(key.target) * 0x9e3779b97f4a7c15ull +
+                 key.disp * 0xbf58476d1ce4e5b9ull + off;
+  return static_cast<std::byte>((v ^ (v >> 17)) & 0xff);
+}
+
+void fill_pattern(std::byte* dst, Key key, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) dst[i] = pattern_byte(key, i);
+}
+
+bool check_pattern(const std::byte* got, Key key, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    if (got[i] != pattern_byte(key, i)) return false;
+  }
+  return true;
+}
+
+/// Miss-path completion: fill the pending entry with the key's pattern and
+/// seal it, standing in for the network copy-in the window driver does.
+void complete(CacheCore& core, const CacheCore::Result& r, Key key) {
+  if (r.entry == kNoEntry || (!r.inserted && !r.extended)) return;
+  fill_pattern(core.entry_data(r.entry), key, core.entry_bytes(r.entry));
+  core.mark_cached(r.entry);
+}
+
+TEST(ShardBoundary, RoutingMatchesEntryEncoding) {
+  CacheCore core(sharded_config(8));
+  ASSERT_EQ(core.shards(), 8u);
+  std::set<std::size_t> seen;
+  for (int t = 0; t < 4; ++t) {
+    for (std::uint64_t d = 0; d < 64; ++d) {
+      const Key key{t, d * 64};
+      const std::size_t shard = core.shard_of(key);
+      ASSERT_LT(shard, core.shards());
+      seen.insert(shard);
+      const auto r = core.access(key, 64);
+      ASSERT_NE(r.entry, kNoEntry);
+      // Entry ids carry their shard in the low bits — the decode the
+      // whole sharded core hangs off.
+      EXPECT_EQ(r.entry & (core.shards() - 1), shard);
+      complete(core, r, key);
+    }
+  }
+  // 256 SplitMix-spread keys across 8 shards: every shard gets traffic.
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_TRUE(core.validate());
+}
+
+TEST(ShardBoundary, SingleShardIsTheIdentityEncoding) {
+  CacheCore core(sharded_config(1));
+  ASSERT_EQ(core.shards(), 1u);
+  // With one shard every key routes to shard 0 and ids are the dense
+  // pre-sharding allocation order: 0, 1, 2, ...
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    const Key key{1, std::uint64_t{i} * 64};
+    EXPECT_EQ(core.shard_of(key), 0u);
+    const auto r = core.access(key, 64);
+    ASSERT_TRUE(r.inserted);
+    EXPECT_EQ(r.entry, i);
+    complete(core, r, key);
+  }
+  // Single-shard stats are bit-exact with the pre-sharding cache: no
+  // cross-shard operations can ever be counted.
+  core.invalidate();
+  (void)core.audit();
+  (void)core.scrub(64);
+  EXPECT_EQ(core.stats().cross_shard_ops, 0u);
+}
+
+TEST(ShardBoundary, DeterministicAcrossInstances) {
+  // Two cores with the same config replay the same op stream identically
+  // — shard seeding is pure config (no global state, no addresses).
+  CacheCore a(sharded_config(4));
+  CacheCore b(sharded_config(4));
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const Key key{static_cast<std::int32_t>(i % 3), (i * 192) % 8192};
+    const std::size_t bytes = 32 + (i % 7) * 48;
+    const auto ra = a.access(key, bytes);
+    const auto rb = b.access(key, bytes);
+    EXPECT_EQ(ra.type, rb.type) << i;
+    EXPECT_EQ(ra.entry, rb.entry) << i;
+    EXPECT_EQ(ra.cached_bytes, rb.cached_bytes) << i;
+    complete(a, ra, key);
+    complete(b, rb, key);
+  }
+  EXPECT_EQ(a.stats().hits_full, b.stats().hits_full);
+  EXPECT_EQ(a.stats().evictions, b.stats().evictions);
+  EXPECT_EQ(a.cached_entries(), b.cached_entries());
+}
+
+TEST(CrossShard, InvalidateOverlapSpansShards) {
+  CacheCore core(sharded_config(4));
+  const int target = 1;
+  std::set<std::size_t> shards_hit;
+  std::size_t live = 0;
+  for (std::uint64_t d = 0; d < 48; ++d) {
+    const Key key{target, d * 64};
+    shards_hit.insert(core.shard_of(key));
+    const auto r = core.access(key, 64);
+    if (r.inserted) {
+      complete(core, r, key);
+      ++live;
+    }
+  }
+  ASSERT_GT(shards_hit.size(), 1u) << "keys must span shards for this test";
+  ASSERT_EQ(core.cached_entries(), live);
+  // One overlapping put covering the whole range: every cached entry for
+  // the target drops, no matter which shard holds it.
+  const std::size_t dropped = core.invalidate_overlap(target, 0, 48 * 64);
+  EXPECT_EQ(dropped, live);
+  EXPECT_EQ(core.cached_entries(), 0u);
+  for (std::uint64_t d = 0; d < 48; ++d) {
+    EXPECT_EQ(core.find_cached(Key{target, d * 64}), kNoEntry);
+  }
+  const Stats& st = core.stats();
+  EXPECT_EQ(st.put_invalidations, dropped);
+  EXPECT_GE(st.cross_shard_ops, 1u);
+  EXPECT_TRUE(core.validate());
+}
+
+TEST(CrossShard, ScrubWalksEveryShard) {
+  Config cfg = sharded_config(4);
+  cfg.scrub_entries_per_epoch = 16;  // integrity on: checksums maintained
+  CacheCore core(cfg);
+  std::size_t live = 0;
+  for (std::uint64_t d = 0; d < 64; ++d) {
+    const Key key{0, d * 96};
+    const auto r = core.access(key, 96);
+    if (r.inserted) {
+      complete(core, r, key);
+      ++live;
+    }
+  }
+  // One big slice visits every live entry across all four shards.
+  const auto rep = core.scrub(4096);
+  EXPECT_EQ(rep.scanned, live);
+  EXPECT_TRUE(rep.invariants_ok);
+  EXPECT_EQ(rep.corrupted, 0u);
+  // Small slices resume across shard boundaries and cover everything too.
+  std::size_t scanned = 0;
+  for (int i = 0; i < 16; ++i) scanned += core.scrub(8).scanned;
+  EXPECT_GE(scanned, live);
+  EXPECT_GE(core.stats().cross_shard_ops, 1u);
+}
+
+TEST(CrossShard, AuditChecksPartitionInvariants) {
+  CacheCore core(sharded_config(8));
+  for (std::uint64_t d = 0; d < 32; ++d) {
+    const Key key{2, d * 128};
+    complete(core, core.access(key, 128), key);
+  }
+  const auto rep = core.audit();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_TRUE(rep.detail.empty());
+  EXPECT_EQ(rep.live, core.cached_entries());
+  // Resize keeps the per-shard partition grid (rounds to a multiple of
+  // the shard count) and audits clean afterwards.
+  core.resize(2048, std::size_t{128} << 10);
+  EXPECT_EQ(core.index_entries() % core.shards(), 0u);
+  EXPECT_TRUE(core.audit().ok);
+}
+
+// --- the 8-thread differential hammer ---------------------------------
+//
+// Each thread owns a disjoint key set (same-key operations externally
+// serialized, per the CacheCore contract) and checks every served prefix
+// against the per-key pattern model. A parallel auditor exercises the
+// all-locks path while accesses are in flight. Run under TSan in CI.
+TEST(ConcurrentHammer, EightThreadsWithShadowModel) {
+  constexpr int kThreads = 8;
+  constexpr int kKeysPerThread = 48;
+  constexpr int kOpsPerThread = 4000;
+  constexpr std::size_t kMaxBytes = 256;
+
+  Config cfg = sharded_config(16);
+  CacheCore core(cfg);
+
+  std::atomic<std::uint64_t> serves{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<bool> stop_audit{false};
+
+  std::thread auditor([&] {
+    while (!stop_audit.load(std::memory_order_relaxed)) {
+      const auto rep = core.audit();
+      if (!rep.ok) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::byte buf[kMaxBytes];
+      std::uint64_t rng = 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(t + 1);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const int k = static_cast<int>((rng >> 33) % kKeysPerThread);
+        // Disjoint ownership: thread t's keys live at displacements only
+        // it ever touches.
+        const Key key{t % 4,
+                      (static_cast<std::uint64_t>(t) * kKeysPerThread +
+                       static_cast<std::uint64_t>(k)) *
+                          1024};
+        // Two sizes per key: the larger one forces partial hits and
+        // extension/relocation under the shard lock.
+        const std::size_t bytes = ((rng >> 20) & 1) ? kMaxBytes : kMaxBytes / 2;
+        const auto r = core.access_read(key, bytes, buf);
+        if (r.serve_now && r.cached_bytes > 0) {
+          serves.fetch_add(1, std::memory_order_relaxed);
+          if (!check_pattern(buf, key, r.cached_bytes)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (r.entry != kNoEntry && (r.inserted || r.extended)) {
+          // Our pending entry: no other thread can evict or move it.
+          fill_pattern(core.entry_data(r.entry), key, core.entry_bytes(r.entry));
+          core.mark_cached(r.entry);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop_audit.store(true, std::memory_order_relaxed);
+  auditor.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GT(serves.load(), 0u);
+
+  // Quiescent: aggregate and cross-check the sharded counters.
+  const Stats& st = core.stats();
+  EXPECT_EQ(st.total_gets,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(st.hitting() + st.direct + st.conflicting + st.capacity + st.failing,
+            st.total_gets);
+  // Every access took its shard lock (plus the entry fills/seals).
+  EXPECT_GE(st.shard_lock_acquisitions, st.total_gets);
+  EXPECT_LE(st.shard_lock_contended, st.shard_lock_acquisitions);
+  EXPECT_EQ(core.pending_entries(), 0u);
+  const auto rep = core.audit();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST(ConcurrentHammer, SingleThreadNeverContends) {
+  CacheCore core(sharded_config(4));
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const Key key{0, (i % 128) * 256};
+    const auto r = core.access(key, 128);
+    complete(core, r, key);
+  }
+  const Stats& st = core.stats();
+  EXPECT_GT(st.shard_lock_acquisitions, 0u);
+  EXPECT_EQ(st.shard_lock_contended, 0u);
+}
+
+}  // namespace
