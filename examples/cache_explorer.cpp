@@ -20,6 +20,8 @@
 #include "clampi/health.h"
 #include "clampi/info.h"
 #include "clampi/trace.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "kv/store.h"
 #include "kv/workload.h"
 #include "netmodel/model.h"
@@ -224,6 +226,79 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(kst.put_invalidations),
             static_cast<double>(kst.put_invalidations) / ops,
             static_cast<unsigned long long>(rep.mismatches));
+      }
+      p.barrier();
+      store.free_window();
+    });
+  }
+
+  // Convergence preview: the repair counters a faulted kv::Store run
+  // pushes (docs/KV.md "Repair & convergence"). One client loses one of
+  // the two replica servers for a window mid-run, so puts hint, then the
+  // hint drain and anti-entropy scan reconcile the stale replica after
+  // the partition heals (docs/FAULTS.md §7).
+  {
+    rmasim::Engine::Config ecfg;
+    ecfg.nranks = 3;
+    ecfg.model = std::make_shared<net::FlatModel>(2.0, 0.001);
+    ecfg.time_policy = rmasim::TimePolicy::kModeled;
+    fault::Plan plan;
+    plan.partition_pair(/*origin=*/2, /*target=*/1, 20000.0, 50000.0);
+    ecfg.injector = std::make_shared<fault::Injector>(plan);
+    rmasim::Engine engine(ecfg);
+    engine.run([](rmasim::Process& p) {
+      kv::StoreConfig scfg;
+      scfg.nkeys = 2000;
+      scfg.nservers = 2;
+      scfg.replication = 2;
+      scfg.cache.mode = Mode::kUserDefined;
+      scfg.cache.index_entries = 4096;
+      scfg.cache.storage_bytes = 8 << 20;
+      scfg.cache.health_failure_threshold = 3;
+      scfg.cache.degraded_reads = true;
+      scfg.cache.degraded_max_staleness_us = 1e9;
+      scfg.hinted_handoff = true;
+      scfg.hint_queue_cap = 2000;
+      scfg.read_repair_every_n = 4;
+      scfg.antientropy_keys_per_epoch = 500;
+      kv::Store store(p, scfg);
+      if (p.rank() == 2) {
+        kv::WorkloadConfig wcfg;
+        wcfg.ops = 12000;
+        wcfg.get_ratio = 0.8;
+        wcfg.epoch_ops = 3000;
+        kv::Driver driver(store, wcfg, /*client_index=*/0, /*nclients=*/1);
+        const kv::WorkloadReport rep = driver.run(p);
+        if (p.now_us() < 52000.0) p.compute_us(52000.0 - p.now_us());
+        store.window().lock_all();
+        std::vector<std::byte> v(scfg.layout.value_capacity);
+        for (std::uint64_t i = 0; i < 400; ++i) {
+          kv::GetMeta m;
+          store.get_uncached(store.key_at(i % scfg.nkeys), v.data(), &m);
+          const clampi::TargetStatus ts = store.window().target_status(1);
+          if (ts.usable && ts.state == clampi::HealthState::kHealthy) break;
+        }
+        store.drain_hints();
+        for (int pass = 0; pass < 2 * 4; ++pass) store.anti_entropy_step();
+        const kv::Store::ConvergenceReport conv = store.verify_convergence();
+        store.window().unlock_all();
+        const Stats kst = store.window().stats();
+        std::printf(
+            "\nconvergence preview (%llu ops, partition 20-50ms, hinted "
+            "handoff + read-repair + anti-entropy, mismatches %llu):\n"
+            "  kv_hints_queued %llu, kv_hints_drained %llu, "
+            "kv_hints_dropped %llu,\n"
+            "  kv_read_repairs %llu, kv_antientropy_repairs %llu, "
+            "divergent after repair %llu/%llu\n",
+            static_cast<unsigned long long>(rep.attempted),
+            static_cast<unsigned long long>(rep.mismatches),
+            static_cast<unsigned long long>(kst.kv_hints_queued),
+            static_cast<unsigned long long>(kst.kv_hints_drained),
+            static_cast<unsigned long long>(kst.kv_hints_dropped),
+            static_cast<unsigned long long>(kst.kv_read_repairs),
+            static_cast<unsigned long long>(kst.kv_antientropy_repairs),
+            static_cast<unsigned long long>(conv.keys_divergent),
+            static_cast<unsigned long long>(conv.keys_checked));
       }
       p.barrier();
       store.free_window();

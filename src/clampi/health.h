@@ -68,7 +68,10 @@ struct TargetStatus {
   double epoch_backoff_us = 0.0;  ///< retry backoff charged this epoch
   bool dead = false;    ///< the fault injector reports the rank dead *now*
                         ///< (filled by CachedWindow, not the monitor)
-  bool usable = false;  ///< convenience: not quarantined and not dead
+  bool partitioned = false;  ///< a partition currently cuts this rank off
+                             ///< from *us* (filled by CachedWindow; other
+                             ///< origins may still reach it)
+  bool usable = false;  ///< convenience: not quarantined, dead or partitioned
 };
 
 class HealthMonitor {

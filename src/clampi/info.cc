@@ -212,6 +212,11 @@ Info stats_to_info(const Stats& s) {
   put("kv_chain_reads", s.kv_chain_reads);
   put("kv_version_rereads", s.kv_version_rereads);
   put("put_invalidation_ops", s.put_invalidation_ops);
+  put("kv_hints_queued", s.kv_hints_queued);
+  put("kv_hints_drained", s.kv_hints_drained);
+  put("kv_hints_dropped", s.kv_hints_dropped);
+  put("kv_read_repairs", s.kv_read_repairs);
+  put("kv_antientropy_repairs", s.kv_antientropy_repairs);
   return out;
 }
 

@@ -105,6 +105,18 @@ struct Stats {
   std::uint64_t put_invalidation_ops = 0; ///< puts whose overlap invalidation
                                           ///< dropped at least one cached entry
 
+  // Replica convergence layer (docs/KV.md "Repair & convergence"):
+  // hinted handoff, read-repair and anti-entropy activity of the kv::Store.
+  std::uint64_t kv_hints_queued = 0;   ///< replica writes buffered as hints
+                                       ///< because the target was unreachable
+  std::uint64_t kv_hints_drained = 0;  ///< hints retired after the target
+                                       ///< recovered (applied or superseded)
+  std::uint64_t kv_hints_dropped = 0;  ///< hints lost to a full queue
+  std::uint64_t kv_read_repairs = 0;        ///< stale replicas rewritten inline
+                                            ///< by a divergence-observing get
+  std::uint64_t kv_antientropy_repairs = 0; ///< stale replicas rewritten by the
+                                            ///< background anti-entropy scan
+
   /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
   /// PENDING (full and partial hits alike).
   std::uint64_t hitting() const { return hits_full + hits_pending + hits_partial; }
@@ -181,6 +193,11 @@ struct Stats {
     d.kv_chain_reads = kv_chain_reads - base.kv_chain_reads;
     d.kv_version_rereads = kv_version_rereads - base.kv_version_rereads;
     d.put_invalidation_ops = put_invalidation_ops - base.put_invalidation_ops;
+    d.kv_hints_queued = kv_hints_queued - base.kv_hints_queued;
+    d.kv_hints_drained = kv_hints_drained - base.kv_hints_drained;
+    d.kv_hints_dropped = kv_hints_dropped - base.kv_hints_dropped;
+    d.kv_read_repairs = kv_read_repairs - base.kv_read_repairs;
+    d.kv_antientropy_repairs = kv_antientropy_repairs - base.kv_antientropy_repairs;
     return d;
   }
 };

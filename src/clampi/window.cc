@@ -107,8 +107,10 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
       Stats& st = core_->mutable_stats();
       ++st.injected_faults;
       if (fault_trace_ != nullptr) fault_trace_->add_fault(target, disp, bytes);
+      // Rank death and partitions persist until external state changes:
+      // quarantine immediately rather than accumulating suspicion.
       health_record(target, /*success=*/false,
-                    /*fatal=*/err.failure() == fault::FailureKind::kRankDead);
+                    /*fatal=*/err.failure() != fault::FailureKind::kTransient);
       if (!err.recoverable() || attempt >= cfg_.max_retries) {
         // Give-ups only count when a retry policy was actually in play
         // and could not help (transient fault, retries exhausted).
@@ -155,7 +157,8 @@ bool CachedWindow::target_down(int target) const {
   if (inj == nullptr) return false;
   const int wt = p_->comm_world_rank(comm_, target);
   const double now = p_->now_us();
-  return inj->dead(wt, now) || inj->degraded(wt, now);
+  return inj->dead(wt, now) || inj->degraded(wt, now) ||
+         inj->partitioned(p_->rank(), wt, now);
 }
 
 bool CachedWindow::try_degraded_read(void* origin, std::size_t bytes, int target,
@@ -237,8 +240,12 @@ TargetStatus CachedWindow::target_status(int target) const {
   const double now = p_->now_us();
   TargetStatus ts = health_.status(target, now);
   const fault::Injector* inj = p_->fault_injector();
-  if (inj != nullptr) ts.dead = inj->dead(p_->comm_world_rank(comm_, target), now);
-  ts.usable = !ts.dead && ts.state != HealthState::kQuarantined;
+  if (inj != nullptr) {
+    const int wt = p_->comm_world_rank(comm_, target);
+    ts.dead = inj->dead(wt, now);
+    ts.partitioned = inj->partitioned(p_->rank(), wt, now);
+  }
+  ts.usable = !ts.dead && !ts.partitioned && ts.state != HealthState::kQuarantined;
   return ts;
 }
 
@@ -262,6 +269,11 @@ void CachedWindow::health_note(int target, HealthState after) {
   if (fault_trace_ != nullptr) {
     fault_trace_->add_health(target, static_cast<int>(after));
   }
+  // Recovery callbacks (docs/KV.md "Repair & convergence"): the KV layer
+  // taps PROBING -> HEALTHY edges to schedule hinted-handoff drains. The
+  // observer may be invoked mid-operation, so it must only record state
+  // (no re-entrant window calls).
+  if (health_observer_) health_observer_(target, after);
 }
 
 void CachedWindow::health_epoch_close() {
@@ -554,7 +566,7 @@ void CachedWindow::on_flush_failure(const fault::OpFailedError& err, bool all_ta
   const int local = p_->comm_local_rank(comm_, err.op().target);
   if (fault_trace_ != nullptr) fault_trace_->add_fault(local, 0, 0);
   health_record(local, /*success=*/false,
-                /*fatal=*/err.failure() == fault::FailureKind::kRankDead);
+                /*fatal=*/err.failure() != fault::FailureKind::kTransient);
   // The dead target's in-flight data will never be *completed*. Ops that
   // failed at issue were already rolled back, so every surviving pending
   // op against the target was issued before the death — and data movement

@@ -155,6 +155,25 @@ class CachedWindow {
   bool last_was_degraded() const { return last_degraded_; }
   double last_degraded_age_us() const { return last_degraded_age_us_; }
 
+  /// Every health state transition of a target (both op-driven edges and
+  /// epoch-boundary quarantine promotions), delivered after the stats /
+  /// trace mirroring. The KV layer's hinted handoff registers here to
+  /// learn when a PROBING target recovered to HEALTHY and its queued
+  /// hints can drain (docs/KV.md "Repair & convergence"). The observer
+  /// may fire in the middle of an operation on this window, so it must
+  /// only record state — never call back into the window.
+  using HealthObserver = std::function<void(int target, HealthState state)>;
+  /// Install (or with an empty function clear) the transition observer.
+  void observe_health(HealthObserver obs) { health_observer_ = std::move(obs); }
+  /// Feed an out-of-band op outcome into the health machine. The cached
+  /// get path records outcomes itself (issue_resilient), but the KV
+  /// layer's uncached reads and slot writes go straight to the engine —
+  /// without this, their successes against a PROBING target would never
+  /// count as probes and a recovered rank could stay half-open forever.
+  void record_target_outcome(int target, bool success, bool fatal = false) {
+    health_record(target, success, fatal);
+  }
+
   // --- KV-layer accounting hooks (src/kv, docs/KV.md) ---
   // The DHT layered on this window reports the shape of its lookups so
   // cache counters and KV counters land in one Stats block (and flow out
@@ -162,6 +181,12 @@ class CachedWindow {
   void note_kv_bucket_read() { ++core_->mutable_stats().kv_bucket_reads; }
   void note_kv_chain_read() { ++core_->mutable_stats().kv_chain_reads; }
   void note_kv_version_reread() { ++core_->mutable_stats().kv_version_rereads; }
+  // Convergence-layer accounting (docs/KV.md "Repair & convergence").
+  void note_kv_hint_queued() { ++core_->mutable_stats().kv_hints_queued; }
+  void note_kv_hint_drained() { ++core_->mutable_stats().kv_hints_drained; }
+  void note_kv_hint_dropped() { ++core_->mutable_stats().kv_hints_dropped; }
+  void note_kv_read_repair() { ++core_->mutable_stats().kv_read_repairs; }
+  void note_kv_antientropy_repair() { ++core_->mutable_stats().kv_antientropy_repairs; }
 
   // --- integrity guard introspection (docs/INTEGRITY.md) ---
   /// Breaker state; kClosed when no breaker is configured
@@ -282,7 +307,8 @@ class CachedWindow {
                                 ///< entries stamped earlier are cross-epoch
                                 ///< survivors (transparent degraded reads)
   trace::Trace* fault_trace_ = nullptr;
-  GetObserver get_observer_;  // chaos-oracle tap (empty = disabled)
+  GetObserver get_observer_;        // chaos-oracle tap (empty = disabled)
+  HealthObserver health_observer_;  // KV hinted-handoff tap (empty = disabled)
   std::unique_ptr<CircuitBreaker> breaker_;  // null unless configured
   std::uint64_t shadow_tick_ = 0;            // shadow_verify_every_n sampling
   std::vector<std::byte> shadow_buf_;        // scratch for shadow fetches

@@ -18,6 +18,7 @@ const char* to_string(FailureKind k) {
     case FailureKind::kTransient: return "transient";
     case FailureKind::kRankDead: return "rank_dead";
     case FailureKind::kQuarantined: return "quarantined";
+    case FailureKind::kPartitioned: return "partitioned";
   }
   return "?";
 }

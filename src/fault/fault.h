@@ -41,6 +41,11 @@ enum class FailureKind : std::uint8_t {
   kQuarantined,  ///< the health monitor quarantined the target: the op was
                  ///< fast-failed without touching the network (no retry
                  ///< until the target is re-probed; docs/FAULTS.md §6)
+  kPartitioned,  ///< a network partition separates origin from target: every
+                 ///< op on the pair fails until the partition epoch heals.
+                 ///< Asymmetric (origin->target only) and distinct from rank
+                 ///< death — the target is alive and other origins may still
+                 ///< reach it (split brain; docs/FAULTS.md §7)
 };
 
 const char* to_string(FailureKind k);
@@ -63,7 +68,9 @@ class OpFailedError : public std::runtime_error {
 
   FailureKind failure() const { return failure_; }
   const OpDesc& op() const { return op_; }
-  /// Transient failures may succeed when re-issued; rank death is final.
+  /// Transient failures may succeed when re-issued; rank death, quarantine
+  /// and partition verdicts repeat until external state changes, so an
+  /// immediate retry is pointless.
   bool recoverable() const { return failure_ == FailureKind::kTransient; }
 
  private:

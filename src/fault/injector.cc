@@ -46,6 +46,12 @@ Injector::Injector(Plan plan) : plan_(std::move(plan)) {
     CLAMPI_REQUIRE(p >= 0.0 && p <= 1.0,
                    "fault plan: per-target failure probability outside [0,1]");
   }
+  for (const PartitionEpoch& e : plan_.partitions) {
+    CLAMPI_REQUIRE(e.from >= 0 && e.to >= 0,
+                   "fault plan: partition epoch with a negative rank");
+    CLAMPI_REQUIRE(e.from != e.to,
+                   "fault plan: a rank cannot be partitioned from itself");
+  }
   for (std::size_t r = 0; r < plan_.revive_us.size(); ++r) {
     const double rv = plan_.revive_us[r];
     if (rv < 0.0) continue;
@@ -139,6 +145,16 @@ bool Injector::dead(int rank, double now_us) const {
   return true;
 }
 
+bool Injector::partitioned(int origin, int target, double now_us) const {
+  for (const PartitionEpoch& e : plan_.partitions) {
+    if (e.from == origin && e.to == target && now_us >= e.from_us &&
+        now_us < e.until_us) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool Injector::degraded(int rank, double now_us) const {
   return degrade_factor(rank, now_us) != 1.0;
 }
@@ -163,6 +179,12 @@ Injector::Verdict Injector::on_op(OpKind op, int origin, int target, std::size_t
   if (dead(target, now_us)) {
     v.fail = true;
     v.kind = FailureKind::kRankDead;
+    ++failures_;
+    return v;
+  }
+  if (partitioned(origin, target, now_us)) {
+    v.fail = true;
+    v.kind = FailureKind::kPartitioned;
     ++failures_;
     return v;
   }

@@ -85,6 +85,8 @@ class Injector {
 
   /// True once `rank` passed its death instant.
   bool dead(int rank, double now_us) const;
+  /// True while a partition epoch cuts `origin -> target` (that direction).
+  bool partitioned(int origin, int target, double now_us) const;
   /// True while `rank` is inside a degraded epoch.
   bool degraded(int rank, double now_us) const;
   /// Product of the latency factors of all epochs covering (rank, now).

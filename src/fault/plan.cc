@@ -20,6 +20,9 @@ bool Plan::trivial() const {
   for (const double p : target_fail_prob) {
     if (p > 0.0) return false;
   }
+  for (const PartitionEpoch& e : partitions) {
+    if (e.until_us > e.from_us) return false;
+  }
   // revive_us alone cannot perturb anything: it only shortens deaths.
   if (storage_bitflip_prob > 0.0 || stale_put_prob > 0.0) return false;
   return true;
@@ -61,6 +64,17 @@ Plan& Plan::degrade_rank(int rank, double factor, double from_us, double until_u
   return *this;
 }
 
+Plan& Plan::partition_pair(int origin, int target, double from_us, double until_us) {
+  partitions.push_back({origin, target, from_us, until_us});
+  return *this;
+}
+
+Plan& Plan::partition(int a, int b, double from_us, double until_us) {
+  partition_pair(a, b, from_us, until_us);
+  partition_pair(b, a, from_us, until_us);
+  return *this;
+}
+
 Plan& Plan::corrupt_storage(double p) {
   storage_bitflip_prob = p;
   return *this;
@@ -76,11 +90,17 @@ bool operator==(const DegradedEpoch& a, const DegradedEpoch& b) {
          a.latency_factor == b.latency_factor;
 }
 
+bool operator==(const PartitionEpoch& a, const PartitionEpoch& b) {
+  return a.from == b.from && a.to == b.to && a.from_us == b.from_us &&
+         a.until_us == b.until_us;
+}
+
 bool operator==(const Plan& a, const Plan& b) {
   return a.seed == b.seed && a.fail_prob == b.fail_prob && a.spike_prob == b.spike_prob &&
          a.spike_factor == b.spike_factor && a.spike_addend_us == b.spike_addend_us &&
          a.degraded == b.degraded && a.death_us == b.death_us &&
-         a.revive_us == b.revive_us && a.target_fail_prob == b.target_fail_prob &&
+         a.revive_us == b.revive_us && a.partitions == b.partitions &&
+         a.target_fail_prob == b.target_fail_prob &&
          a.storage_bitflip_prob == b.storage_bitflip_prob &&
          a.stale_put_prob == b.stale_put_prob && a.topology == b.topology;
 }
@@ -123,6 +143,20 @@ std::string Plan::to_json() const {
   root.set("degraded", std::move(deg));
   root.set("death_us", doubles_array(death_us));
   root.set("revive_us", doubles_array(revive_us));
+  // Serialized only when present so pre-partition artifacts (the committed
+  // chaos corpus is enforced bit-for-bit) keep their exact byte encoding.
+  if (!partitions.empty()) {
+    json::Value parts = json::Value::array();
+    for (const PartitionEpoch& e : partitions) {
+      json::Value o = json::Value::object();
+      o.set("from", json::Value::number(e.from));
+      o.set("to", json::Value::number(e.to));
+      o.set("from_us", json::Value::number(e.from_us));
+      o.set("until_us", json::Value::number(e.until_us));
+      parts.push(std::move(o));
+    }
+    root.set("partitions", std::move(parts));
+  }
   root.set("target_fail_prob", doubles_array(target_fail_prob));
   root.set("storage_bitflip_prob", json::Value::number(storage_bitflip_prob));
   root.set("stale_put_prob", json::Value::number(stale_put_prob));
@@ -159,6 +193,16 @@ Plan Plan::from_json(const std::string& text) {
   }
   if (const json::Value* v = root.find("death_us")) p.death_us = doubles_from(*v);
   if (const json::Value* v = root.find("revive_us")) p.revive_us = doubles_from(*v);
+  if (const json::Value* parts = root.find("partitions")) {
+    for (const json::Value& o : parts->items()) {
+      PartitionEpoch e;
+      e.from = o.get_int("from", e.from);
+      e.to = o.get_int("to", e.to);
+      e.from_us = o.get_double("from_us", e.from_us);
+      e.until_us = o.get_double("until_us", e.until_us);
+      p.partitions.push_back(e);
+    }
+  }
   if (const json::Value* v = root.find("target_fail_prob")) {
     p.target_fail_prob = doubles_from(*v);
   }

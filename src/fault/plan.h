@@ -18,6 +18,10 @@
 //     latency_factor (a flaky NIC / congested node);
 //   - permanent rank death: after death instant d, every operation
 //     targeting the rank fails with FailureKind::kRankDead forever;
+//   - network partitions: while virtual time is inside a PartitionEpoch,
+//     every operation from its origin to its target fails with
+//     FailureKind::kPartitioned (asymmetric, per-pair; the target is
+//     otherwise alive — split brain rather than silence);
 //   - storage bit rot: at each epoch boundary every cached byte flips one
 //     random bit with probability storage_bitflip_prob (silent memory
 //     corruption; exercised by the integrity guard, docs/INTEGRITY.md);
@@ -49,6 +53,21 @@ struct DegradedEpoch {
 
 inline constexpr double kForever = 1e300;
 
+/// One interval during which the network partition separates `from` (as an
+/// origin) from `to` (as a target): every one-sided operation and every
+/// flush waiting on the pair fails with FailureKind::kPartitioned while
+/// virtual time is inside [from_us, until_us). Deliberately asymmetric —
+/// a full cut between two ranks is two epochs, one per direction — so
+/// split-brain scenarios (A reaches T, B does not) are expressible.
+/// Distinct from rank death: the target stays alive, serves other origins,
+/// and keeps its memory, so replicas diverge rather than disappear.
+struct PartitionEpoch {
+  int from = -1;             ///< origin world rank
+  int to = -1;               ///< target world rank
+  double from_us = 0.0;
+  double until_us = kForever;  ///< exclusive; kForever = never heals
+};
+
 struct Plan {
   std::uint64_t seed = 0x5eedfa017ed1ull;
 
@@ -74,6 +93,10 @@ struct Plan {
   /// revival must come after the death. Revivals make the health
   /// subsystem's PROBING -> HEALTHY edge exercisable (docs/FAULTS.md §6).
   std::vector<double> revive_us;
+
+  /// Asymmetric per-pair partition epochs; overlapping epochs on the same
+  /// pair simply union (the pair is cut while any epoch covers the instant).
+  std::vector<PartitionEpoch> partitions;
 
   /// Per-world-rank *additional* transient failure probability when the
   /// rank is the target, drawn independently of the distance-tier
@@ -108,6 +131,12 @@ struct Plan {
   /// Rank `rank` is degraded by `factor` over [from_us, until_us).
   Plan& degrade_rank(int rank, double factor, double from_us = 0.0,
                      double until_us = kForever);
+  /// Ops `origin -> target` (that direction only) fail with kPartitioned
+  /// over [from_us, until_us).
+  Plan& partition_pair(int origin, int target, double from_us,
+                       double until_us = kForever);
+  /// Full cut between `a` and `b`: both directions over [from_us, until_us).
+  Plan& partition(int a, int b, double from_us, double until_us = kForever);
   /// Cached bytes flip a bit with probability `p` per epoch boundary.
   Plan& corrupt_storage(double p);
   /// Puts skip the overlap invalidation with probability `p`.
@@ -128,6 +157,7 @@ struct Plan {
 };
 
 bool operator==(const DegradedEpoch&, const DegradedEpoch&);
+bool operator==(const PartitionEpoch&, const PartitionEpoch&);
 inline bool operator==(const net::Topology& a, const net::Topology& b) {
   return a.ranks_per_node == b.ranks_per_node && a.nodes_per_group == b.nodes_per_group;
 }

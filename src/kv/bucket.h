@@ -93,6 +93,21 @@ inline SlotMeta load_slot_meta(const std::byte* s) {
   return m;
 }
 
+/// Compose a full slot image (header + `len` value bytes) into `out`
+/// (at least kSlotHeaderBytes + len bytes). Puts and the convergence
+/// layer (hinted handoff, read-repair, anti-entropy; docs/KV.md "Repair &
+/// convergence") ship these images verbatim, so a repair write is
+/// byte-identical to the put it replays.
+inline void compose_slot(std::uint64_t key, std::uint32_t seq, std::uint32_t len,
+                         const std::byte* value, std::byte* out) {
+  SlotMeta m;
+  m.key = key;
+  m.seq = seq;
+  m.len = len;
+  store_slot_meta(out, m);
+  std::memcpy(out + Layout::kSlotHeaderBytes, value, len);
+}
+
 /// Deterministic payload of (key, seq): any reader can recompute the bytes
 /// it should have received, which is what makes the workload's shadow
 /// check exact without shipping expected values around.

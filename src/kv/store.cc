@@ -29,6 +29,10 @@ void validate(const StoreConfig& cfg, int nranks) {
   // flush; the KV layer owns epoch invalidation (Listing 1), so insist on it.
   CLAMPI_REQUIRE(cfg.cache.mode == Mode::kUserDefined,
                  "kv: cache.mode must be kUserDefined");
+  // A zero-capacity queue with handoff enabled would silently drop every
+  // hint — the one configuration that looks resilient but converges never.
+  CLAMPI_REQUIRE(!cfg.hinted_handoff || cfg.hint_queue_cap >= 1,
+                 "kv: hint_queue_cap must be >= 1 when hinted handoff is enabled");
 }
 
 }  // namespace
@@ -63,6 +67,24 @@ Store::Store(rmasim::Process& p, const StoreConfig& cfg)
   bucket_buf_.resize(cfg_.layout.bucket_bytes());
   slot_buf_.resize(cfg_.layout.slot_bytes());
   loc_cache_.resize(static_cast<std::size_t>(cfg_.nservers));
+  hints_.resize(static_cast<std::size_t>(cfg_.nservers));
+  drain_ready_.assign(static_cast<std::size_t>(cfg_.nservers), 0);
+  repair_buf_.resize(cfg_.layout.slot_bytes());
+  repair_slot_.resize(cfg_.layout.slot_bytes());
+  if (cfg_.hinted_handoff) {
+    // Recovery callback: when the health machine walks a target back to
+    // HEALTHY (PROBING -> HEALTHY after a revival or a healed partition),
+    // flag its queue; the actual drain happens at the next top-level store
+    // op (the callback may fire mid-operation and must not re-enter the
+    // window).
+    win_->observe_health([this](int target, HealthState s) {
+      if (s != HealthState::kHealthy) return;
+      if (target < 0 || target >= cfg_.nservers) return;
+      if (!hints_[static_cast<std::size_t>(target)].empty()) {
+        drain_ready_[static_cast<std::size_t>(target)] = 1;
+      }
+    });
+  }
 
   if (is_server()) load_shard();
   p.barrier();  // no reads before every shard is populated
@@ -146,6 +168,9 @@ void Store::read_bucket(int server, std::uint32_t b, bool cached, GetMeta* m) {
   if (!cached) {
     win_->get_nocache(bucket_buf_.data(), bb, server, disp);
     win_->flush(server);
+    // The uncached path skips the resilient issue wrapper, so its
+    // successes must count as probes by hand (half-open recovery).
+    win_->record_target_outcome(server, /*success=*/true);
     return;
   }
   win_->get(bucket_buf_.data(), bb, server, disp);
@@ -210,15 +235,25 @@ bool Store::get_impl(std::uint64_t key, std::byte* value_out, GetMeta* meta,
       m->server = reps[pos];
       m->replica_pos = pos;
       m->rerouted = pos > 0;
+      // Sampled inline read-repair (cached serving path only; degraded
+      // serves are legally stale, so cross-checking them would "repair"
+      // replicas with data the cache already superseded).
+      if (found && cached && !m->degraded && cfg_.replication > 1 &&
+          cfg_.read_repair_every_n > 0 &&
+          ++rr_tick_ >= cfg_.read_repair_every_n) {
+        rr_tick_ = 0;
+        read_repair(key, pos, reps, value_out, m);
+      }
       return found;
     } catch (const fault::OpFailedError&) {
-      // Replica unreachable (dead or quarantined): fall through.
+      // Replica unreachable (dead, partitioned or quarantined): fall through.
     }
   }
   return false;
 }
 
 bool Store::get(std::uint64_t key, std::byte* value_out, GetMeta* meta) {
+  drain_hints();
   return get_impl(key, value_out, meta, /*cached=*/true);
 }
 
@@ -261,15 +296,11 @@ bool Store::put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
                 std::uint32_t len, PutMeta* meta, bool use_cache) {
   CLAMPI_REQUIRE(len >= 1 && len <= cfg_.layout.value_capacity,
                  "kv: put length outside [1, value_capacity]");
+  drain_hints();
   PutMeta local;
   PutMeta* m = meta ? meta : &local;
   *m = PutMeta{};
-  SlotMeta sm;
-  sm.key = key;
-  sm.seq = seq;
-  sm.len = len;
-  store_slot_meta(slot_buf_.data(), sm);
-  std::memcpy(slot_buf_.data() + Layout::kSlotHeaderBytes, value, len);
+  compose_slot(key, seq, len, value, slot_buf_.data());
   const std::size_t nbytes = Layout::kSlotHeaderBytes + len;
 
   int reps[kMaxReplicas];
@@ -287,13 +318,292 @@ bool Store::put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
       // bucket, so our own next read re-fetches: read-your-writes.
       win_->put(slot_buf_.data(), nbytes, server, disp);
       win_->flush(server);
+      win_->record_target_outcome(server, /*success=*/true);
       ++m->applied;
       m->applied_mask |= 1u << pos;
     } catch (const fault::OpFailedError&) {
       ++m->skipped;
+      // Hinted handoff: remember the write this replica missed so it can
+      // be replayed once the target recovers, instead of being lost until
+      // the next owner-side reload.
+      if (cfg_.hinted_handoff && queue_hint(server, key, seq, value, len)) {
+        ++m->hinted;
+      }
     }
   }
   return m->applied > 0;
+}
+
+bool Store::read_slot_on(int server, std::uint64_t key, bool cached_locate,
+                         SlotMeta* sm) {
+  Locator loc;
+  if (!locate_on(server, key, cached_locate, &loc)) return false;
+  const std::size_t disp =
+      static_cast<std::size_t>(loc.bucket) * cfg_.layout.bucket_bytes() +
+      cfg_.layout.slot_offset(loc.slot);
+  const std::size_t sb = cfg_.layout.slot_bytes();
+  win_->get_nocache(repair_buf_.data(), sb, server, disp);
+  win_->flush(server);
+  win_->record_target_outcome(server, /*success=*/true);
+  *sm = load_slot_meta(repair_buf_.data());
+  CLAMPI_REQUIRE(sm->key == key, "kv: slot image carries the wrong key");
+  CLAMPI_REQUIRE(sm->len <= cfg_.layout.value_capacity,
+                 "kv: slot length exceeds value_capacity");
+  return true;
+}
+
+void Store::write_slot_on(int server, std::uint64_t key, const std::byte* slot_bytes,
+                          std::size_t nbytes, bool cached_locate) {
+  Locator loc;
+  const bool present = locate_on(server, key, cached_locate, &loc);
+  CLAMPI_REQUIRE(present, "kv: repair write targets a key absent from the store");
+  const std::size_t disp =
+      static_cast<std::size_t>(loc.bucket) * cfg_.layout.bucket_bytes() +
+      cfg_.layout.slot_offset(loc.slot);
+  // Like a put, the overlap invalidation drops our own cached copy of the
+  // repaired bucket, so this rank keeps read-your-repairs.
+  win_->put(slot_bytes, nbytes, server, disp);
+  win_->flush(server);
+  win_->record_target_outcome(server, /*success=*/true);
+}
+
+bool Store::queue_hint(int server, std::uint64_t key, std::uint32_t seq,
+                       const std::byte* value, std::uint32_t len) {
+  auto& q = hints_[static_cast<std::size_t>(server)];
+  auto it = q.find(key);
+  if (it == q.end()) {
+    if (q.size() >= cfg_.hint_queue_cap) {
+      win_->note_kv_hint_dropped();
+      return false;
+    }
+    it = q.emplace(key, Hint{}).first;
+  } else if (seq <= it->second.seq) {
+    return false;  // an equal-or-newer hint for this key is already queued
+  }
+  it->second.seq = seq;
+  it->second.len = len;
+  it->second.value.assign(value, value + len);
+  win_->note_kv_hint_queued();
+  return true;
+}
+
+std::size_t Store::hints_pending() const {
+  std::size_t n = 0;
+  for (const auto& q : hints_) n += q.size();
+  return n;
+}
+
+void Store::drain_hints() {
+  if (!cfg_.hinted_handoff) return;
+  for (int s = 0; s < cfg_.nservers; ++s) {
+    auto& q = hints_[static_cast<std::size_t>(s)];
+    if (q.empty()) continue;
+    bool ready = drain_ready_[static_cast<std::size_t>(s)] != 0;
+    if (!ready) {
+      // No recovery callback arrived (detector off, or the failures never
+      // tripped it): fall back to polling reachability. Quarantined,
+      // dead or partitioned-away targets are skipped so a drain attempt
+      // never burns failed ops against a target known to be down.
+      const TargetStatus ts = win_->target_status(s);
+      ready = ts.usable && ts.state == HealthState::kHealthy;
+    }
+    if (!ready) continue;
+    drain_ready_[static_cast<std::size_t>(s)] = 0;
+    drain_hints_for(s);
+  }
+}
+
+void Store::drain_hints_for(int server) {
+  auto& q = hints_[static_cast<std::size_t>(server)];
+  for (auto it = q.begin(); it != q.end();) {
+    const std::uint64_t key = it->first;
+    const Hint& h = it->second;
+    try {
+      SlotMeta cur;
+      const bool present =
+          read_slot_on(server, key, /*cached_locate=*/false, &cur);
+      CLAMPI_REQUIRE(present, "kv: hint targets a key absent from the store");
+      if (cur.seq < h.seq) {
+        // The replica still misses this write: replay it. Reconciliation
+        // is always to the highest seq, so a replica that caught up
+        // another way (anti-entropy, read-repair, a newer put) retires
+        // the hint without a write — and a drain can never regress a seq.
+        compose_slot(key, h.seq, h.len, h.value.data(), repair_slot_.data());
+        write_slot_on(server, key, repair_slot_.data(),
+                      Layout::kSlotHeaderBytes + h.len, /*cached_locate=*/false);
+      }
+      win_->note_kv_hint_drained();
+      it = q.erase(it);
+    } catch (const fault::OpFailedError&) {
+      // The target went unreachable again mid-drain: keep the remaining
+      // hints; the next recovery re-arms the drain.
+      return;
+    }
+  }
+}
+
+void Store::read_repair(std::uint64_t key, int served_pos, const int* reps,
+                        std::byte* value_out, GetMeta* m) {
+  std::uint32_t seqs[kMaxReplicas];
+  bool have[kMaxReplicas] = {};
+  seqs[served_pos] = m->seq;
+  have[served_pos] = true;
+  std::uint32_t fresh_seq = m->seq;
+  std::uint32_t fresh_len = m->len;
+  int fresh_pos = served_pos;
+  for (int pos = 0; pos < cfg_.replication; ++pos) {
+    if (pos == served_pos) continue;
+    SlotMeta sm;
+    try {
+      if (!read_slot_on(reps[pos], key, /*cached_locate=*/true, &sm)) continue;
+    } catch (const fault::OpFailedError&) {
+      continue;  // unreachable: hinted handoff / anti-entropy cover it later
+    }
+    have[pos] = true;
+    seqs[pos] = sm.seq;
+    if (sm.seq > fresh_seq) {
+      fresh_seq = sm.seq;
+      fresh_len = sm.len;
+      fresh_pos = pos;
+      // Keep the freshest raw image; later read_slot_on calls clobber
+      // repair_buf_ but only a fresher replica overwrites this copy.
+      std::memcpy(repair_slot_.data(), repair_buf_.data(),
+                  Layout::kSlotHeaderBytes + sm.len);
+    }
+  }
+  if (fresh_pos == served_pos) {
+    if (fresh_seq == seqs[served_pos] &&
+        std::count(have, have + cfg_.replication, true) == cfg_.replication) {
+      bool all_caught_up = true;
+      for (int pos = 0; pos < cfg_.replication; ++pos) {
+        all_caught_up = all_caught_up && seqs[pos] >= fresh_seq;
+      }
+      if (all_caught_up) return;  // nothing to repair, nothing to compose
+    }
+    compose_slot(key, fresh_seq, fresh_len, value_out, repair_slot_.data());
+  }
+  const std::size_t nbytes = Layout::kSlotHeaderBytes + fresh_len;
+  bool served_caught_up = seqs[served_pos] >= fresh_seq;
+  for (int pos = 0; pos < cfg_.replication; ++pos) {
+    if (!have[pos] || seqs[pos] >= fresh_seq) continue;
+    try {
+      write_slot_on(reps[pos], key, repair_slot_.data(), nbytes,
+                    /*cached_locate=*/true);
+    } catch (const fault::OpFailedError&) {
+      continue;  // went unreachable mid-repair; the background scan retries
+    }
+    ++m->read_repairs;
+    win_->note_kv_read_repair();
+    if (pos == served_pos) served_caught_up = true;
+  }
+  // Serve the freshest value only if the serving replica now carries it:
+  // otherwise a later read of that replica would look like a seq
+  // regression to the workload's shadow model.
+  if (fresh_pos != served_pos && served_caught_up) {
+    std::memcpy(value_out, repair_slot_.data() + Layout::kSlotHeaderBytes,
+                fresh_len);
+    m->seq = fresh_seq;
+    m->len = fresh_len;
+  }
+}
+
+std::uint64_t Store::anti_entropy_step(std::uint64_t max_keys) {
+  drain_hints();
+  if (max_keys == 0) max_keys = cfg_.antientropy_keys_per_epoch;
+  if (max_keys == 0 || cfg_.replication <= 1) return 0;
+  std::uint64_t repairs = 0;
+  const std::uint64_t budget = std::min<std::uint64_t>(max_keys, cfg_.nkeys);
+  int reps[kMaxReplicas];
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    const std::uint64_t key = key_at(ae_cursor_);
+    ae_cursor_ = (ae_cursor_ + 1) % cfg_.nkeys;
+    ring_.replicas(key, cfg_.replication, reps);
+    std::uint32_t seqs[kMaxReplicas];
+    bool have[kMaxReplicas] = {};
+    std::uint32_t fresh_seq = 0;
+    std::uint32_t fresh_len = 0;
+    int fresh_pos = -1;
+    for (int pos = 0; pos < cfg_.replication; ++pos) {
+      SlotMeta sm;
+      try {
+        if (!read_slot_on(reps[pos], key, /*cached_locate=*/false, &sm)) continue;
+      } catch (const fault::OpFailedError&) {
+        continue;  // unreachable replicas reconverge after they heal
+      }
+      have[pos] = true;
+      seqs[pos] = sm.seq;
+      if (fresh_pos < 0 || sm.seq > fresh_seq) {
+        fresh_seq = sm.seq;
+        fresh_len = sm.len;
+        fresh_pos = pos;
+        std::memcpy(repair_slot_.data(), repair_buf_.data(),
+                    Layout::kSlotHeaderBytes + sm.len);
+      }
+    }
+    if (fresh_pos < 0) continue;
+    const std::size_t nbytes = Layout::kSlotHeaderBytes + fresh_len;
+    for (int pos = 0; pos < cfg_.replication; ++pos) {
+      if (!have[pos] || seqs[pos] >= fresh_seq) continue;
+      try {
+        write_slot_on(reps[pos], key, repair_slot_.data(), nbytes,
+                      /*cached_locate=*/false);
+      } catch (const fault::OpFailedError&) {
+        continue;
+      }
+      ++repairs;
+      win_->note_kv_antientropy_repair();
+    }
+  }
+  return repairs;
+}
+
+Store::ConvergenceReport Store::verify_convergence() {
+  ConvergenceReport r;
+  int reps[kMaxReplicas];
+  std::vector<std::byte> ref(cfg_.layout.slot_bytes());
+  for (std::uint64_t i = 0; i < cfg_.nkeys; ++i) {
+    const std::uint64_t key = key_at(i);
+    ring_.replicas(key, cfg_.replication, reps);
+    ++r.keys_checked;
+    bool first = true;
+    bool divergent = false;
+    bool unreachable = false;
+    SlotMeta rm{};
+    std::uint32_t minseq = 0;
+    std::uint32_t maxseq = 0;
+    for (int pos = 0; pos < cfg_.replication; ++pos) {
+      SlotMeta sm;
+      try {
+        const bool present =
+            read_slot_on(reps[pos], key, /*cached_locate=*/false, &sm);
+        CLAMPI_REQUIRE(present, "kv: a replica lost a loaded key");
+      } catch (const fault::OpFailedError&) {
+        unreachable = true;
+        continue;
+      }
+      if (first) {
+        rm = sm;
+        minseq = maxseq = sm.seq;
+        std::memcpy(ref.data(), repair_buf_.data(), cfg_.layout.slot_bytes());
+        first = false;
+        continue;
+      }
+      minseq = std::min(minseq, sm.seq);
+      maxseq = std::max(maxseq, sm.seq);
+      if (sm.seq != rm.seq || sm.len != rm.len ||
+          std::memcmp(repair_buf_.data() + Layout::kSlotHeaderBytes,
+                      ref.data() + Layout::kSlotHeaderBytes, rm.len) != 0) {
+        divergent = true;
+      }
+    }
+    if (unreachable) ++r.keys_unreachable;
+    if (divergent) {
+      ++r.keys_divergent;
+      r.max_seq_spread =
+          std::max<std::uint64_t>(r.max_seq_spread, maxseq - minseq);
+    }
+  }
+  return r;
 }
 
 void Store::invalidate_cache() { win_->invalidate(); }

@@ -40,6 +40,11 @@
 namespace clampi::kv {
 
 inline constexpr int kMaxReplicas = 4;
+// PutMeta::applied_mask and the hint bookkeeping are 32-bit
+// bit-per-replica-position masks; widening kMaxReplicas past the mask
+// width would silently truncate them.
+static_assert(kMaxReplicas >= 1 && kMaxReplicas <= 32,
+              "kMaxReplicas must fit a 32-bit replica-position mask");
 
 struct StoreConfig {
   std::uint64_t nkeys = std::uint64_t{1} << 20;  ///< dense ranks [0, nkeys)
@@ -57,6 +62,24 @@ struct StoreConfig {
   /// CLaMPI config of the per-rank CachedWindow. mode must be
   /// kUserDefined: epoch invalidation is the KV layer's job.
   Config cache;
+
+  // --- replica convergence (docs/KV.md "Repair & convergence") ---
+  /// Buffer the (key, seq, value) of every replica write skipped as
+  /// unreachable in a bounded per-target queue, and replay it once the
+  /// health machine reports the target recovered (PROBING -> HEALTHY).
+  bool hinted_handoff = false;
+  /// Max distinct keys hinted per target (newest seq per key is kept;
+  /// new keys beyond the cap are dropped and counted). Must be >= 1 when
+  /// hinted_handoff is enabled.
+  std::uint32_t hint_queue_cap = 1024;
+  /// Every Nth cached get cross-checks the key's slot on all reachable
+  /// replicas and rewrites stale ones with the freshest image (inline
+  /// read-repair). 0 disables; no effect with replication == 1.
+  std::uint32_t read_repair_every_n = 0;
+  /// Budget of the background anti-entropy scan: keys compared across
+  /// replicas per anti_entropy_step() call (the store's analogue of the
+  /// cache scrubber's scrub_entries_per_epoch). 0 disables.
+  std::uint64_t antientropy_keys_per_epoch = 0;
 };
 
 /// How a get was served (one op may touch several buckets: chain follows
@@ -73,11 +96,13 @@ struct GetMeta {
   bool degraded = false; ///< some read came through the bounded-staleness path
   bool rerouted = false; ///< a preferred replica failed first
   bool version_reread = false;  ///< stale-generation image re-read uncached
+  int read_repairs = 0;  ///< stale replicas rewritten inline by this get
 };
 
 struct PutMeta {
   int applied = 0;                 ///< replicas that accepted the write
   int skipped = 0;                 ///< replicas skipped as unreachable
+  int hinted = 0;                  ///< of the skipped, buffered as handoff hints
   std::uint32_t applied_mask = 0;  ///< bit per replica position
 };
 
@@ -122,6 +147,45 @@ class Store {
   /// safety net instead of relying on the epoch protocol (tests).
   void reload(std::uint64_t generation, bool invalidate_caches = true);
 
+  // --- replica convergence (docs/KV.md "Repair & convergence") ---
+  /// Replay ready hint queues: targets whose recovery the health machine
+  /// reported (PROBING -> HEALTHY callback), plus targets that are
+  /// currently reachable and un-quarantined (covers runs without the
+  /// detector). Called automatically at the top of get/put/
+  /// anti_entropy_step; public so a driver can force a drain point. A
+  /// hint is applied only if its seq still exceeds the replica's — a
+  /// revived replica that already caught up (read-repair, anti-entropy,
+  /// a newer put) retires the hint without a write.
+  void drain_hints();
+  /// Hints currently buffered across all targets.
+  std::size_t hints_pending() const;
+
+  /// One bounded slice of the background anti-entropy scan: advance the
+  /// key cursor by `max_keys` (0 = the configured
+  /// antientropy_keys_per_epoch), compare the slot seq across replicas
+  /// for each key, and rewrite stale replicas with the freshest image.
+  /// Requires no client traffic on the keys; a full pass over the
+  /// keyspace takes ceil(nkeys / budget) calls. Returns replicas repaired.
+  std::uint64_t anti_entropy_step(std::uint64_t max_keys = 0);
+
+  /// Ground-truth convergence check (tests, bench/recovery_sweep): read
+  /// every key's slot uncached on every replica and compare seq, length
+  /// and value bytes.
+  struct ConvergenceReport {
+    std::uint64_t keys_checked = 0;
+    std::uint64_t keys_divergent = 0;    ///< reachable replicas disagree
+    std::uint64_t keys_unreachable = 0;  ///< some replica could not be read
+    std::uint64_t max_seq_spread = 0;    ///< worst max-min seq among divergent
+  };
+  ConvergenceReport verify_convergence();
+
+  /// True when any convergence feature may rewrite replicas behind the
+  /// workload driver's back (relaxes its exact own-key shadow check).
+  bool convergence_enabled() const {
+    return cfg_.hinted_handoff || cfg_.read_repair_every_n > 0 ||
+           cfg_.antientropy_keys_per_epoch > 0;
+  }
+
   // --- introspection ---
   CachedWindow& window() { return *win_; }
   const Ring& ring() const { return ring_; }
@@ -153,6 +217,24 @@ class Store {
   /// is immutable after load).
   bool locate_on(int server, std::uint64_t key, bool cached, Locator* loc);
   bool get_impl(std::uint64_t key, std::byte* value_out, GetMeta* meta, bool cached);
+  /// Read one key's raw slot image (header + value) from `server`,
+  /// bypassing the cache; the image stays in repair_buf_. False: key
+  /// absent. Throws fault::OpFailedError when the server is unreachable.
+  bool read_slot_on(int server, std::uint64_t key, bool cached_locate, SlotMeta* sm);
+  /// Write a composed slot image (kSlotHeaderBytes + len bytes) to the
+  /// key's slot on `server`. Throws fault::OpFailedError when unreachable.
+  void write_slot_on(int server, std::uint64_t key, const std::byte* slot_bytes,
+                     std::size_t nbytes, bool cached_locate);
+  /// Buffer a skipped replica write for later handoff (coalesced by key,
+  /// newest seq wins; full queues drop new keys and count the loss).
+  /// False: the hint was dropped (queue full) or superseded.
+  bool queue_hint(int server, std::uint64_t key, std::uint32_t seq,
+                  const std::byte* value, std::uint32_t len);
+  /// Replay one target's queue; stops (keeping the rest) if it fails again.
+  void drain_hints_for(int server);
+  /// Sampled cross-replica divergence check + repair for one served get.
+  void read_repair(std::uint64_t key, int served_pos, const int* reps,
+                   std::byte* value_out, GetMeta* m);
   std::uint32_t bucket_index(std::uint64_t key) const;
   std::uint32_t initial_len(std::uint64_t key) const;
   void load_shard();
@@ -173,6 +255,19 @@ class Store {
   std::vector<std::byte> bucket_buf_;
   std::vector<std::byte> slot_buf_;
   std::vector<std::unordered_map<std::uint64_t, Locator>> loc_cache_;  // per server
+
+  // --- replica convergence state (docs/KV.md "Repair & convergence") ---
+  struct Hint {
+    std::uint32_t seq = 0;
+    std::uint32_t len = 0;
+    std::vector<std::byte> value;
+  };
+  std::vector<std::unordered_map<std::uint64_t, Hint>> hints_;  // per server
+  std::vector<char> drain_ready_;  ///< set by the health recovery callback
+  std::uint64_t ae_cursor_ = 0;    ///< anti-entropy position in [0, nkeys)
+  std::uint64_t rr_tick_ = 0;      ///< read-repair sampling counter
+  std::vector<std::byte> repair_buf_;   ///< slot image read by read_slot_on
+  std::vector<std::byte> repair_slot_;  ///< slot image composed for repairs
 };
 
 }  // namespace clampi::kv

@@ -38,6 +38,15 @@ bool Driver::validate_get(std::uint64_t key, const GetMeta& m,
     const auto it = own_seq_.find(key);
     const std::uint32_t expect =
         it == own_seq_.end() ? 0 : it->second[static_cast<std::size_t>(m.replica_pos)];
+    if (store_->convergence_enabled()) {
+      // Repairs advance replicas behind our back (a drained hint or an
+      // anti-entropy write carries a seq we issued but never saw applied),
+      // so the exact equality relaxes to bounds: never below what we
+      // applied on that replica, never above what we last issued.
+      const auto ns = next_seq_.find(key);
+      const std::uint32_t issued = ns == next_seq_.end() ? 0 : ns->second;
+      return m.seq >= (m.degraded ? 0 : expect) && m.seq <= issued;
+    }
     return m.degraded ? m.seq <= expect : m.seq == expect;
   }
   if (!m.degraded) {
@@ -65,8 +74,15 @@ WorkloadReport Driver::run(rmasim::Process& p) {
   win.lock_all();
   const double t0 = p.now_us();
   for (std::uint64_t op = 0; op < cfg_.ops; ++op) {
-    if (op != 0 && cfg_.use_cache && op % cfg_.epoch_ops == 0) {
-      store_->invalidate_cache();  // Listing 1: epoch closes, drop the cache
+    if (op != 0 && op % cfg_.epoch_ops == 0) {
+      if (cfg_.use_cache) {
+        store_->invalidate_cache();  // Listing 1: epoch closes, drop the cache
+      }
+      // Epoch boundary doubles as the anti-entropy tick: spend the
+      // configured key budget reconciling replicas with zero client traffic.
+      if (store_->config().antientropy_keys_per_epoch > 0) {
+        r.antientropy_repairs += store_->anti_entropy_step();
+      }
     }
     std::uint64_t key = store_->key_at(zipf(rng));
     bool is_get = rng.uniform() < cfg_.get_ratio;
@@ -96,6 +112,7 @@ WorkloadReport Driver::run(rmasim::Process& p) {
         if (m.version_reread) ++r.version_rereads;
         if (m.degraded) ++r.degraded_serves;
         if (m.rerouted) ++r.rerouted;
+        r.read_repairs += static_cast<std::uint64_t>(m.read_repairs);
         if (cfg_.validate && !validate_get(key, m, value.data())) ++r.mismatches;
       }
     } else {
@@ -116,6 +133,7 @@ WorkloadReport Driver::run(rmasim::Process& p) {
       }
       r.put_replicas_applied += static_cast<std::uint64_t>(pm.applied);
       r.put_replicas_skipped += static_cast<std::uint64_t>(pm.skipped);
+      r.put_replicas_hinted += static_cast<std::uint64_t>(pm.hinted);
     }
     lat.push_back(p.now_us() - s0);
   }

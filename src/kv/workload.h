@@ -9,10 +9,16 @@
 //   - own keys (single writer per key): the served seq must equal exactly
 //     what this client last applied on the serving replica — a failed
 //     replica write does NOT advance that replica's expectation, which is
-//     what makes the check exact even through rank death;
+//     what makes the check exact even through rank death. When the store's
+//     convergence layer is on (hinted handoff / read-repair / anti-entropy;
+//     docs/KV.md "Repair & convergence"), repairs legitimately advance a
+//     replica behind the driver's back, so the check relaxes to a bounded
+//     one: applied-on-replica <= served seq <= last seq this client issued;
 //   - foreign keys: seq must never regress on the same serving replica
 //     (epoch-bounded staleness allows lag, never time travel), except on a
-//     degraded serve, which is allowed to be stale within its bound.
+//     degraded serve, which is allowed to be stale within its bound. This
+//     check survives convergence mode unchanged: repairs only ever raise
+//     a slot's seq, so monotonicity still holds.
 //
 // In resilient mode (replication > 1, degraded reads on) the driver keeps
 // serving through rank death — the availability field is the headline
@@ -53,6 +59,9 @@ struct WorkloadReport {
   std::uint64_t rerouted = 0;     ///< ops served by a non-preferred replica
   std::uint64_t put_replicas_applied = 0;
   std::uint64_t put_replicas_skipped = 0;
+  std::uint64_t put_replicas_hinted = 0;  ///< skips buffered as handoff hints
+  std::uint64_t read_repairs = 0;         ///< stale replicas fixed inline by gets
+  std::uint64_t antientropy_repairs = 0;  ///< repairs by the background scan
   std::uint64_t mismatches = 0;   ///< shadow-check violations (must be 0)
   double elapsed_us = 0.0;        ///< virtual time across the run
   double p50_us = 0.0;            ///< per-op virtual latency percentiles

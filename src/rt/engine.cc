@@ -710,14 +710,17 @@ void Process::flush(int target, Window w) {
       inj != nullptr && done > 0.0) {
     const int wt =
         engine_->comm_obj(Comm{wo.comm_id}).members[static_cast<std::size_t>(target)];
-    if (inj->dead(wt, me.clock.now_us())) {
-      // The target died with operations outstanding: the flush cannot
-      // complete them. Pending state is already cleared (taken above), so
-      // a subsequent flush of the same target succeeds trivially.
+    const bool is_dead = inj->dead(wt, me.clock.now_us());
+    if (is_dead || inj->partitioned(rank_, wt, me.clock.now_us())) {
+      // The target died — or a partition cut it off — with operations
+      // outstanding: the flush cannot confirm their completion. Pending
+      // state is already cleared (taken above), so a subsequent flush of
+      // the same target succeeds trivially.
       const fault::OpDesc d{fault::OpKind::kFlush, rank_, wt, 0, 0, me.clock.now_us()};
       if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
       me.clock.exit_runtime();
-      throw fault::OpFailedError(fault::FailureKind::kRankDead, d);
+      throw fault::OpFailedError(
+          is_dead ? fault::FailureKind::kRankDead : fault::FailureKind::kPartitioned, d);
     }
   }
   me.clock.advance_to_us(done);
@@ -729,7 +732,10 @@ void Process::flush_all(Window w) {
   me.clock.enter_runtime();
   const auto& wo = engine_->window(w);
   auto& pend = engine_->pending_[static_cast<std::size_t>(rank_)];
-  int dead_target = -1;  // world rank of the lowest dead target with pending ops
+  // World rank of the lowest unreachable (dead or partitioned-away) target
+  // with pending ops, and why it is unreachable.
+  int failed_target = -1;
+  fault::FailureKind failed_kind = fault::FailureKind::kRankDead;
   if (const fault::Injector* inj = engine_->cfg_.injector.get();
       inj != nullptr && pend.per_window_target.size() > static_cast<std::size_t>(w.id)) {
     const auto& per_target = pend.per_window_target[static_cast<std::size_t>(w.id)];
@@ -738,18 +744,24 @@ void Process::flush_all(Window w) {
       if (per_target[t] <= 0.0) continue;
       const int wt = members[t];
       if (inj->dead(wt, me.clock.now_us())) {
-        dead_target = wt;
+        failed_target = wt;
+        failed_kind = fault::FailureKind::kRankDead;
+        break;
+      }
+      if (inj->partitioned(rank_, wt, me.clock.now_us())) {
+        failed_target = wt;
+        failed_kind = fault::FailureKind::kPartitioned;
         break;
       }
     }
   }
   const double done = pend.take_all(static_cast<std::size_t>(w.id));
-  if (dead_target >= 0) {
-    const fault::OpDesc d{fault::OpKind::kFlush, rank_, dead_target, 0, 0,
+  if (failed_target >= 0) {
+    const fault::OpDesc d{fault::OpKind::kFlush, rank_, failed_target, 0, 0,
                           me.clock.now_us()};
     if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
     me.clock.exit_runtime();
-    throw fault::OpFailedError(fault::FailureKind::kRankDead, d);
+    throw fault::OpFailedError(failed_kind, d);
   }
   me.clock.advance_to_us(done);
   me.clock.exit_runtime();

@@ -24,6 +24,8 @@ Plan full_plan() {
   p.fail_target(1, 0.125);
   p.corrupt_storage(0.001953125);
   p.stale_puts(0.375);
+  p.partition_pair(0, 2, 5000.0, 30000.0);  // asymmetric: 2 still reaches 0
+  p.partition(1, 3, 10000.0);               // symmetric, never heals
   p.topology.ranks_per_node = 4;
   return p;
 }
@@ -42,7 +44,26 @@ TEST(FaultPlanJson, RoundTripsEveryPerturbationClass) {
   EXPECT_DOUBLE_EQ(q.revive_us[3], 45000.0);
   ASSERT_GT(q.target_fail_prob.size(), 1u);
   EXPECT_DOUBLE_EQ(q.target_fail_prob[1], 0.125);
+  ASSERT_EQ(q.partitions.size(), 3u);  // one asymmetric + both halves of partition()
+  EXPECT_EQ(q.partitions[0].from, 0);
+  EXPECT_EQ(q.partitions[0].to, 2);
+  EXPECT_DOUBLE_EQ(q.partitions[0].until_us, 30000.0);
+  EXPECT_EQ(q.partitions[1].from, 1);
+  EXPECT_EQ(q.partitions[2].from, 3);
+  EXPECT_DOUBLE_EQ(q.partitions[2].until_us, kForever);
   EXPECT_EQ(q.seed, 0xdeadbeefcafef00dull);
+}
+
+TEST(FaultPlanJson, PartitionsKeyOmittedWhenEmpty) {
+  // The chaos corpus is enforced bit-for-bit: a plan with no partitions
+  // must keep the exact byte encoding it had before partitions existed.
+  Plan p;
+  p.kill_rank(1, 100.0);
+  EXPECT_EQ(p.to_json().find("partitions"), std::string::npos);
+  Plan q = p;
+  q.partition_pair(0, 1, 100.0, 200.0);
+  EXPECT_NE(q.to_json().find("partitions"), std::string::npos);
+  EXPECT_FALSE(Plan::from_json(q.to_json()).trivial());
 }
 
 TEST(FaultPlanJson, DefaultPlanRoundTripsTrivial) {
