@@ -304,5 +304,80 @@ int main(int argc, char** argv) {
       store.free_window();
     });
   }
+
+  // Tail-latency preview: the counters the robustness layer pushes
+  // (docs/FAULTS.md §8). Server 1 straggles 30x from 10ms with some
+  // transient failures; hedged reads race its backup, deadline budgets
+  // cut doomed retries, and the AIMD shedder reacts to the misses.
+  {
+    rmasim::Engine::Config ecfg;
+    ecfg.nranks = 3;
+    ecfg.model = std::make_shared<net::FlatModel>(2.0, 0.001);
+    ecfg.time_policy = rmasim::TimePolicy::kModeled;
+    fault::Plan plan;
+    plan.slow_rank(/*rank=*/1, /*factor=*/30.0, /*from_us=*/10000.0);
+    plan.fail_target(/*rank=*/1, 0.4);
+    ecfg.injector = std::make_shared<fault::Injector>(plan);
+    rmasim::Engine engine(ecfg);
+    engine.run([](rmasim::Process& p) {
+      kv::StoreConfig scfg;
+      scfg.nkeys = 2000;
+      scfg.nservers = 2;
+      scfg.replication = 2;
+      scfg.cache.mode = Mode::kUserDefined;
+      scfg.cache.index_entries = 4096;
+      scfg.cache.storage_bytes = 8 << 20;
+      scfg.cache.max_retries = 1;
+      scfg.cache.retry_backoff_us = 30.0;
+      scfg.cache.retry_jitter = 0.0;
+      scfg.cache.op_deadline_us = 60.0;
+      scfg.cache.load_shedding = true;
+      scfg.cache.shed_window_us = 500.0;
+      scfg.cache.shed_miss_ratio = 0.05;
+      scfg.cache.shed_decrease_factor = 0.5;
+      scfg.cache.shed_increase = 0.1;
+      scfg.cache.shed_min_admit = 0.2;
+      scfg.hedge_quantile = 0.9;
+      scfg.hedge_min_samples = 8;
+      kv::Store store(p, scfg);
+      if (p.rank() == 2) {
+        // Feeds the per-target latency quantiles. Get-only: a second Driver
+        // starts with a fresh shadow model, so any calm-phase put would make
+        // the measured driver's exact own-key check see a seq it never wrote.
+        kv::WorkloadConfig calm;
+        calm.ops = 2000;
+        calm.get_ratio = 1.0;
+        calm.epoch_ops = 500;
+        kv::Driver warmer(store, calm, /*client_index=*/0, /*nclients=*/1);
+        warmer.run(p);
+        if (p.now_us() < 10001.0) p.compute_us(10001.0 - p.now_us());
+        kv::WorkloadConfig wcfg;
+        wcfg.ops = 3000;
+        wcfg.get_ratio = 0.8;
+        wcfg.epoch_ops = 500;
+        wcfg.seed = 0x74656cull;
+        kv::Driver driver(store, wcfg, /*client_index=*/0, /*nclients=*/1);
+        const kv::WorkloadReport rep = driver.run(p);
+        const Stats kst = store.window().stats();
+        std::printf(
+            "\ntail preview (%llu ops, 30x straggler on server 1 + 40%% "
+            "transients, 60us budgets, mismatches %llu):\n"
+            "  slow_observations %llu, kv_hedged_gets %llu "
+            "(wins %llu, wasted %llu),\n"
+            "  deadline_misses %llu, ops_shed %llu, admit fraction %.2f\n",
+            static_cast<unsigned long long>(rep.attempted),
+            static_cast<unsigned long long>(rep.mismatches),
+            static_cast<unsigned long long>(kst.slow_observations),
+            static_cast<unsigned long long>(kst.kv_hedged_gets),
+            static_cast<unsigned long long>(kst.kv_hedge_wins),
+            static_cast<unsigned long long>(kst.kv_hedge_wasted),
+            static_cast<unsigned long long>(kst.deadline_misses),
+            static_cast<unsigned long long>(kst.ops_shed),
+            store.window().admit_fraction());
+      }
+      p.barrier();
+      store.free_window();
+    });
+  }
   return 0;
 }

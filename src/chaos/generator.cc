@@ -189,6 +189,15 @@ Schedule generate(std::uint64_t seed) {
   // 1/2/4 shards: every index/storage size this generator emits (and the
   // adaptive min bounds in Schedule::config()) divides evenly by 4.
   s.audit_shards = std::uint64_t{1} << rng.bounded(3);
+  // Straggler epochs, also drawn after the step stream: sustained slowness
+  // multiplies latency and never fails an op, so only timing shifts — the
+  // oracle's correctness checks apply unchanged.
+  if (rng.bounded(4) == 0) {
+    const int r = 1 + static_cast<int>(rng.bounded(nservers));
+    const double from = rng.uniform() * 3e4;
+    plan.slow_rank(r, 4.0 + rng.uniform() * 26.0, from,
+                   from + 1e4 + rng.uniform() * 4e4);
+  }
   return s;
 }
 

@@ -49,6 +49,7 @@ ShrinkResult shrink(const Schedule& input, const FailFn& still_fails) {
         c.plan.spike_addend_us = 0.0;
       },
       [](Schedule& c) { c.plan.degraded.clear(); },
+      [](Schedule& c) { c.plan.stragglers.clear(); },
       [](Schedule& c) {
         c.plan.death_us.clear();
         c.plan.revive_us.clear();

@@ -107,6 +107,29 @@ struct Config {
   /// staleness explicitly (the mode matrix is in docs/FAULTS.md §6).
   bool cache_fallback = false;
 
+  // --- tail-latency robustness (deadline budgets + adaptive load
+  // shedding; docs/FAULTS.md §8) ---
+  /// End-to-end virtual-time budget for one get, covering every retry,
+  /// backoff charge and (for kv::Store) replica fall-through. 0 (default)
+  /// disables deadlines. When the budget cannot cover the next backoff,
+  /// the op resolves to the best degraded outcome available — a cached
+  /// serve under the bounded-staleness rules — or fails typed as
+  /// FailureKind::kDeadline. Must exceed `retry_backoff_us` when retries
+  /// are enabled, or no retry could ever fit inside the budget.
+  double op_deadline_us = 0.0;
+  /// AIMD admission control driven by deadline misses: when the miss
+  /// ratio of a shed window exceeds `shed_miss_ratio`, the admitted
+  /// fraction of new ops is multiplied by `shed_decrease_factor`; every
+  /// clean window adds `shed_increase` back. Ops refused admission
+  /// fast-fail typed as FailureKind::kShed before any network work.
+  /// Requires `op_deadline_us` > 0 (misses are the control signal).
+  bool load_shedding = false;
+  double shed_window_us = 2000.0;    ///< virtual-time AIMD control window
+  double shed_miss_ratio = 0.5;      ///< miss ratio that triggers a decrease
+  double shed_decrease_factor = 0.5; ///< multiplicative decrease, in (0,1)
+  double shed_increase = 0.1;        ///< additive recovery per clean window
+  double shed_min_admit = 0.1;       ///< floor on the admitted fraction
+
   // --- per-target health (failure detection / quarantine / degraded
   // reads; docs/FAULTS.md §6) ---
   /// Windowed per-target failures that quarantine a target; 0 (default)

@@ -120,6 +120,7 @@ TargetStatus HealthMonitor::status(int target, double now_us) const {
     st.degraded_hits = t->degraded_hits;
     st.quarantined_since_us = t->quarantined_since_us;
     st.epoch_backoff_us = t->epoch_backoff_us;
+    st.slow_observations = t->slow_observations;
   }
   st.usable = st.state != HealthState::kQuarantined;
   return st;

@@ -66,11 +66,19 @@ struct TargetStatus {
   double quarantined_since_us = -1.0;  ///< entry time of the current
                                        ///< quarantine; < 0 when not quarantined
   double epoch_backoff_us = 0.0;  ///< retry backoff charged this epoch
+  std::uint64_t slow_observations = 0;  ///< ops that completed against this
+                                        ///< target while it straggled (SLOW
+                                        ///< is informational: it never feeds
+                                        ///< suspicion or quarantine)
   bool dead = false;    ///< the fault injector reports the rank dead *now*
                         ///< (filled by CachedWindow, not the monitor)
   bool partitioned = false;  ///< a partition currently cuts this rank off
                              ///< from *us* (filled by CachedWindow; other
                              ///< origins may still reach it)
+  bool slow = false;    ///< a straggler epoch covers this rank *now* (filled
+                        ///< by CachedWindow; the rank is alive and correct,
+                        ///< so `usable` stays true — only the tail-latency
+                        ///< layer reacts; docs/FAULTS.md §8)
   bool usable = false;  ///< convenience: not quarantined, dead or partitioned
 };
 
@@ -125,6 +133,13 @@ class HealthMonitor {
   void note_fast_fail(int target) { ++at(target).fast_fails; }
   void note_degraded_hit(int target) { ++at(target).degraded_hits; }
 
+  /// A network op completed against `target` while a straggler epoch
+  /// covered it (docs/FAULTS.md §8). SLOW is a pure observation: it bumps
+  /// a counter and nothing else — no suspicion, no windowed failure count,
+  /// no state transition — so a straggling-but-correct rank can never be
+  /// quarantined by slowness alone. Works with the detector off.
+  void record_slow(int target) { ++at(target).slow_observations; }
+
   /// Highest target index ever touched + 1 (targets are created lazily).
   std::size_t tracked_targets() const { return targets_.size(); }
 
@@ -142,6 +157,7 @@ class HealthMonitor {
     double quarantined_since_us = -1.0;
     double epoch_backoff_us = 0.0;
     int probe_streak = 0;
+    std::uint64_t slow_observations = 0;
   };
 
   Target& at(int target);

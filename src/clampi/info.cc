@@ -142,6 +142,20 @@ Config config_from_info(const Info& info, Config cfg) {
       cfg.breaker_probe_every_n = static_cast<int>(parse_u64(key, value));
     } else if (key == "clampi_breaker_halfopen_successes") {
       cfg.breaker_halfopen_successes = static_cast<int>(parse_u64(key, value));
+    } else if (key == "clampi_op_deadline_us") {
+      cfg.op_deadline_us = parse_f64(key, value);
+    } else if (key == "clampi_load_shedding") {
+      cfg.load_shedding = parse_bool(key, value);
+    } else if (key == "clampi_shed_window_us") {
+      cfg.shed_window_us = parse_f64(key, value);
+    } else if (key == "clampi_shed_miss_ratio") {
+      cfg.shed_miss_ratio = parse_f64(key, value);
+    } else if (key == "clampi_shed_decrease_factor") {
+      cfg.shed_decrease_factor = parse_f64(key, value);
+    } else if (key == "clampi_shed_increase") {
+      cfg.shed_increase = parse_f64(key, value);
+    } else if (key == "clampi_shed_min_admit") {
+      cfg.shed_min_admit = parse_f64(key, value);
     } else if (key == "clampi_seed") {
       cfg.seed = parse_u64(key, value);
     } else {
@@ -217,6 +231,12 @@ Info stats_to_info(const Stats& s) {
   put("kv_hints_dropped", s.kv_hints_dropped);
   put("kv_read_repairs", s.kv_read_repairs);
   put("kv_antientropy_repairs", s.kv_antientropy_repairs);
+  put("deadline_misses", s.deadline_misses);
+  put("ops_shed", s.ops_shed);
+  put("slow_observations", s.slow_observations);
+  put("kv_hedged_gets", s.kv_hedged_gets);
+  put("kv_hedge_wins", s.kv_hedge_wins);
+  put("kv_hedge_wasted", s.kv_hedge_wasted);
   return out;
 }
 
@@ -290,6 +310,29 @@ void validate_config(const Config& cfg) {
   }
   CLAMPI_REQUIRE(cfg.degraded_max_staleness_us >= 0.0,
                  "config: negative degraded_max_staleness_us");
+  CLAMPI_REQUIRE(cfg.op_deadline_us >= 0.0, "config: negative op_deadline_us");
+  if (cfg.op_deadline_us > 0.0 && cfg.max_retries > 0) {
+    // A budget below the base backoff could never admit a single retry:
+    // every op would miss its deadline on the first transient fault, which
+    // is a retry config in name only. Reject it at window creation.
+    CLAMPI_REQUIRE(cfg.op_deadline_us > cfg.retry_backoff_us,
+                   "config: op_deadline_us must exceed retry_backoff_us when "
+                   "retries are enabled");
+  }
+  if (cfg.load_shedding) {
+    // Deadline misses are the shedder's control signal; without deadlines
+    // the admitted fraction could never move.
+    CLAMPI_REQUIRE(cfg.op_deadline_us > 0.0,
+                   "config: load_shedding requires op_deadline_us > 0");
+    CLAMPI_REQUIRE(cfg.shed_window_us > 0.0, "config: shed_window_us must be > 0");
+    CLAMPI_REQUIRE(cfg.shed_miss_ratio > 0.0 && cfg.shed_miss_ratio <= 1.0,
+                   "config: shed_miss_ratio must be in (0, 1]");
+    CLAMPI_REQUIRE(cfg.shed_decrease_factor > 0.0 && cfg.shed_decrease_factor < 1.0,
+                   "config: shed_decrease_factor must be in (0, 1)");
+    CLAMPI_REQUIRE(cfg.shed_increase > 0.0, "config: shed_increase must be > 0");
+    CLAMPI_REQUIRE(cfg.shed_min_admit > 0.0 && cfg.shed_min_admit <= 1.0,
+                   "config: shed_min_admit must be in (0, 1]");
+  }
 }
 
 }  // namespace clampi

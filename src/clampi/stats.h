@@ -117,6 +117,21 @@ struct Stats {
   std::uint64_t kv_antientropy_repairs = 0; ///< stale replicas rewritten by the
                                             ///< background anti-entropy scan
 
+  // Tail-latency robustness (docs/FAULTS.md §8): deadline budgets, SLOW
+  // observations, hedged replica reads and adaptive load shedding.
+  std::uint64_t deadline_misses = 0;  ///< ops whose virtual-time budget ran
+                                      ///< out (resolved degraded or kDeadline)
+  std::uint64_t ops_shed = 0;         ///< ops refused admission by the AIMD
+                                      ///< shedder (typed kShed, no network work)
+  std::uint64_t slow_observations = 0;///< ops completed against a straggling
+                                      ///< target (informational; never
+                                      ///< quarantines)
+  std::uint64_t kv_hedged_gets = 0;   ///< kv gets that issued a backup read
+                                      ///< after the primary outran its quantile
+  std::uint64_t kv_hedge_wins = 0;    ///< hedged gets won by the backup replica
+  std::uint64_t kv_hedge_wasted = 0;  ///< hedges whose backup lost (or was
+                                      ///< unreachable): pure overhead
+
   /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
   /// PENDING (full and partial hits alike).
   std::uint64_t hitting() const { return hits_full + hits_pending + hits_partial; }
@@ -198,6 +213,12 @@ struct Stats {
     d.kv_hints_dropped = kv_hints_dropped - base.kv_hints_dropped;
     d.kv_read_repairs = kv_read_repairs - base.kv_read_repairs;
     d.kv_antientropy_repairs = kv_antientropy_repairs - base.kv_antientropy_repairs;
+    d.deadline_misses = deadline_misses - base.deadline_misses;
+    d.ops_shed = ops_shed - base.ops_shed;
+    d.slow_observations = slow_observations - base.slow_observations;
+    d.kv_hedged_gets = kv_hedged_gets - base.kv_hedged_gets;
+    d.kv_hedge_wins = kv_hedge_wins - base.kv_hedge_wins;
+    d.kv_hedge_wasted = kv_hedge_wasted - base.kv_hedge_wasted;
     return d;
   }
 };

@@ -42,6 +42,15 @@ CachedWindow::CachedWindow(rmasim::Process& p, rmasim::Window win, const Config&
     bc.halfopen_successes = cfg_.breaker_halfopen_successes;
     breaker_ = std::make_unique<CircuitBreaker>(bc);
   }
+  if (cfg_.load_shedding) {
+    LoadShedder::Config sc;
+    sc.window_us = cfg_.shed_window_us;
+    sc.miss_ratio = cfg_.shed_miss_ratio;
+    sc.decrease_factor = cfg_.shed_decrease_factor;
+    sc.increase = cfg_.shed_increase;
+    sc.min_admit = cfg_.shed_min_admit;
+    shedder_ = std::make_unique<LoadShedder>(sc);
+  }
 }
 
 CachedWindow CachedWindow::allocate(rmasim::Process& p, std::size_t bytes, void** base,
@@ -97,6 +106,21 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
     desc.time_us = p_->now_us();
     throw fault::OpFailedError(fault::FailureKind::kQuarantined, desc);
   }
+  // A walk-wide deadline (kv replica fall-through) may already be spent
+  // before this target's first attempt: miss without touching the network.
+  if (deadline_abs_ >= 0.0 && p_->now_us() >= deadline_abs_) {
+    ++core_->mutable_stats().deadline_misses;
+    if (shedder_ != nullptr) shedder_->on_deadline_miss(p_->now_us());
+    breaker_failure();
+    fault::OpDesc desc;
+    desc.kind = fault::OpKind::kGet;
+    desc.origin = p_->rank();
+    desc.target = p_->comm_world_rank(comm_, target);
+    desc.disp = disp;
+    desc.bytes = bytes;
+    desc.time_us = p_->now_us();
+    throw fault::OpFailedError(fault::FailureKind::kDeadline, desc);
+  }
   int attempt = 0;
   for (;;) {
     try {
@@ -130,6 +154,24 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
       if (cfg_.retry_jitter > 0.0) {
         backoff *= 1.0 + cfg_.retry_jitter * (2.0 * retry_rng_.uniform() - 1.0);
       }
+      // Deadline budget (docs/FAULTS.md §8): checked *before* the backoff
+      // is charged, so an op never overshoots its deadline by more than
+      // the one network attempt already in flight. Cached hits never reach
+      // this loop and keep serving under an expired budget — the "best
+      // degraded outcome" the deadline contract promises.
+      if (deadline_abs_ >= 0.0 && p_->now_us() + backoff > deadline_abs_) {
+        ++st.deadline_misses;
+        if (shedder_ != nullptr) shedder_->on_deadline_miss(p_->now_us());
+        breaker_failure();
+        fault::OpDesc desc;
+        desc.kind = fault::OpKind::kGet;
+        desc.origin = p_->rank();
+        desc.target = p_->comm_world_rank(comm_, target);
+        desc.disp = disp;
+        desc.bytes = bytes;
+        desc.time_us = p_->now_us();
+        throw fault::OpFailedError(fault::FailureKind::kDeadline, desc);
+      }
       // The retry budget is per target per epoch: a dead target exhausting
       // its pool cannot starve retries for a healthy one.
       double& pool = health_.epoch_backoff_us(target);
@@ -149,6 +191,39 @@ void CachedWindow::issue_resilient(int target, std::size_t disp, std::size_t byt
       p_->compute_us(backoff);  // the wait is real virtual time
     }
   }
+}
+
+void CachedWindow::begin_op_deadline() {
+  if (extern_deadline_us_ >= 0.0) {
+    deadline_abs_ = extern_deadline_us_;
+  } else if (cfg_.op_deadline_us > 0.0) {
+    deadline_abs_ = p_->now_us() + cfg_.op_deadline_us;
+  } else {
+    deadline_abs_ = -1.0;
+  }
+}
+
+void CachedWindow::shed_admission(int target, std::size_t disp, std::size_t bytes) {
+  if (shedder_ == nullptr || shedder_->admit(p_->now_us())) return;
+  ++core_->mutable_stats().ops_shed;
+  fault::OpDesc desc;
+  desc.kind = fault::OpKind::kGet;
+  desc.origin = p_->rank();
+  desc.target = p_->comm_world_rank(comm_, target);
+  desc.disp = disp;
+  desc.bytes = bytes;
+  desc.time_us = p_->now_us();
+  throw fault::OpFailedError(fault::FailureKind::kShed, desc);
+}
+
+void CachedWindow::abandon_target(int target) {
+  p_->discard_pending(target, win_);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].target != target) pending_[kept++] = pending_[i];
+  }
+  pending_.resize(kept);
+  core_->drop_pending(target);
 }
 
 bool CachedWindow::target_down(int target) const {
@@ -244,12 +319,25 @@ TargetStatus CachedWindow::target_status(int target) const {
     const int wt = p_->comm_world_rank(comm_, target);
     ts.dead = inj->dead(wt, now);
     ts.partitioned = inj->partitioned(p_->rank(), wt, now);
+    ts.slow = inj->slow(wt, now);
   }
   ts.usable = !ts.dead && !ts.partitioned && ts.state != HealthState::kQuarantined;
   return ts;
 }
 
 void CachedWindow::health_record(int target, bool success, bool fatal) {
+  if (success) {
+    // SLOW observation (docs/FAULTS.md §8): the op completed while a
+    // straggler epoch covered the target. Counted before the enabled()
+    // gate so the stats work with the detector off, and fed to the
+    // monitor as a pure counter — slowness alone must never quarantine.
+    const fault::Injector* inj = p_->fault_injector();
+    if (inj != nullptr &&
+        inj->slow(p_->comm_world_rank(comm_, target), p_->now_us())) {
+      ++core_->mutable_stats().slow_observations;
+      health_.record_slow(target);
+    }
+  }
   if (!health_.enabled()) return;
   const double now = p_->now_us();
   const HealthState before = health_.state(target);
@@ -357,6 +445,8 @@ void CachedWindow::notify_get(int target, std::size_t disp, std::size_t bytes,
 
 void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t disp) {
   CLAMPI_REQUIRE(bytes > 0, "zero-byte get");
+  shed_admission(target, disp, bytes);
+  begin_op_deadline();
   last_phases_ = PhaseBreakdown{};
   if (breaker_says_passthrough()) {
     issue_network_get(origin, bytes, target, disp);
@@ -396,6 +486,8 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
     get(origin, bytes, target, disp);
     return;
   }
+  shed_admission(target, disp, bytes);
+  begin_op_deadline();
   last_phases_ = PhaseBreakdown{};
   if (breaker_says_passthrough()) {
     const auto blocks = dtype.flatten(count);

@@ -31,6 +31,7 @@
 #include "clampi/config.h"
 #include "clampi/health.h"
 #include "clampi/info.h"
+#include "clampi/shedder.h"
 #include "clampi/stats.h"
 #include "datatype/datatype.h"
 #include "rt/engine.h"
@@ -187,6 +188,40 @@ class CachedWindow {
   void note_kv_hint_dropped() { ++core_->mutable_stats().kv_hints_dropped; }
   void note_kv_read_repair() { ++core_->mutable_stats().kv_read_repairs; }
   void note_kv_antientropy_repair() { ++core_->mutable_stats().kv_antientropy_repairs; }
+  // Hedged-read accounting (docs/KV.md "Hedged reads").
+  void note_kv_hedged_get() { ++core_->mutable_stats().kv_hedged_gets; }
+  void note_kv_hedge_win() { ++core_->mutable_stats().kv_hedge_wins; }
+  void note_kv_hedge_wasted() { ++core_->mutable_stats().kv_hedge_wasted; }
+
+  // --- tail-latency robustness (docs/FAULTS.md §8) ---
+  /// Override the per-op deadline with an absolute virtual-time instant:
+  /// subsequent gets check their retries/backoffs against it instead of
+  /// opening a fresh `op_deadline_us` budget each. The KV layer brackets
+  /// a whole replica walk with this so the budget spans *all* replicas,
+  /// shrinking across fall-throughs. Negative clears the override.
+  void set_deadline_us(double abs_us) { extern_deadline_us_ = abs_us; }
+  /// The deadline the current/last op ran under (absolute; < 0 = none).
+  double current_deadline_us() const { return deadline_abs_; }
+  /// True when the AIMD shedder says background work (anti-entropy,
+  /// read-repair, hint drains) must be skipped this round.
+  bool shed_background() const {
+    return shedder_ != nullptr && shedder_->shedding_background();
+  }
+  /// Admitted fraction of the shedder (1 when shedding is off).
+  double admit_fraction() const {
+    return shedder_ == nullptr ? 1.0 : shedder_->admit_fraction();
+  }
+  /// Modelled wait a flush of `target` would cost right now (0 when no
+  /// ops are outstanding). The hedging layer compares this against its
+  /// latency quantile to decide whether to race a backup replica.
+  double outstanding_wait_us(int target) const {
+    return p_->pending_completion_us(target, win_);
+  }
+  /// Abandon the outstanding ops against `target`: discard their engine
+  /// completions without waiting and drop the cache bookkeeping that
+  /// expected their data (the losing side of a hedged read must not
+  /// populate the cache with bytes whose modelled arrival never came).
+  void abandon_target(int target);
 
   // --- integrity guard introspection (docs/INTEGRITY.md) ---
   /// Breaker state; kClosed when no breaker is configured
@@ -235,7 +270,17 @@ class CachedWindow {
                          std::uint64_t sig);
   /// The target is currently unreachable: quarantined by the health
   /// monitor, or dead/degraded per the installed fault injector.
+  /// Stragglers (slow_rank epochs) are deliberately NOT down: a slow
+  /// rank is alive and correct, so it never triggers degraded serves or
+  /// quarantine on its own (docs/FAULTS.md §8).
   bool target_down(int target) const;
+  /// Resolve the absolute deadline the op starting now runs under: the
+  /// KV-installed override if one is set, else a fresh op_deadline_us
+  /// budget, else none (-1).
+  void begin_op_deadline();
+  /// Foreground admission gate: throws kShed when the AIMD shedder
+  /// refuses the op (before any cache or network work).
+  void shed_admission(int target, std::size_t disp, std::size_t bytes);
   /// Feed one op outcome to the health monitor and mirror any state
   /// transition into Stats and the trace.
   void health_record(int target, bool success, bool fatal);
@@ -312,6 +357,9 @@ class CachedWindow {
   std::unique_ptr<CircuitBreaker> breaker_;  // null unless configured
   std::uint64_t shadow_tick_ = 0;            // shadow_verify_every_n sampling
   std::vector<std::byte> shadow_buf_;        // scratch for shadow fetches
+  std::unique_ptr<LoadShedder> shedder_;     // null unless load_shedding
+  double extern_deadline_us_ = -1.0;  // KV-installed walk-wide deadline
+  double deadline_abs_ = -1.0;        // deadline of the op in flight (< 0 = none)
 };
 
 /// Paper-style spelling of the user-defined-mode invalidation call.

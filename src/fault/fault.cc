@@ -19,6 +19,8 @@ const char* to_string(FailureKind k) {
     case FailureKind::kRankDead: return "rank_dead";
     case FailureKind::kQuarantined: return "quarantined";
     case FailureKind::kPartitioned: return "partitioned";
+    case FailureKind::kDeadline: return "deadline";
+    case FailureKind::kShed: return "shed";
   }
   return "?";
 }

@@ -46,6 +46,17 @@ enum class FailureKind : std::uint8_t {
                  ///< Asymmetric (origin->target only) and distinct from rank
                  ///< death — the target is alive and other origins may still
                  ///< reach it (split brain; docs/FAULTS.md §7)
+  kDeadline,     ///< the op's end-to-end virtual-time deadline budget ran
+                 ///< out (Config::op_deadline_us) before a retry/backoff or
+                 ///< replica walk could complete it; the target itself may
+                 ///< be fine — retrying the same op is pointless, issuing a
+                 ///< fresh one (with a fresh budget) is not
+                 ///< (docs/FAULTS.md §8)
+  kShed,         ///< the adaptive load shedder refused admission before any
+                 ///< network work: sustained deadline misses pushed the
+                 ///< window over its AIMD admission fraction, so the op
+                 ///< fast-fails to protect the ops already in flight
+                 ///< (docs/FAULTS.md §8)
 };
 
 const char* to_string(FailureKind k);

@@ -38,6 +38,11 @@ Injector::Injector(Plan plan) : plan_(std::move(plan)) {
     CLAMPI_REQUIRE(e.latency_factor >= 1.0,
                    "fault plan: degraded epochs slow transfers down (factor >= 1)");
   }
+  for (const StragglerEpoch& e : plan_.stragglers) {
+    CLAMPI_REQUIRE(e.rank >= 0, "fault plan: straggler epoch without a rank");
+    CLAMPI_REQUIRE(e.factor >= 1.0,
+                   "fault plan: straggler epochs slow transfers down (factor >= 1)");
+  }
   CLAMPI_REQUIRE(plan_.storage_bitflip_prob >= 0.0 && plan_.storage_bitflip_prob <= 1.0,
                  "fault plan: storage bit-flip probability outside [0,1]");
   CLAMPI_REQUIRE(plan_.stale_put_prob >= 0.0 && plan_.stale_put_prob <= 1.0,
@@ -169,6 +174,20 @@ double Injector::degrade_factor(int rank, double now_us) const {
   return f;
 }
 
+bool Injector::slow(int rank, double now_us) const {
+  return slow_factor(rank, now_us) != 1.0;
+}
+
+double Injector::slow_factor(int rank, double now_us) const {
+  double f = 1.0;
+  for (const StragglerEpoch& e : plan_.stragglers) {
+    if (e.rank == rank && now_us >= e.from_us && now_us < e.until_us) {
+      f *= e.factor;
+    }
+  }
+  return f;
+}
+
 Injector::Verdict Injector::on_op(OpKind op, int origin, int target, std::size_t bytes,
                                   double now_us) {
   (void)op;
@@ -212,6 +231,8 @@ Injector::Verdict Injector::on_op(OpKind op, int origin, int target, std::size_t
   }
   const double df = degrade_factor(target, now_us);
   if (df != 1.0) v.latency_factor *= df;
+  const double sf = slow_factor(target, now_us);
+  if (sf != 1.0) v.latency_factor *= sf;
   if (v.latency_factor != 1.0 || v.latency_addend_us != 0.0) ++perturbed_;
   return v;
 }

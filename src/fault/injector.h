@@ -91,6 +91,11 @@ class Injector {
   bool degraded(int rank, double now_us) const;
   /// Product of the latency factors of all epochs covering (rank, now).
   double degrade_factor(int rank, double now_us) const;
+  /// True while `rank` is inside a straggler epoch (alive but slow; the
+  /// resilience layer must NOT treat this as down — docs/FAULTS.md §8).
+  bool slow(int rank, double now_us) const;
+  /// Product of the straggler factors of all epochs covering (rank, now).
+  double slow_factor(int rank, double now_us) const;
 
   const Plan& plan() const { return plan_; }
   std::uint64_t ops_seen() const { return ops_; }

@@ -14,6 +14,9 @@ bool Plan::trivial() const {
   for (const DegradedEpoch& e : degraded) {
     if (e.latency_factor != 1.0 && e.until_us > e.from_us) return false;
   }
+  for (const StragglerEpoch& e : stragglers) {
+    if (e.factor != 1.0 && e.until_us > e.from_us) return false;
+  }
   for (const double d : death_us) {
     if (d >= 0.0) return false;
   }
@@ -64,6 +67,11 @@ Plan& Plan::degrade_rank(int rank, double factor, double from_us, double until_u
   return *this;
 }
 
+Plan& Plan::slow_rank(int rank, double factor, double from_us, double until_us) {
+  stragglers.push_back({rank, from_us, until_us, factor});
+  return *this;
+}
+
 Plan& Plan::partition_pair(int origin, int target, double from_us, double until_us) {
   partitions.push_back({origin, target, from_us, until_us});
   return *this;
@@ -90,6 +98,11 @@ bool operator==(const DegradedEpoch& a, const DegradedEpoch& b) {
          a.latency_factor == b.latency_factor;
 }
 
+bool operator==(const StragglerEpoch& a, const StragglerEpoch& b) {
+  return a.rank == b.rank && a.from_us == b.from_us && a.until_us == b.until_us &&
+         a.factor == b.factor;
+}
+
 bool operator==(const PartitionEpoch& a, const PartitionEpoch& b) {
   return a.from == b.from && a.to == b.to && a.from_us == b.from_us &&
          a.until_us == b.until_us;
@@ -98,7 +111,8 @@ bool operator==(const PartitionEpoch& a, const PartitionEpoch& b) {
 bool operator==(const Plan& a, const Plan& b) {
   return a.seed == b.seed && a.fail_prob == b.fail_prob && a.spike_prob == b.spike_prob &&
          a.spike_factor == b.spike_factor && a.spike_addend_us == b.spike_addend_us &&
-         a.degraded == b.degraded && a.death_us == b.death_us &&
+         a.degraded == b.degraded && a.stragglers == b.stragglers &&
+         a.death_us == b.death_us &&
          a.revive_us == b.revive_us && a.partitions == b.partitions &&
          a.target_fail_prob == b.target_fail_prob &&
          a.storage_bitflip_prob == b.storage_bitflip_prob &&
@@ -141,6 +155,20 @@ std::string Plan::to_json() const {
     deg.push(std::move(o));
   }
   root.set("degraded", std::move(deg));
+  // Serialized only when present so pre-straggler artifacts (the committed
+  // chaos corpus is enforced bit-for-bit) keep their exact byte encoding.
+  if (!stragglers.empty()) {
+    json::Value slow = json::Value::array();
+    for (const StragglerEpoch& e : stragglers) {
+      json::Value o = json::Value::object();
+      o.set("rank", json::Value::number(e.rank));
+      o.set("from_us", json::Value::number(e.from_us));
+      o.set("until_us", json::Value::number(e.until_us));
+      o.set("factor", json::Value::number(e.factor));
+      slow.push(std::move(o));
+    }
+    root.set("stragglers", std::move(slow));
+  }
   root.set("death_us", doubles_array(death_us));
   root.set("revive_us", doubles_array(revive_us));
   // Serialized only when present so pre-partition artifacts (the committed
@@ -189,6 +217,16 @@ Plan Plan::from_json(const std::string& text) {
       e.until_us = o.get_double("until_us", e.until_us);
       e.latency_factor = o.get_double("latency_factor", e.latency_factor);
       p.degraded.push_back(e);
+    }
+  }
+  if (const json::Value* slow = root.find("stragglers")) {
+    for (const json::Value& o : slow->items()) {
+      StragglerEpoch e;
+      e.rank = o.get_int("rank", e.rank);
+      e.from_us = o.get_double("from_us", e.from_us);
+      e.until_us = o.get_double("until_us", e.until_us);
+      e.factor = o.get_double("factor", e.factor);
+      p.stragglers.push_back(e);
     }
   }
   if (const json::Value* v = root.find("death_us")) p.death_us = doubles_from(*v);

@@ -16,6 +16,12 @@
 //   - degraded-rank epochs: while virtual time is inside [from_us,
 //     until_us) every transfer touching `rank` as a target is slowed by
 //     latency_factor (a flaky NIC / congested node);
+//   - straggler epochs: like degraded epochs, every transfer targeting
+//     `rank` is multiplied by `factor` while the epoch covers the instant —
+//     but the rank is reported *slow*, not *down*: the health machine
+//     records SLOW observations without quarantining, degraded reads do
+//     not kick in, and the tail-latency layer (deadlines, hedged reads,
+//     shedding; docs/FAULTS.md §8) is what defends against it;
 //   - permanent rank death: after death instant d, every operation
 //     targeting the rank fails with FailureKind::kRankDead forever;
 //   - network partitions: while virtual time is inside a PartitionEpoch,
@@ -53,6 +59,20 @@ struct DegradedEpoch {
 
 inline constexpr double kForever = 1e300;
 
+/// One interval during which a rank answers *slowly* (as a target): every
+/// transfer targeting `rank` is multiplied by `factor` while virtual time
+/// is inside [from_us, until_us). Distinct from DegradedEpoch in how the
+/// resilience stack classifies it — a straggler is alive and correct, so
+/// the health machine must not quarantine it and degraded reads must not
+/// serve stale data for it; only the tail-latency layer (deadline budgets,
+/// hedged replica reads, load shedding; docs/FAULTS.md §8) reacts.
+struct StragglerEpoch {
+  int rank = -1;
+  double from_us = 0.0;
+  double until_us = kForever;  ///< exclusive; kForever = never recovers
+  double factor = 1.0;         ///< multiplier on the modelled transfer cost
+};
+
 /// One interval during which the network partition separates `from` (as an
 /// origin) from `to` (as a target): every one-sided operation and every
 /// flush waiting on the pair fails with FailureKind::kPartitioned while
@@ -83,6 +103,10 @@ struct Plan {
   /// Degraded-rank epochs; multiple epochs covering the same instant
   /// compound multiplicatively.
   std::vector<DegradedEpoch> degraded;
+
+  /// Straggler epochs (sustained slowness without failure); overlapping
+  /// epochs on the same rank compound multiplicatively, like degraded.
+  std::vector<StragglerEpoch> stragglers;
 
   /// Per-world-rank death instant; < 0 (or absent) means immortal.
   std::vector<double> death_us;
@@ -131,6 +155,10 @@ struct Plan {
   /// Rank `rank` is degraded by `factor` over [from_us, until_us).
   Plan& degrade_rank(int rank, double factor, double from_us = 0.0,
                      double until_us = kForever);
+  /// Rank `rank` straggles (alive but `factor`x slow as a target) over
+  /// [from_us, until_us).
+  Plan& slow_rank(int rank, double factor, double from_us = 0.0,
+                  double until_us = kForever);
   /// Ops `origin -> target` (that direction only) fail with kPartitioned
   /// over [from_us, until_us).
   Plan& partition_pair(int origin, int target, double from_us,
@@ -157,6 +185,7 @@ struct Plan {
 };
 
 bool operator==(const DegradedEpoch&, const DegradedEpoch&);
+bool operator==(const StragglerEpoch&, const StragglerEpoch&);
 bool operator==(const PartitionEpoch&, const PartitionEpoch&);
 inline bool operator==(const net::Topology& a, const net::Topology& b) {
   return a.ranks_per_node == b.ranks_per_node && a.nodes_per_group == b.nodes_per_group;

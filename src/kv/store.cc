@@ -33,7 +33,22 @@ void validate(const StoreConfig& cfg, int nranks) {
   // hint — the one configuration that looks resilient but converges never.
   CLAMPI_REQUIRE(!cfg.hinted_handoff || cfg.hint_queue_cap >= 1,
                  "kv: hint_queue_cap must be >= 1 when hinted handoff is enabled");
+  CLAMPI_REQUIRE(cfg.hedge_quantile >= 0.0 && cfg.hedge_quantile < 1.0,
+                 "kv: hedge_quantile must be in [0, 1) (0 disables hedging)");
+  if (cfg.hedge_quantile > 0.0) {
+    CLAMPI_REQUIRE(cfg.replication >= 2,
+                   "kv: hedged reads require replication >= 2");
+    CLAMPI_REQUIRE(cfg.hedge_min_samples >= 1,
+                   "kv: hedge_min_samples must be >= 1");
+    CLAMPI_REQUIRE(cfg.hedge_window_us > 0.0, "kv: hedge_window_us must be > 0");
+  }
 }
+
+/// Control-flow signal for a won hedge race: thrown by maybe_hedge deep
+/// inside the primary's lookup, caught by get_impl, which then serves the
+/// backup's stashed result. Not an error — the unwound primary walk is
+/// simply abandoned.
+struct HedgeWon {};
 
 }  // namespace
 
@@ -71,6 +86,14 @@ Store::Store(rmasim::Process& p, const StoreConfig& cfg)
   drain_ready_.assign(static_cast<std::size_t>(cfg_.nservers), 0);
   repair_buf_.resize(cfg_.layout.slot_bytes());
   repair_slot_.resize(cfg_.layout.slot_bytes());
+  if (cfg_.hedge_quantile > 0.0) {
+    lat_est_.reserve(static_cast<std::size_t>(cfg_.nservers));
+    for (int s = 0; s < cfg_.nservers; ++s) {
+      lat_est_.emplace_back(cfg_.hedge_quantile, cfg_.hedge_window_us);
+    }
+    hedge_buf_.resize(cfg_.layout.bucket_bytes());
+    hedge_value_.resize(cfg_.layout.value_capacity);
+  }
   if (cfg_.hinted_handoff) {
     // Recovery callback: when the health machine walks a target back to
     // HEALTHY (PROBING -> HEALTHY after a revival or a healed partition),
@@ -167,6 +190,7 @@ void Store::read_bucket(int server, std::uint32_t b, bool cached, GetMeta* m) {
   }
   if (!cached) {
     win_->get_nocache(bucket_buf_.data(), bb, server, disp);
+    feed_latency(server);
     win_->flush(server);
     // The uncached path skips the resilient issue wrapper, so its
     // successes must count as probes by hand (half-open recovery).
@@ -178,7 +202,116 @@ void Store::read_bucket(int server, std::uint32_t b, bool cached, GetMeta* m) {
   if (win_->last_access() == AccessType::kHit) {
     ++m->cached_hits;  // local copy, nothing in flight: skip the flush
   } else {
+    maybe_hedge(server, m);  // throws HedgeWon when the backup's answer wins
     win_->flush(server);
+  }
+}
+
+void Store::feed_latency(int server) {
+  if (lat_est_.empty()) return;
+  const double now = p_->now_us();
+  const double t = win_->outstanding_wait_us(server);
+  lat_est_[static_cast<std::size_t>(server)].add(t > now ? t - now : 0.0, now);
+}
+
+void Store::maybe_hedge(int server, GetMeta* m) {
+  const int backup = hedge_backup_;
+  hedge_backup_ = -1;  // at most one race per lookup
+  if (backup < 0 || backup == server || lat_est_.empty()) {
+    feed_latency(server);
+    return;
+  }
+  const double now = p_->now_us();
+  const double t_p = win_->outstanding_wait_us(server);
+  const double wait = t_p > now ? t_p - now : 0.0;
+  auto& est = lat_est_[static_cast<std::size_t>(server)];
+  if (est.samples() < cfg_.hedge_min_samples || wait <= est.quantile()) {
+    est.add(wait, now);
+    return;
+  }
+  // The primary's modelled wait is past the target's recent quantile:
+  // race the next ring replica. A real hedging client only learns this by
+  // waiting out the threshold, so charge it as compute before the backup
+  // goes out.
+  win_->note_kv_hedged_get();
+  m->hedged = true;
+  const double theta = est.quantile();
+  if (theta > 0.0) p_->compute_us(theta);
+  const double tb0 = p_->now_us();
+  bool backup_ok = true;
+  bool backup_found = false;
+  try {
+    backup_found = lookup_backup_nowait(backup, hedge_key_, m);
+  } catch (const fault::OpFailedError&) {
+    backup_ok = false;  // backup unreachable: the hedge was pure waste
+  }
+  if (backup_ok) {
+    const double t_b = win_->outstanding_wait_us(backup);
+    if (t_b < t_p) {
+      // The backup answers first. Only its modelled completion is real:
+      // flush it, feed its estimator with the experienced wait, and
+      // abandon the primary wholesale — engine completion, window
+      // bookkeeping and cache pending entries — because the primary's
+      // bytes never (virtually) arrived. The primary's estimator gets no
+      // sample: we never experienced its completion, and feeding the
+      // straggled prediction would inflate the threshold until hedging
+      // disarmed itself exactly when it is needed most.
+      lat_est_[static_cast<std::size_t>(backup)].add(
+          t_b > tb0 ? t_b - tb0 : 0.0, tb0);
+      win_->note_kv_hedge_win();
+      m->hedge_won = true;
+      win_->flush(backup);
+      win_->record_target_outcome(backup, /*success=*/true);
+      win_->abandon_target(server);
+      hedge_found_ = backup_found;
+      throw HedgeWon{};
+    }
+    // The primary would answer first after all: discard the backup's
+    // pending completion — nobody will wait for it.
+    win_->abandon_target(backup);
+  }
+  win_->note_kv_hedge_wasted();
+  est.add(wait, now);  // the primary's wait was experienced end to end
+}
+
+bool Store::lookup_backup_nowait(int server, std::uint64_t key, GetMeta* m) {
+  const std::size_t bb = cfg_.layout.bucket_bytes();
+  std::uint32_t b = bucket_index(key);
+  std::size_t hops = 0;
+  for (;;) {
+    ++m->bucket_reads;
+    if (b < main_buckets_) {
+      win_->note_kv_bucket_read();
+    } else {
+      win_->note_kv_chain_read();
+      ++m->chain_follows;
+    }
+    // Uncached and unflushed: eager data movement makes the bytes readable
+    // immediately while the modelled completion stays pending, so the walk
+    // can follow chains without committing to the backup's latency.
+    win_->get_nocache(hedge_buf_.data(), bb, server,
+                      static_cast<std::size_t>(b) * bb);
+    const BucketHeader h = load_header(hedge_buf_.data());
+    CLAMPI_REQUIRE(h.generation == generation_,
+                   "kv: server bucket carries unexpected generation");
+    CLAMPI_REQUIRE(h.count <= cfg_.layout.slots_per_bucket,
+                   "kv: bucket header count out of range");
+    for (std::uint32_t s = 0; s < h.count; ++s) {
+      const std::byte* slot = hedge_buf_.data() + cfg_.layout.slot_offset(s);
+      const SlotMeta sm = load_slot_meta(slot);
+      if (sm.key != key) continue;
+      CLAMPI_REQUIRE(sm.len <= cfg_.layout.value_capacity,
+                     "kv: slot length exceeds value_capacity");
+      std::memcpy(hedge_value_.data(), slot + Layout::kSlotHeaderBytes, sm.len);
+      m->seq = sm.seq;
+      m->len = sm.len;
+      m->generation = h.generation;
+      return true;
+    }
+    if (h.chain == kNoBucket) return false;
+    CLAMPI_REQUIRE(h.chain < nbuckets_, "kv: chain link out of range");
+    b = h.chain;
+    CLAMPI_REQUIRE(++hops <= nbuckets_, "kv: chain cycle detected");
   }
 }
 
@@ -228,8 +361,15 @@ bool Store::get_impl(std::uint64_t key, std::byte* value_out, GetMeta* meta,
   int reps[kMaxReplicas];
   ring_.replicas(key, cfg_.replication, reps);
   for (int pos = 0; pos < cfg_.replication; ++pos) {
+    if (pos == 0 && cached && !lat_est_.empty() && cfg_.replication >= 2) {
+      // Arm the hedge for the primary lookup: the first cached bucket read
+      // that goes over the wire may race reps[1] (see maybe_hedge).
+      hedge_backup_ = reps[1];
+      hedge_key_ = key;
+    }
     try {
       const bool found = lookup_on(reps[pos], key, cached, value_out, m);
+      hedge_backup_ = -1;
       // Membership is identical on every replica (update-only store), so a
       // clean miss on a reachable replica is authoritative.
       m->server = reps[pos];
@@ -237,24 +377,60 @@ bool Store::get_impl(std::uint64_t key, std::byte* value_out, GetMeta* meta,
       m->rerouted = pos > 0;
       // Sampled inline read-repair (cached serving path only; degraded
       // serves are legally stale, so cross-checking them would "repair"
-      // replicas with data the cache already superseded).
+      // replicas with data the cache already superseded). Repair is
+      // background-tier work, so it is shed under overload.
       if (found && cached && !m->degraded && cfg_.replication > 1 &&
-          cfg_.read_repair_every_n > 0 &&
+          cfg_.read_repair_every_n > 0 && !win_->shed_background() &&
           ++rr_tick_ >= cfg_.read_repair_every_n) {
         rr_tick_ = 0;
         read_repair(key, pos, reps, value_out, m);
       }
       return found;
-    } catch (const fault::OpFailedError&) {
+    } catch (const HedgeWon&) {
+      // The backup replica answered first; its stashed result is
+      // authoritative (reconciliation is to the highest seq, and a hedge
+      // win serves exactly what a fall-through to that replica would).
+      hedge_backup_ = -1;
+      if (hedge_found_) std::memcpy(value_out, hedge_value_.data(), m->len);
+      m->server = reps[1];
+      m->replica_pos = 1;
+      return hedge_found_;
+    } catch (const fault::OpFailedError& e) {
+      hedge_backup_ = -1;
+      if (e.failure() == fault::FailureKind::kShed) {
+        m->shed = true;  // refused admission: trying other replicas would
+        return false;    // defeat the shedder's point
+      }
+      if (e.failure() == fault::FailureKind::kDeadline) {
+        m->deadline = true;  // budget exhausted: the walk is over
+        return false;
+      }
       // Replica unreachable (dead, partitioned or quarantined): fall through.
     }
   }
   return false;
 }
 
-bool Store::get(std::uint64_t key, std::byte* value_out, GetMeta* meta) {
+bool Store::get(std::uint64_t key, std::byte* value_out, GetMeta* meta,
+                double deadline_abs) {
   drain_hints();
-  return get_impl(key, value_out, meta, /*cached=*/true);
+  double dl = deadline_abs;
+  if (dl < 0.0 && cfg_.cache.op_deadline_us > 0.0) {
+    dl = p_->now_us() + cfg_.cache.op_deadline_us;
+  }
+  if (dl < 0.0) return get_impl(key, value_out, meta, /*cached=*/true);
+  // One budget for the whole replica walk: retries, backoffs and replica
+  // fall-throughs all spend from the same deadline, so a get can never
+  // stack per-replica budgets into an unbounded tail.
+  win_->set_deadline_us(dl);
+  try {
+    const bool found = get_impl(key, value_out, meta, /*cached=*/true);
+    win_->set_deadline_us(-1.0);
+    return found;
+  } catch (...) {
+    win_->set_deadline_us(-1.0);
+    throw;
+  }
 }
 
 bool Store::get_uncached(std::uint64_t key, std::byte* value_out, GetMeta* meta) {
@@ -303,6 +479,14 @@ bool Store::put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
   compose_slot(key, seq, len, value, slot_buf_.data());
   const std::size_t nbytes = Layout::kSlotHeaderBytes + len;
 
+  // The put's locate reads spend from one walk-wide deadline too; a
+  // replica whose locate runs out of budget is simply skipped and hinted,
+  // like any other unreachable replica.
+  const double dl = cfg_.cache.op_deadline_us > 0.0
+                        ? p_->now_us() + cfg_.cache.op_deadline_us
+                        : -1.0;
+  if (dl >= 0.0) win_->set_deadline_us(dl);
+
   int reps[kMaxReplicas];
   ring_.replicas(key, cfg_.replication, reps);
   for (int pos = 0; pos < cfg_.replication; ++pos) {
@@ -331,6 +515,7 @@ bool Store::put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
       }
     }
   }
+  if (dl >= 0.0) win_->set_deadline_us(-1.0);
   return m->applied > 0;
 }
 
@@ -395,6 +580,10 @@ std::size_t Store::hints_pending() const {
 
 void Store::drain_hints() {
   if (!cfg_.hinted_handoff) return;
+  // Hint replay is background-tier work: under overload it stands down
+  // entirely so foreground gets keep their deadline budgets. The hints
+  // stay queued; the drain re-arms once the shedder admits fully again.
+  if (win_->shed_background()) return;
   for (int s = 0; s < cfg_.nservers; ++s) {
     auto& q = hints_[static_cast<std::size_t>(s)];
     if (q.empty()) continue;
@@ -511,6 +700,9 @@ std::uint64_t Store::anti_entropy_step(std::uint64_t max_keys) {
   drain_hints();
   if (max_keys == 0) max_keys = cfg_.antientropy_keys_per_epoch;
   if (max_keys == 0 || cfg_.replication <= 1) return 0;
+  // Lowest-priority tier: the scan skips its whole budget while the
+  // shedder is below full admission (divergence waits; deadlines do not).
+  if (win_->shed_background()) return 0;
   std::uint64_t repairs = 0;
   const std::uint64_t budget = std::min<std::uint64_t>(max_keys, cfg_.nkeys);
   int reps[kMaxReplicas];

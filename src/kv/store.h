@@ -36,6 +36,7 @@
 #include "clampi/clampi.h"
 #include "kv/bucket.h"
 #include "kv/ring.h"
+#include "metrics/quantile.h"
 
 namespace clampi::kv {
 
@@ -80,6 +81,20 @@ struct StoreConfig {
   /// replicas per anti_entropy_step() call (the store's analogue of the
   /// cache scrubber's scrub_entries_per_epoch). 0 disables.
   std::uint64_t antientropy_keys_per_epoch = 0;
+
+  // --- hedged replica reads (docs/KV.md "Hedged reads") ---
+  /// Arm a backup read against the next ring replica when the primary's
+  /// modelled outstanding wait exceeds this quantile of recently
+  /// *experienced* waits against it (metrics::QuantileEstimator,
+  /// virtual-time windowed). First response wins; the loser's completion
+  /// is discarded. 0 disables; must be in (0, 1) otherwise, and requires
+  /// replication >= 2 (there must be a replica to race).
+  double hedge_quantile = 0.0;
+  /// Lifetime per-target samples before the estimate arms hedging.
+  std::uint32_t hedge_min_samples = 8;
+  /// Virtual-time window of the estimator (a straggler epoch that ends
+  /// stops inflating the threshold within two windows).
+  double hedge_window_us = 50000.0;
 };
 
 /// How a get was served (one op may touch several buckets: chain follows
@@ -97,6 +112,11 @@ struct GetMeta {
   bool rerouted = false; ///< a preferred replica failed first
   bool version_reread = false;  ///< stale-generation image re-read uncached
   int read_repairs = 0;  ///< stale replicas rewritten inline by this get
+  // Tail-latency robustness (docs/FAULTS.md §8, docs/KV.md "Hedged reads").
+  bool hedged = false;    ///< a backup read raced the primary
+  bool hedge_won = false; ///< ... and the backup's response served
+  bool shed = false;      ///< the op was refused admission (kShed)
+  bool deadline = false;  ///< the op's deadline budget ran out (kDeadline)
 };
 
 struct PutMeta {
@@ -121,9 +141,15 @@ class Store {
   std::uint64_t key_at(std::uint64_t i) const;
 
   /// Cached get: replica fall-through, collision chains, versioned
-  /// re-reads. Returns false only when the key is unreachable on every
-  /// replica (never throws for fault-induced failures).
-  bool get(std::uint64_t key, std::byte* value_out, GetMeta* meta = nullptr);
+  /// re-reads, hedged backup reads. Returns false only when the key is
+  /// unreachable on every replica, was shed, or ran out of deadline
+  /// budget (never throws for fault-induced failures; GetMeta says why).
+  /// `deadline_abs` overrides the config deadline with an absolute
+  /// virtual-time instant (open-loop benches date the budget from the
+  /// op's *arrival*, not from when the client got around to issuing it);
+  /// negative uses cache.op_deadline_us from now.
+  bool get(std::uint64_t key, std::byte* value_out, GetMeta* meta = nullptr,
+           double deadline_abs = -1.0);
   /// Baseline path: every bucket read bypasses the cache (get_nocache).
   bool get_uncached(std::uint64_t key, std::byte* value_out, GetMeta* meta = nullptr);
 
@@ -235,6 +261,21 @@ class Store {
   /// Sampled cross-replica divergence check + repair for one served get.
   void read_repair(std::uint64_t key, int served_pos, const int* reps,
                    std::byte* value_out, GetMeta* m);
+  /// Backup side of a hedged read: walk `server`'s chain for `key` with
+  /// uncached, *unflushed* gets into hedge_buf_ (eager data movement makes
+  /// the bytes readable while the modelled completions stay pending, so
+  /// the race is decided by peeking both sides' completion times). The
+  /// value lands in hedge_value_; seq/len/generation go into `m`.
+  bool lookup_backup_nowait(int server, std::uint64_t key, GetMeta* m);
+  /// Feed the per-target latency estimator with the modelled wait of the
+  /// fetch currently outstanding against `server` (no-op with hedging off).
+  void feed_latency(int server);
+  /// Hedge decision point: called by read_bucket on a cached miss against
+  /// `server` with the fetch outstanding. May race the armed backup and,
+  /// when the backup wins, throws HedgeWon (caught by get_impl) after
+  /// stashing the backup's result. Otherwise returns with the primary's
+  /// fetch still outstanding (read_bucket flushes as usual).
+  void maybe_hedge(int server, GetMeta* m);
   std::uint32_t bucket_index(std::uint64_t key) const;
   std::uint32_t initial_len(std::uint64_t key) const;
   void load_shard();
@@ -268,6 +309,18 @@ class Store {
   std::uint64_t rr_tick_ = 0;      ///< read-repair sampling counter
   std::vector<std::byte> repair_buf_;   ///< slot image read by read_slot_on
   std::vector<std::byte> repair_slot_;  ///< slot image composed for repairs
+
+  // --- hedged-read state (docs/KV.md "Hedged reads") ---
+  std::vector<metrics::QuantileEstimator> lat_est_;  ///< per server; empty
+                                                     ///< when hedging is off
+  std::vector<std::byte> hedge_buf_;    ///< backup bucket walk scratch (must
+                                        ///< not alias bucket_buf_: the
+                                        ///< primary's copy-in points there)
+  std::vector<std::byte> hedge_value_;  ///< backup's value on a hedge win
+  bool hedge_found_ = false;            ///< backup's found/miss verdict
+  int hedge_backup_ = -1;  ///< armed backup server for the current primary
+                           ///< lookup (-1: hedging inactive for this read)
+  std::uint64_t hedge_key_ = 0;         ///< key of the armed lookup
 };
 
 }  // namespace clampi::kv

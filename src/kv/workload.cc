@@ -97,13 +97,30 @@ WorkloadReport Driver::run(rmasim::Process& p) {
       if (!found) is_get = true;
     }
 
+    // Open-loop pacing: idle until the op's arrival when ahead of
+    // schedule; when behind (overload) the op is simply issued late.
+    double deadline_abs = -1.0;
+    if (cfg_.op_arrival_period_us > 0.0) {
+      const double arrival =
+          t0 + static_cast<double>(op) * cfg_.op_arrival_period_us;
+      if (p.now_us() < arrival) p.compute_us(arrival - p.now_us());
+      if (store_->config().cache.op_deadline_us > 0.0) {
+        deadline_abs = arrival + store_->config().cache.op_deadline_us;
+      }
+    }
+
     const double s0 = p.now_us();
     if (is_get) {
       ++r.gets;
       ++r.attempted;
       GetMeta m;
-      const bool ok = cfg_.use_cache ? store_->get(key, value.data(), &m)
-                                     : store_->get_uncached(key, value.data(), &m);
+      const bool ok = cfg_.use_cache
+                          ? store_->get(key, value.data(), &m, deadline_abs)
+                          : store_->get_uncached(key, value.data(), &m);
+      if (m.hedged) ++r.hedged_gets;
+      if (m.hedge_won) ++r.hedge_wins;
+      if (m.shed) ++r.ops_shed;
+      if (m.deadline) ++r.deadline_misses;
       if (ok) {
         ++r.served;
         r.bucket_reads += static_cast<std::uint64_t>(m.bucket_reads);
@@ -144,6 +161,7 @@ WorkloadReport Driver::run(rmasim::Process& p) {
     std::sort(lat.begin(), lat.end());
     r.p50_us = lat[lat.size() / 2];
     r.p99_us = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+    r.max_us = lat.back();
   }
   return r;
 }

@@ -44,6 +44,13 @@ struct WorkloadConfig {
   bool use_cache = true;          ///< false = get_nocache baseline
   bool validate = true;           ///< run the shadow check on every get
   std::uint64_t seed = 0x6b76u;
+  /// Open-loop arrivals: op i is *due* at t0 + i * period. A client ahead
+  /// of schedule idles until the arrival; one behind schedule (overload)
+  /// issues late — and when the cache config sets op_deadline_us, each
+  /// get's deadline is dated from its ARRIVAL, not its issue, so queueing
+  /// delay spends the budget exactly like a real service's admission
+  /// queue. 0 keeps the closed-loop issue-as-fast-as-possible behaviour.
+  double op_arrival_period_us = 0.0;
 };
 
 struct WorkloadReport {
@@ -63,9 +70,15 @@ struct WorkloadReport {
   std::uint64_t read_repairs = 0;         ///< stale replicas fixed inline by gets
   std::uint64_t antientropy_repairs = 0;  ///< repairs by the background scan
   std::uint64_t mismatches = 0;   ///< shadow-check violations (must be 0)
+  // Tail-latency robustness (docs/FAULTS.md §8).
+  std::uint64_t hedged_gets = 0;  ///< gets that raced a backup replica
+  std::uint64_t hedge_wins = 0;   ///< ... where the backup answered first
+  std::uint64_t ops_shed = 0;     ///< gets refused admission (kShed)
+  std::uint64_t deadline_misses = 0;  ///< gets whose budget ran out (kDeadline)
   double elapsed_us = 0.0;        ///< virtual time across the run
   double p50_us = 0.0;            ///< per-op virtual latency percentiles
   double p99_us = 0.0;
+  double max_us = 0.0;            ///< slowest single op (deadline-overrun gate)
 
   double availability() const {
     return attempted == 0 ? 1.0

@@ -1,0 +1,178 @@
+// Online quantile estimation for the tail-latency layer (docs/FAULTS.md
+// §8, docs/KV.md "Hedged reads").
+//
+// P2Quantile is the classic P² algorithm (Jain & Chlamtac 1985): five
+// markers track (min, q/2, q, (1+q)/2, max) of the stream in O(1) space
+// and O(1) per observation, with piecewise-parabolic marker adjustment.
+// Below five samples it degrades gracefully to the exact order statistic
+// of a sorted buffer. Deterministic: no randomness, no wall-clock.
+//
+// QuantileEstimator wraps two P² instances in a virtual-time tumbling
+// window (current + previous) so the estimate tracks the *recent*
+// distribution: a straggler epoch that ends stops inflating the hedge
+// threshold within two windows, instead of polluting a lifetime estimate
+// forever. Queries prefer the current window once it has enough samples
+// and fall back to the previous (complete) window while the current one
+// warms up.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace clampi::metrics {
+
+/// Single-quantile P² estimator. `q` must be in (0, 1).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q) : q_(q) {}
+
+  void add(double x) {
+    if (count_ < 5) {
+      heights_[count_++] = x;
+      if (count_ == 5) {
+        std::sort(heights_.begin(), heights_.end());
+        positions_ = {1, 2, 3, 4, 5};
+        desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      }
+      return;
+    }
+    ++count_;
+    // Locate the cell containing x and clamp the extreme markers.
+    std::size_t k;
+    if (x < heights_[0]) {
+      heights_[0] = x;
+      k = 0;
+    } else if (x >= heights_[4]) {
+      heights_[4] = std::max(heights_[4], x);
+      k = 3;
+    } else {
+      k = 0;
+      while (k < 3 && x >= heights_[k + 1]) ++k;
+    }
+    for (std::size_t i = k + 1; i < 5; ++i) ++positions_[i];
+    const std::array<double, 5> increments = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments[i];
+    // Adjust the three interior markers toward their desired positions.
+    for (std::size_t i = 1; i <= 3; ++i) {
+      const double d = desired_[i] - static_cast<double>(positions_[i]);
+      const long below = positions_[i] - positions_[i - 1];
+      const long above = positions_[i + 1] - positions_[i];
+      if ((d >= 1.0 && above > 1) || (d <= -1.0 && below > 1)) {
+        const int sign = d >= 1.0 ? 1 : -1;
+        const double h = parabolic(i, sign);
+        if (heights_[i - 1] < h && h < heights_[i + 1]) {
+          heights_[i] = h;
+        } else {
+          heights_[i] = linear(i, sign);
+        }
+        positions_[i] += sign;
+      }
+    }
+  }
+
+  /// Current estimate; exact below five samples, NaN-free on empty (0).
+  double quantile() const {
+    if (count_ == 0) return 0.0;
+    if (count_ < 5) {
+      std::array<double, 5> sorted = heights_;
+      std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+      // Nearest-rank order statistic of the buffered samples.
+      const auto idx = static_cast<std::size_t>(
+          std::ceil(q_ * static_cast<double>(count_)) - 1.0);
+      return sorted[std::min(idx, count_ - 1)];
+    }
+    return heights_[2];
+  }
+
+  std::uint64_t count() const { return count_; }
+  double q() const { return q_; }
+
+  void reset() {
+    count_ = 0;
+    heights_ = {};
+    positions_ = {};
+    desired_ = {};
+  }
+
+ private:
+  double parabolic(std::size_t i, int sign) const {
+    const double d = static_cast<double>(sign);
+    const double np = static_cast<double>(positions_[i + 1]);
+    const double n = static_cast<double>(positions_[i]);
+    const double nm = static_cast<double>(positions_[i - 1]);
+    return heights_[i] +
+           d / (np - nm) *
+               ((n - nm + d) * (heights_[i + 1] - heights_[i]) / (np - n) +
+                (np - n - d) * (heights_[i] - heights_[i - 1]) / (n - nm));
+  }
+
+  double linear(std::size_t i, int sign) const {
+    const auto j = static_cast<std::size_t>(static_cast<long>(i) + sign);
+    return heights_[i] + static_cast<double>(sign) * (heights_[j] - heights_[i]) /
+                             static_cast<double>(positions_[j] - positions_[i]);
+  }
+
+  double q_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_ = {};
+  std::array<long, 5> positions_ = {};
+  std::array<double, 5> desired_ = {};
+};
+
+/// Windowed quantile: a current and a previous P² estimator rotated every
+/// `window_us` of virtual time. `quantile()` serves the current window
+/// once it left the exact-buffer regime (>= 5 samples), else the last
+/// complete window, else whatever the warming current window has.
+class QuantileEstimator {
+ public:
+  QuantileEstimator(double q, double window_us)
+      : window_us_(window_us), cur_(q), prev_(q) {}
+
+  void add(double x, double now_us) {
+    roll(now_us);
+    cur_.add(x);
+    ++samples_;
+  }
+
+  double quantile() const {
+    if (cur_.count() >= 5 || prev_.count() == 0) return cur_.quantile();
+    return prev_.quantile();
+  }
+
+  /// Lifetime sample count (never reset by window rotation); gates the
+  /// hedge decision until the estimate means something.
+  std::uint64_t samples() const { return samples_; }
+  double q() const { return cur_.q(); }
+
+ private:
+  void roll(double now_us) {
+    if (window_us_ <= 0.0) return;  // unwindowed: one lifetime estimator
+    if (!started_) {
+      started_ = true;
+      window_start_us_ = now_us;
+      return;
+    }
+    if (now_us - window_start_us_ < window_us_) return;
+    // Tumble; a long idle gap may skip several windows — the stale
+    // previous estimate is dropped rather than aged forward.
+    if (now_us - window_start_us_ >= 2.0 * window_us_) {
+      prev_.reset();
+    } else {
+      prev_ = cur_;
+    }
+    cur_.reset();
+    window_start_us_ = now_us;
+  }
+
+  double window_us_;
+  bool started_ = false;
+  double window_start_us_ = 0.0;
+  std::uint64_t samples_ = 0;
+  P2Quantile cur_;
+  P2Quantile prev_;
+};
+
+}  // namespace clampi::metrics

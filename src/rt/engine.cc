@@ -34,6 +34,11 @@ double Engine::PendingCompletions::take_target(std::size_t win_id, int target) {
   return r;
 }
 
+double Engine::PendingCompletions::peek_target(std::size_t win_id, int target) const {
+  if (per_window_target.size() <= win_id || per_window_target[win_id].empty()) return 0.0;
+  return per_window_target[win_id][static_cast<std::size_t>(target)];
+}
+
 double Engine::PendingCompletions::take_all(std::size_t win_id) {
   if (per_window_target.size() <= win_id) return 0.0;
   double r = 0.0;
@@ -696,6 +701,22 @@ void Process::get_blocks(void* origin, int target, std::size_t disp, const Block
                       fault::Injector::perturb(fv, m.transfer_us(wt, rank_, total))),
       engine_->nranks());
   me.clock.exit_runtime();
+}
+
+double Process::pending_completion_us(int target, Window w) const {
+  const auto& wo = engine_->window(w);
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.base.size(),
+                 "target rank out of range");
+  return engine_->pending_[static_cast<std::size_t>(rank_)].peek_target(
+      static_cast<std::size_t>(w.id), target);
+}
+
+double Process::discard_pending(int target, Window w) {
+  const auto& wo = engine_->window(w);
+  CLAMPI_REQUIRE(target >= 0 && static_cast<std::size_t>(target) < wo.base.size(),
+                 "target rank out of range");
+  return engine_->pending_[static_cast<std::size_t>(rank_)].take_target(
+      static_cast<std::size_t>(w.id), target);
 }
 
 void Process::flush(int target, Window w) {

@@ -152,6 +152,20 @@ class Process {
                         AccumulateType type, int target, std::size_t disp, Window w);
 
   // --- Completion / epochs ---
+  /// Modelled completion time of the outstanding operations against
+  /// `target` on `w`, WITHOUT waiting (no clock advance, pending state
+  /// untouched); 0 when nothing is outstanding. Simulation backdoor, not
+  /// part of the MPI surface: a hedging layer peeks how long a flush
+  /// *would* block to decide whether to race a backup request
+  /// (docs/KV.md "Hedged reads").
+  double pending_completion_us(int target, Window w) const;
+  /// Drop the outstanding operations against `target` on `w` without
+  /// waiting for them, returning the modelled completion time they would
+  /// have had (0 if none). The data already moved eagerly at issue; this
+  /// only discards the completion bookkeeping — the simulation analogue
+  /// of abandoning a request whose response nobody will wait for. A
+  /// subsequent flush of the target succeeds trivially.
+  double discard_pending(int target, Window w);
   void flush(int target, Window w);
   void flush_all(Window w);
   /// MPI_Win_flush_local(_all): origin buffers are reusable, the remote
@@ -329,6 +343,8 @@ class Engine {
     void note(std::size_t win_id, int target, double t, int nranks);
     double take_target(std::size_t win_id, int target);
     double take_all(std::size_t win_id);
+    /// take_target without the clearing: read the completion time.
+    double peek_target(std::size_t win_id, int target) const;
   };
 
   // --- scheduler ---

@@ -179,6 +179,82 @@ TEST(ConfigValidation, RejectsMalformedHealthKnobs) {
   EXPECT_NO_THROW(validate_config(stale));
 }
 
+TEST(ConfigValidation, RejectsMalformedTailKnobs) {
+  Config c;
+  c.op_deadline_us = -1.0;
+  EXPECT_THROW(validate_config(c), util::ContractError);
+
+  // With retries enabled, a deadline at or below the first backoff could
+  // never survive a single retry: reject the combination outright.
+  Config d;
+  d.max_retries = 3;
+  d.retry_backoff_us = 50.0;
+  d.op_deadline_us = 50.0;
+  EXPECT_THROW(validate_config(d), util::ContractError);
+  d.op_deadline_us = 51.0;
+  EXPECT_NO_THROW(validate_config(d));
+  // Without retries any positive deadline stands on its own.
+  d.max_retries = 0;
+  d.op_deadline_us = 10.0;
+  EXPECT_NO_THROW(validate_config(d));
+
+  // Shedding requires deadlines: without them there is no miss signal.
+  Config e;
+  e.load_shedding = true;
+  EXPECT_THROW(validate_config(e), util::ContractError);
+  e.op_deadline_us = 500.0;
+  EXPECT_NO_THROW(validate_config(e));
+  EXPECT_NO_THROW(CacheCore{e});
+
+  // The AIMD knobs are only checked once shedding is on.
+  Config off;
+  off.shed_window_us = -1.0;
+  off.shed_miss_ratio = 2.0;
+  off.shed_decrease_factor = 1.5;
+  off.shed_increase = 0.0;
+  off.shed_min_admit = 0.0;
+  EXPECT_NO_THROW(validate_config(off));
+
+  Config on = e;
+  on.shed_window_us = 0.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.shed_window_us = 2000.0;
+  on.shed_miss_ratio = 0.0;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.shed_miss_ratio = 1.5;
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.shed_miss_ratio = 0.5;
+  on.shed_decrease_factor = 1.0;  // must actually decrease
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.shed_decrease_factor = 0.5;
+  on.shed_increase = 0.0;  // must actually recover
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.shed_increase = 0.1;
+  on.shed_min_admit = 0.0;  // a zero floor would starve forever
+  EXPECT_THROW(validate_config(on), util::ContractError);
+  on.shed_min_admit = 0.1;
+  EXPECT_NO_THROW(validate_config(on));
+}
+
+TEST(ConfigValidation, TailInfoKeysParse) {
+  const Info info{{"clampi_op_deadline_us", "750.5"},
+                  {"clampi_load_shedding", "true"},
+                  {"clampi_shed_window_us", "4000"},
+                  {"clampi_shed_miss_ratio", "0.25"},
+                  {"clampi_shed_decrease_factor", "0.4"},
+                  {"clampi_shed_increase", "0.05"},
+                  {"clampi_shed_min_admit", "0.2"}};
+  const Config cfg = config_from_info(info);
+  EXPECT_DOUBLE_EQ(cfg.op_deadline_us, 750.5);
+  EXPECT_TRUE(cfg.load_shedding);
+  EXPECT_DOUBLE_EQ(cfg.shed_window_us, 4000.0);
+  EXPECT_DOUBLE_EQ(cfg.shed_miss_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(cfg.shed_decrease_factor, 0.4);
+  EXPECT_DOUBLE_EQ(cfg.shed_increase, 0.05);
+  EXPECT_DOUBLE_EQ(cfg.shed_min_admit, 0.2);
+  EXPECT_NO_THROW(validate_config(cfg));
+}
+
 TEST(ConfigValidation, ShardKnobRules) {
   // Power of two in [1, 256]...
   for (const std::size_t ok : {1u, 2u, 4u, 8u, 256u}) {

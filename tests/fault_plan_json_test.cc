@@ -26,6 +26,8 @@ Plan full_plan() {
   p.stale_puts(0.375);
   p.partition_pair(0, 2, 5000.0, 30000.0);  // asymmetric: 2 still reaches 0
   p.partition(1, 3, 10000.0);               // symmetric, never heals
+  p.slow_rank(2, 8.0, 2000.0, 40000.0);     // straggler epoch
+  p.slow_rank(1, 3.5);                      // open-ended straggler
   p.topology.ranks_per_node = 4;
   return p;
 }
@@ -51,7 +53,25 @@ TEST(FaultPlanJson, RoundTripsEveryPerturbationClass) {
   EXPECT_EQ(q.partitions[1].from, 1);
   EXPECT_EQ(q.partitions[2].from, 3);
   EXPECT_DOUBLE_EQ(q.partitions[2].until_us, kForever);
+  ASSERT_EQ(q.stragglers.size(), 2u);
+  EXPECT_EQ(q.stragglers[0].rank, 2);
+  EXPECT_DOUBLE_EQ(q.stragglers[0].factor, 8.0);
+  EXPECT_DOUBLE_EQ(q.stragglers[0].until_us, 40000.0);
+  EXPECT_DOUBLE_EQ(q.stragglers[1].until_us, kForever);
   EXPECT_EQ(q.seed, 0xdeadbeefcafef00dull);
+}
+
+TEST(FaultPlanJson, StragglersKeyOmittedWhenEmpty) {
+  // Same bit-for-bit corpus argument as partitions: a plan with no
+  // straggler epochs must keep its pre-straggler byte encoding.
+  Plan p;
+  p.kill_rank(1, 100.0);
+  EXPECT_EQ(p.to_json().find("stragglers"), std::string::npos);
+  Plan q = p;
+  q.slow_rank(1, 5.0, 0.0, 1000.0);
+  EXPECT_NE(q.to_json().find("stragglers"), std::string::npos);
+  EXPECT_FALSE(Plan::from_json(q.to_json()).trivial());
+  EXPECT_EQ(Plan::from_json(q.to_json()), q);
 }
 
 TEST(FaultPlanJson, PartitionsKeyOmittedWhenEmpty) {
@@ -84,6 +104,7 @@ TEST(FaultPlanJson, AbsentKeysKeepDefaults) {
   const Plan q = Plan::from_json("{\"spike_prob\": 0.5}");
   EXPECT_DOUBLE_EQ(q.spike_prob, 0.5);
   EXPECT_TRUE(q.degraded.empty());
+  EXPECT_TRUE(q.stragglers.empty());
   EXPECT_TRUE(q.death_us.empty());
   EXPECT_EQ(q.seed, Plan{}.seed);
 }
