@@ -221,6 +221,43 @@ Schedule transparent_epoch_churn() {
   return s;
 }
 
+/// Rank 1 crashes with a full memory wipe and restarts: gets during the
+/// outage fail fast, the crash boundary drops the pre-crash cache, and
+/// the first get after the restart observes the wiped (zeroed) window —
+/// the engine applies the wipe lazily at that access
+/// (docs/DURABILITY.md).
+Schedule crash_restart_wipe() {
+  Schedule s = base(111, Mode::kTransparent);
+  s.plan.crash_rank(1, 8000.0, 20000.0);
+  s.steps = {get(1, 0, 128),   put(1, 512, 64),  flush(1),  // cached pre-crash
+             compute(10000.0),                   // rank 1 crashed at 8ms
+             get(1, 0, 128),                     // dead target: fails
+             compute(12000.0),                   // restarted at 20ms
+             get(1, 0, 128),                     // wiped window: zeros
+             put(1, 512, 64),  flush(1),         // writable again
+             get(1, 512, 64)};
+  return s;
+}
+
+/// User-defined mode with the epoch's data still in flight when the
+/// restart passes: the crash-boundary flush completes it against the
+/// eagerly-copied pre-crash bytes (matching the oracle's issue-time
+/// snapshots), the explicit invalidate closes the epoch, and only then
+/// does the wipe become observable. Carries the persistence-fault
+/// probabilities so the committed JSON exercises the new keys.
+Schedule crash_inflight_epoch() {
+  Schedule s = base(112, Mode::kUserDefined);
+  s.plan.crash_rank(1, 6000.0, 9000.0);
+  s.plan.torn_writes(1.0);
+  s.plan.corrupt_journal(0.001);
+  s.steps = {get(1, 0, 256),   get(1, 1024, 128),  // in flight...
+             compute(12000.0),                     // ...across the whole outage
+             get(1, 0, 256),                       // boundary, then zeros
+             flush(1),
+             get(1, 1024, 128)};
+  return s;
+}
+
 }  // namespace
 
 const std::vector<CorpusEntry>& corpus() {
@@ -235,6 +272,8 @@ const std::vector<CorpusEntry>& corpus() {
       {"spike_storm", &spike_storm},
       {"breaker_trip", &breaker_trip},
       {"transparent_epoch_churn", &transparent_epoch_churn},
+      {"crash_restart_wipe", &crash_restart_wipe},
+      {"crash_inflight_epoch", &crash_inflight_epoch},
   };
   return kCorpus;
 }

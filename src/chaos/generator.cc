@@ -198,6 +198,34 @@ Schedule generate(std::uint64_t seed) {
     plan.slow_rank(r, 4.0 + rng.uniform() * 26.0, from,
                    from + 1e4 + rng.uniform() * 4e4);
   }
+  // Crash-restart epochs (docs/DURABILITY.md), drawn after everything above
+  // so the step stream is unchanged for a given seed. Soundness couplings
+  // (the runner's crash-boundary handling relies on all three):
+  //  - kAlwaysCache is excluded: the boundary can only drop cache state via
+  //    epoch closure (transparent) or invalidate (user-defined), and
+  //    always-cache mode has neither — its pre-crash hits would be compared
+  //    against the wiped shadow.
+  //  - stale schedules are excluded: they cleared every death-like fault
+  //    above, and a crash is a death with a memory wipe attached.
+  //  - transient failures, deaths and partitions are cleared: any of them
+  //    could fail the boundary flush_all, leaving pre-crash cache entries
+  //    committed while the oracle zeroes its shadow. The crash outage
+  //    itself supplies the unreachable-rank coverage those faults gave.
+  if (!stale && s.mode != Mode::kAlwaysCache && rng.bounded(4) == 0) {
+    const int r = 1 + static_cast<int>(rng.bounded(nservers));
+    const double at = 5e3 + rng.uniform() * 3e4;
+    plan.crash_rank(r, at, at + 2e3 + rng.uniform() * 2e4);
+    // The persistence faults ride along so repro artifacts round-trip
+    // them; no kv journal exists in a chaos run, so they change nothing
+    // here.
+    if (rng.bounded(2) == 0) plan.torn_writes(0.5 + rng.uniform() * 0.5);
+    if (rng.bounded(3) == 0) plan.corrupt_journal(1e-4 + rng.uniform() * 1e-3);
+    plan.fail_prob = {};
+    plan.target_fail_prob.clear();
+    plan.death_us.clear();
+    plan.revive_us.clear();
+    plan.partitions.clear();
+  }
   return s;
 }
 

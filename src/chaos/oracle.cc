@@ -194,6 +194,14 @@ void Oracle::on_flush_failure(int target) {
   }
 }
 
+void Oracle::on_crash_wipe(int rank, double now_us) {
+  if (rank < 1 || rank >= s_.nranks) return;
+  auto& sh = shadow_[static_cast<std::size_t>(rank)];
+  std::fill(sh.begin(), sh.end(), std::uint8_t{0});
+  auto& stamps = last_put_us_[static_cast<std::size_t>(rank)];
+  std::fill(stamps.begin(), stamps.end(), now_us);
+}
+
 void Oracle::check_stats(const Stats& st) {
   const std::uint64_t classified = st.hits_full + st.hits_pending +
                                    st.hits_partial + st.direct + st.conflicting +

@@ -74,6 +74,15 @@ class Oracle {
   /// pendings, so the oracle drops its deferred checks for them unchecked.
   void on_flush_failure(int target);
 
+  /// Server `rank` restarted after a wiped-memory crash (docs/DURABILITY.md)
+  /// and its window now reads as zeros. The runner calls this at the crash
+  /// boundary, after it has flushed in-flight work and dropped the cache.
+  /// Every last-write stamp is set to the wipe time rather than "never
+  /// written": a degraded serve of a retained pre-crash entry is ordinary
+  /// staleness (age-bounded), and the never-put byte-exact check would
+  /// misfire against the zeroed shadow.
+  void on_crash_wipe(int rank, double now_us);
+
   /// Stats conservation + monotonicity (call after every step).
   void check_stats(const Stats& st);
   /// Structural audit (call after every step; cheap at chaos sizes).

@@ -46,10 +46,49 @@ void drive(rmasim::Process& p, CachedWindow& win, Shared& sh) {
   std::deque<std::vector<std::uint8_t>> buffers;
   std::vector<std::uint8_t> putbuf;
 
+  // Crash boundaries (docs/DURABILITY.md): once a crashed server's restart
+  // time has passed, the engine wipes its window lazily at the next op that
+  // touches it. The driver mirrors that at step granularity — before the op
+  // it completes in-flight work (the lazy wipe lands inside the flush; the
+  // eagerly-copied data predates the crash, matching the deferred checks'
+  // issue-time snapshots), drops the cache (its entries predate the wipe),
+  // and only then zeroes the oracle's shadow. The generator clears every
+  // fault that could fail this flush (generator.cc), so the catch arms are
+  // belt-and-braces.
+  std::vector<int> wipes_seen(static_cast<std::size_t>(s.nranks), 0);
+  const bool any_crash = !s.plan.crashes.empty();
+
   for (std::size_t i = 0; i < s.steps.size() && !oracle.gave_up(); ++i) {
     const Step& st = s.steps[i];
     oracle.begin_step(i);
     ++out.steps_run;
+    if (any_crash) {
+      for (int r = 1; r < s.nranks; ++r) {
+        const int due = p.crash_restarts_due(r);
+        if (due <= wipes_seen[static_cast<std::size_t>(r)]) continue;
+        wipes_seen[static_cast<std::size_t>(r)] = due;
+        try {
+          win.flush_all();
+          oracle.on_flush_success(-1);
+        } catch (const fault::OpFailedError&) {
+          ++out.faults;
+          oracle.on_flush_failure(-1);
+        }
+        if (s.mode == Mode::kUserDefined) {
+          // Transparent mode already invalidated at the epoch closure
+          // above; user-defined epochs survive a flush_all and must be
+          // closed explicitly. (kAlwaysCache never crashes: generator.cc.)
+          try {
+            win.invalidate();
+            oracle.on_flush_success(-1);
+          } catch (const fault::OpFailedError&) {
+            ++out.faults;
+            oracle.on_flush_failure(-1);
+          }
+        }
+        oracle.on_crash_wipe(r, p.now_us());
+      }
+    }
     switch (st.kind) {
       case Step::Kind::kGet: {
         buffers.emplace_back(st.bytes);

@@ -55,6 +55,11 @@ ShrinkResult shrink(const Schedule& input, const FailFn& still_fails) {
         c.plan.revive_us.clear();
       },
       [](Schedule& c) { c.plan.partitions.clear(); },
+      [](Schedule& c) {
+        c.plan.crashes.clear();
+        c.plan.torn_write_prob = 0.0;
+        c.plan.journal_corrupt_prob = 0.0;
+      },
       [](Schedule& c) { c.plan.target_fail_prob.clear(); },
       [](Schedule& c) { c.plan.stale_put_prob = 0.0; },
       [](Schedule& c) { c.plan.storage_bitflip_prob = 0.0; },

@@ -79,7 +79,12 @@ struct TargetStatus {
                         ///< by CachedWindow; the rank is alive and correct,
                         ///< so `usable` stays true — only the tail-latency
                         ///< layer reacts; docs/FAULTS.md §8)
-  bool usable = false;  ///< convenience: not quarantined, dead or partitioned
+  bool recovering = false;  ///< the rank restarted after a crash and is
+                            ///< replaying its journal: ops fast-fail with
+                            ///< kRecovering until replay completes (filled
+                            ///< by CachedWindow; docs/DURABILITY.md)
+  bool usable = false;  ///< convenience: not quarantined, dead, partitioned
+                        ///< or recovering
 };
 
 class HealthMonitor {

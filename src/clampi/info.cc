@@ -237,6 +237,12 @@ Info stats_to_info(const Stats& s) {
   put("kv_hedged_gets", s.kv_hedged_gets);
   put("kv_hedge_wins", s.kv_hedge_wins);
   put("kv_hedge_wasted", s.kv_hedge_wasted);
+  put("crash_invalidations", s.crash_invalidations);
+  put("kv_journal_appends", s.kv_journal_appends);
+  put("kv_journal_replayed", s.kv_journal_replayed);
+  put("kv_torn_records_dropped", s.kv_torn_records_dropped);
+  put("kv_snapshot_loads", s.kv_snapshot_loads);
+  put("kv_recovery_repairs", s.kv_recovery_repairs);
   return out;
 }
 

@@ -132,6 +132,22 @@ struct Stats {
   std::uint64_t kv_hedge_wasted = 0;  ///< hedges whose backup lost (or was
                                       ///< unreachable): pure overhead
 
+  // Crash-restart durability (docs/DURABILITY.md): write-ahead journal,
+  // snapshot recovery and torn-tail handling of the kv::Store.
+  std::uint64_t kv_journal_appends = 0;      ///< acknowledged puts persisted to
+                                             ///< the simulated journal device
+  std::uint64_t kv_journal_replayed = 0;     ///< journal records applied during
+                                             ///< crash recovery
+  std::uint64_t kv_torn_records_dropped = 0; ///< records discarded at replay:
+                                             ///< torn tail or failed checksum
+  std::uint64_t kv_snapshot_loads = 0;       ///< snapshots restored at recovery
+  std::uint64_t kv_recovery_repairs = 0;     ///< dropped records re-pulled from
+                                             ///< live peer replicas
+  std::uint64_t crash_invalidations = 0;     ///< cached entries dropped because
+                                             ///< their target restarted after a
+                                             ///< wiped-memory crash (the entry
+                                             ///< predates the wipe)
+
   /// "Hitting accesses" in the paper's sense: lookup returned CACHED or
   /// PENDING (full and partial hits alike).
   std::uint64_t hitting() const { return hits_full + hits_pending + hits_partial; }
@@ -219,6 +235,12 @@ struct Stats {
     d.kv_hedged_gets = kv_hedged_gets - base.kv_hedged_gets;
     d.kv_hedge_wins = kv_hedge_wins - base.kv_hedge_wins;
     d.kv_hedge_wasted = kv_hedge_wasted - base.kv_hedge_wasted;
+    d.kv_journal_appends = kv_journal_appends - base.kv_journal_appends;
+    d.kv_journal_replayed = kv_journal_replayed - base.kv_journal_replayed;
+    d.kv_torn_records_dropped = kv_torn_records_dropped - base.kv_torn_records_dropped;
+    d.crash_invalidations = crash_invalidations - base.crash_invalidations;
+    d.kv_snapshot_loads = kv_snapshot_loads - base.kv_snapshot_loads;
+    d.kv_recovery_repairs = kv_recovery_repairs - base.kv_recovery_repairs;
     return d;
   }
 };

@@ -233,7 +233,37 @@ bool CachedWindow::target_down(int target) const {
   const int wt = p_->comm_world_rank(comm_, target);
   const double now = p_->now_us();
   return inj->dead(wt, now) || inj->degraded(wt, now) ||
-         inj->partitioned(p_->rank(), wt, now);
+         inj->partitioned(p_->rank(), wt, now) || p_->crash_recovering(wt);
+}
+
+void CachedWindow::crash_epoch_check(int target) {
+  const int wt = p_->comm_world_rank(comm_, target);
+  const int due = p_->crash_restarts_due(wt);
+  if (due == 0) return;  // the no-injector / no-crash common case
+  if (crash_restarts_seen_.empty()) {
+    crash_restarts_seen_.assign(static_cast<std::size_t>(p_->comm_size(comm_)), 0);
+  }
+  int& seen = crash_restarts_seen_[static_cast<std::size_t>(target)];
+  if (due <= seen) return;
+  // Sweep the target's CACHED entries: all of them predate the wipe.
+  // Retained degraded survivors are not spared — "last known good" means
+  // nothing across a memory-wiping restart (unlike a death/revival, which
+  // leaves the window bytes intact).
+  Stats& st = core_->mutable_stats();
+  const std::size_t slots = core_->entry_slots();
+  for (std::uint32_t id = 0; id < slots; ++id) {
+    if (!core_->entry_live(id) || core_->entry_pending(id)) continue;
+    if (core_->entry_key(id).target != target) continue;
+    core_->quarantine(id);
+    ++st.crash_invalidations;
+  }
+  // Entries a still-pending op commits later also predate the wipe, so
+  // the restart is only acknowledged once nothing for this target is in
+  // flight; until then every access re-sweeps (see window.h).
+  for (const PendingOp& op : pending_) {
+    if (op.target == target) return;
+  }
+  seen = due;
 }
 
 bool CachedWindow::try_degraded_read(void* origin, std::size_t bytes, int target,
@@ -320,9 +350,38 @@ TargetStatus CachedWindow::target_status(int target) const {
     ts.dead = inj->dead(wt, now);
     ts.partitioned = inj->partitioned(p_->rank(), wt, now);
     ts.slow = inj->slow(wt, now);
+    ts.recovering = p_->crash_recovering(wt);
   }
-  ts.usable = !ts.dead && !ts.partitioned && ts.state != HealthState::kQuarantined;
+  ts.usable = !ts.dead && !ts.partitioned && !ts.recovering &&
+              ts.state != HealthState::kQuarantined;
   return ts;
+}
+
+void CachedWindow::reset_after_crash(bool wipe_cache, bool wipe_health, bool wipe_tail) {
+  if (wipe_cache) {
+    // The engine's wipe already discarded this rank's in-flight
+    // completions, so the registered copy-ins/outs will never fire.
+    pending_.clear();
+    core_->invalidate();
+    ++epoch_;
+    epoch_open_us_ = p_->now_us();
+  }
+  if (wipe_health) {
+    health_ = HealthMonitor(health_config(cfg_));
+  }
+  if (wipe_tail) {
+    if (shedder_ != nullptr) {
+      LoadShedder::Config sc;
+      sc.window_us = cfg_.shed_window_us;
+      sc.miss_ratio = cfg_.shed_miss_ratio;
+      sc.decrease_factor = cfg_.shed_decrease_factor;
+      sc.increase = cfg_.shed_increase;
+      sc.min_admit = cfg_.shed_min_admit;
+      shedder_ = std::make_unique<LoadShedder>(sc);
+    }
+    extern_deadline_us_ = -1.0;
+    deadline_abs_ = -1.0;
+  }
 }
 
 void CachedWindow::health_record(int target, bool success, bool fatal) {
@@ -445,6 +504,7 @@ void CachedWindow::notify_get(int target, std::size_t disp, std::size_t bytes,
 
 void CachedWindow::get(void* origin, std::size_t bytes, int target, std::size_t disp) {
   CLAMPI_REQUIRE(bytes > 0, "zero-byte get");
+  crash_epoch_check(target);
   shed_admission(target, disp, bytes);
   begin_op_deadline();
   last_phases_ = PhaseBreakdown{};
@@ -486,6 +546,7 @@ void CachedWindow::get(void* origin, const dt::Datatype& dtype, std::size_t coun
     get(origin, bytes, target, disp);
     return;
   }
+  crash_epoch_check(target);
   shed_admission(target, disp, bytes);
   begin_op_deadline();
   last_phases_ = PhaseBreakdown{};
@@ -607,6 +668,7 @@ void CachedWindow::get_nocache(void* origin, std::size_t bytes, int target,
 
 void CachedWindow::put(const void* origin, std::size_t bytes, int target,
                        std::size_t disp) {
+  crash_epoch_check(target);
   p_->put(origin, bytes, target, disp, win_);
   // Local coherence: the put makes any cached entry overlapping the target
   // range stale, so drop those entries and let the next get re-fetch. The

@@ -192,6 +192,25 @@ class CachedWindow {
   void note_kv_hedged_get() { ++core_->mutable_stats().kv_hedged_gets; }
   void note_kv_hedge_win() { ++core_->mutable_stats().kv_hedge_wins; }
   void note_kv_hedge_wasted() { ++core_->mutable_stats().kv_hedge_wasted; }
+  // Durability accounting (docs/DURABILITY.md): write-ahead journal and
+  // crash-recovery activity of the kv::Store riding on this window.
+  void note_kv_journal_append() { ++core_->mutable_stats().kv_journal_appends; }
+  void note_kv_journal_replayed() { ++core_->mutable_stats().kv_journal_replayed; }
+  void note_kv_torn_record_dropped() { ++core_->mutable_stats().kv_torn_records_dropped; }
+  void note_kv_snapshot_load() { ++core_->mutable_stats().kv_snapshot_loads; }
+  void note_kv_recovery_repair() { ++core_->mutable_stats().kv_recovery_repairs; }
+
+  /// Crash-restart wipe (docs/DURABILITY.md): drop the volatile
+  /// client-side state a wiped-memory crash of *this* rank destroys. The
+  /// engine has already zeroed the rank's exposed window segments and
+  /// discarded its in-flight completions (the runtime-level wipe); this
+  /// clears what lives in host memory above the runtime. Flags follow the
+  /// kv::StoreConfig wipe scope: the cache contents (index + storage +
+  /// pending copy bookkeeping), the per-target health machine, and the
+  /// tail-latency state (AIMD shedder + deadline overrides). Stats
+  /// deliberately survive — they model external observability, not the
+  /// crashed rank's memory.
+  void reset_after_crash(bool wipe_cache, bool wipe_health, bool wipe_tail);
 
   // --- tail-latency robustness (docs/FAULTS.md §8) ---
   /// Override the per-op deadline with an absolute virtual-time instant:
@@ -274,6 +293,17 @@ class CachedWindow {
   /// rank is alive and correct, so it never triggers degraded serves or
   /// quarantine on its own (docs/FAULTS.md §8).
   bool target_down(int target) const;
+  /// Lazy mirror of the engine's lazy crash wipe (docs/DURABILITY.md):
+  /// when `target`'s restart count has advanced since the last access,
+  /// every cached entry for it predates the memory wipe and must not be
+  /// served — not even through the degraded path, which is why this runs
+  /// before try_degraded_read. Drops the stale CACHED entries (counted
+  /// in Stats::crash_invalidations). PENDING entries are left to their
+  /// epoch: their eagerly-fetched pre-crash bytes are the issue-time
+  /// value the op promised. While any pending op for the target is in
+  /// flight the restart stays unacknowledged, so the entries those ops
+  /// commit are swept on the next access after the epoch closes.
+  void crash_epoch_check(int target);
   /// Resolve the absolute deadline the op starting now runs under: the
   /// KV-installed override if one is set, else a fresh op_deadline_us
   /// budget, else none (-1).
@@ -360,6 +390,8 @@ class CachedWindow {
   std::unique_ptr<LoadShedder> shedder_;     // null unless load_shedding
   double extern_deadline_us_ = -1.0;  // KV-installed walk-wide deadline
   double deadline_abs_ = -1.0;        // deadline of the op in flight (< 0 = none)
+  std::vector<int> crash_restarts_seen_;  // per comm-rank restarts swept
+                                          // (crash_epoch_check; lazily sized)
 };
 
 /// Paper-style spelling of the user-defined-mode invalidation call.

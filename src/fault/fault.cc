@@ -21,6 +21,7 @@ const char* to_string(FailureKind k) {
     case FailureKind::kPartitioned: return "partitioned";
     case FailureKind::kDeadline: return "deadline";
     case FailureKind::kShed: return "shed";
+    case FailureKind::kRecovering: return "recovering";
   }
   return "?";
 }

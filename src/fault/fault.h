@@ -57,6 +57,13 @@ enum class FailureKind : std::uint8_t {
                  ///< window over its AIMD admission fraction, so the op
                  ///< fast-fails to protect the ops already in flight
                  ///< (docs/FAULTS.md §8)
+  kRecovering,   ///< the target rank restarted after a crash (memory wiped)
+                 ///< and is still replaying its journal: reads would observe
+                 ///< zeroed or half-restored memory, so ops fast-fail until
+                 ///< the rank finishes recovery and clears the RECOVERING
+                 ///< state (docs/FAULTS.md §9, docs/DURABILITY.md). Not
+                 ///< fatal for the health machine — the target is coming
+                 ///< back, a later retry will succeed
 };
 
 const char* to_string(FailureKind k);

@@ -15,6 +15,9 @@ constexpr std::uint64_t kSaltSpike = 0x51eeee00000002ull;
 constexpr std::uint64_t kSaltStale = 0x57a1e000000003ull;
 constexpr std::uint64_t kSaltBitflip = 0xb17f11b0000004ull;
 constexpr std::uint64_t kSaltTargetFail = 0x7a26e7fa0000005ull;
+constexpr std::uint64_t kSaltTornWrite = 0x70a2222170000006ull;
+constexpr std::uint64_t kSaltTornLen = 0x70a2223e10000007ull;
+constexpr std::uint64_t kSaltJournalRot = 0x10a2a1207000008ull;
 
 // Stateless mix of two words (SplitMix64 over a combined state); used to
 // fold (seed, salt, origin, target, seq) into one uniform draw.
@@ -65,6 +68,21 @@ Injector::Injector(Plan plan) : plan_(std::move(plan)) {
     CLAMPI_REQUIRE(rv > plan_.death_us[r],
                    "fault plan: revival must come after the death instant");
   }
+  for (const CrashEpoch& e : plan_.crashes) {
+    CLAMPI_REQUIRE(e.rank >= 0, "fault plan: crash epoch without a rank");
+    CLAMPI_REQUIRE(e.at_us >= 0.0, "fault plan: crash instant must be >= 0");
+    CLAMPI_REQUIRE(e.restart_us > e.at_us,
+                   "fault plan: crash restart must come after the crash instant");
+    for (const CrashEpoch& o : plan_.crashes) {
+      if (&o == &e || o.rank != e.rank) continue;
+      CLAMPI_REQUIRE(o.restart_us <= e.at_us || o.at_us >= e.restart_us,
+                     "fault plan: crash epochs of one rank must not overlap");
+    }
+  }
+  CLAMPI_REQUIRE(plan_.torn_write_prob >= 0.0 && plan_.torn_write_prob <= 1.0,
+                 "fault plan: torn-write probability outside [0,1]");
+  CLAMPI_REQUIRE(plan_.journal_corrupt_prob >= 0.0 && plan_.journal_corrupt_prob <= 1.0,
+                 "fault plan: journal-corrupt probability outside [0,1]");
 }
 
 Corruptor::Corruptor(std::uint64_t seed, double prob) : rng_(seed), prob_(prob) {
@@ -139,6 +157,11 @@ bool Injector::stale_put_verdict(int origin, int target) const {
 }
 
 bool Injector::dead(int rank, double now_us) const {
+  // A crashed rank is silent for its whole outage interval; at restart
+  // it is alive again (with wiped memory — the engine handles the wipe).
+  for (const CrashEpoch& e : plan_.crashes) {
+    if (e.rank == rank && now_us >= e.at_us && now_us < e.restart_us) return true;
+  }
   if (rank < 0 || static_cast<std::size_t>(rank) >= plan_.death_us.size()) return false;
   const double d = plan_.death_us[static_cast<std::size_t>(rank)];
   if (d < 0.0 || now_us < d) return false;
@@ -148,6 +171,35 @@ bool Injector::dead(int rank, double now_us) const {
     if (rv >= 0.0 && now_us >= rv) return false;
   }
   return true;
+}
+
+int Injector::restarts_due(int rank, double now_us) const {
+  int n = 0;
+  for (const CrashEpoch& e : plan_.crashes) {
+    if (e.rank == rank && now_us >= e.restart_us) ++n;
+  }
+  return n;
+}
+
+bool Injector::torn_write(int rank, int crash_idx) const {
+  if (plan_.torn_write_prob <= 0.0) return false;
+  return draw(kSaltTornWrite, rank, crash_idx, 0) < plan_.torn_write_prob;
+}
+
+std::size_t Injector::torn_garbage_len(int rank, int crash_idx) const {
+  // Small, non-zero: enough to look like a half-persisted record without
+  // dwarfing the journal. Pure function of (seed, rank, crash_idx).
+  std::uint64_t h = mix(plan_.seed, kSaltTornLen);
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(crash_idx)));
+  return 8 + static_cast<std::size_t>(h % 56);
+}
+
+Corruptor Injector::journal_corruptor(int rank, int crash_idx) const {
+  std::uint64_t h = mix(plan_.seed, kSaltJournalRot);
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(crash_idx)));
+  return {h, plan_.journal_corrupt_prob};
 }
 
 bool Injector::partitioned(int origin, int target, double now_us) const {

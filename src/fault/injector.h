@@ -83,8 +83,23 @@ class Injector {
   /// stale_put_prob leaves the operation-failure schedule untouched.
   bool stale_put_verdict(int origin, int target) const;
 
-  /// True once `rank` passed its death instant.
+  /// True once `rank` passed its death instant, or while a crash epoch's
+  /// outage interval [at_us, restart_us) covers `now_us`.
   bool dead(int rank, double now_us) const;
+  /// Number of crash restarts of `rank` whose restart instant has passed.
+  /// The engine compares this against the wipes it already applied to
+  /// decide whether `rank`'s window memory is pending a wipe.
+  int restarts_due(int rank, double now_us) const;
+  /// True when crash number `crash_idx` (0-based, in plan order per rank)
+  /// of `rank` leaves a torn garbage tail on the journal. Seeded draw —
+  /// pure function of the plan.
+  bool torn_write(int rank, int crash_idx) const;
+  /// Seeded length (in bytes, small and non-zero) of the torn garbage
+  /// tail for (rank, crash_idx).
+  std::size_t torn_garbage_len(int rank, int crash_idx) const;
+  /// The journal bit-rot sweep for (rank, crash_idx): applied over the
+  /// journal's cold records at the crash instant (docs/DURABILITY.md).
+  Corruptor journal_corruptor(int rank, int crash_idx) const;
   /// True while a partition epoch cuts `origin -> target` (that direction).
   bool partitioned(int origin, int target, double now_us) const;
   /// True while `rank` is inside a degraded epoch.

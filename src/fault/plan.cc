@@ -26,7 +26,12 @@ bool Plan::trivial() const {
   for (const PartitionEpoch& e : partitions) {
     if (e.until_us > e.from_us) return false;
   }
+  for (const CrashEpoch& e : crashes) {
+    if (e.rank >= 0) return false;
+  }
   // revive_us alone cannot perturb anything: it only shortens deaths.
+  // torn_write_prob / journal_corrupt_prob alone cannot either: they
+  // only fire at a crash instant, and there are no crashes here.
   if (storage_bitflip_prob > 0.0 || stale_put_prob > 0.0) return false;
   return true;
 }
@@ -93,6 +98,21 @@ Plan& Plan::stale_puts(double p) {
   return *this;
 }
 
+Plan& Plan::crash_rank(int rank, double at_us, double restart_us) {
+  crashes.push_back({rank, at_us, restart_us});
+  return *this;
+}
+
+Plan& Plan::torn_writes(double p) {
+  torn_write_prob = p;
+  return *this;
+}
+
+Plan& Plan::corrupt_journal(double p) {
+  journal_corrupt_prob = p;
+  return *this;
+}
+
 bool operator==(const DegradedEpoch& a, const DegradedEpoch& b) {
   return a.rank == b.rank && a.from_us == b.from_us && a.until_us == b.until_us &&
          a.latency_factor == b.latency_factor;
@@ -108,6 +128,10 @@ bool operator==(const PartitionEpoch& a, const PartitionEpoch& b) {
          a.until_us == b.until_us;
 }
 
+bool operator==(const CrashEpoch& a, const CrashEpoch& b) {
+  return a.rank == b.rank && a.at_us == b.at_us && a.restart_us == b.restart_us;
+}
+
 bool operator==(const Plan& a, const Plan& b) {
   return a.seed == b.seed && a.fail_prob == b.fail_prob && a.spike_prob == b.spike_prob &&
          a.spike_factor == b.spike_factor && a.spike_addend_us == b.spike_addend_us &&
@@ -116,7 +140,10 @@ bool operator==(const Plan& a, const Plan& b) {
          a.revive_us == b.revive_us && a.partitions == b.partitions &&
          a.target_fail_prob == b.target_fail_prob &&
          a.storage_bitflip_prob == b.storage_bitflip_prob &&
-         a.stale_put_prob == b.stale_put_prob && a.topology == b.topology;
+         a.stale_put_prob == b.stale_put_prob && a.crashes == b.crashes &&
+         a.torn_write_prob == b.torn_write_prob &&
+         a.journal_corrupt_prob == b.journal_corrupt_prob &&
+         a.topology == b.topology;
 }
 
 namespace {
@@ -188,6 +215,25 @@ std::string Plan::to_json() const {
   root.set("target_fail_prob", doubles_array(target_fail_prob));
   root.set("storage_bitflip_prob", json::Value::number(storage_bitflip_prob));
   root.set("stale_put_prob", json::Value::number(stale_put_prob));
+  // Serialized only when present so pre-crash artifacts (the committed
+  // chaos corpus is enforced bit-for-bit) keep their exact byte encoding.
+  if (!crashes.empty()) {
+    json::Value cr = json::Value::array();
+    for (const CrashEpoch& e : crashes) {
+      json::Value o = json::Value::object();
+      o.set("rank", json::Value::number(e.rank));
+      o.set("at_us", json::Value::number(e.at_us));
+      o.set("restart_us", json::Value::number(e.restart_us));
+      cr.push(std::move(o));
+    }
+    root.set("crashes", std::move(cr));
+  }
+  if (torn_write_prob != 0.0) {
+    root.set("torn_write_prob", json::Value::number(torn_write_prob));
+  }
+  if (journal_corrupt_prob != 0.0) {
+    root.set("journal_corrupt_prob", json::Value::number(journal_corrupt_prob));
+  }
   json::Value topo = json::Value::object();
   topo.set("ranks_per_node", json::Value::number(topology.ranks_per_node));
   topo.set("nodes_per_group", json::Value::number(topology.nodes_per_group));
@@ -246,6 +292,18 @@ Plan Plan::from_json(const std::string& text) {
   }
   p.storage_bitflip_prob = root.get_double("storage_bitflip_prob", p.storage_bitflip_prob);
   p.stale_put_prob = root.get_double("stale_put_prob", p.stale_put_prob);
+  if (const json::Value* cr = root.find("crashes")) {
+    for (const json::Value& o : cr->items()) {
+      CrashEpoch e;
+      e.rank = o.get_int("rank", e.rank);
+      e.at_us = o.get_double("at_us", e.at_us);
+      e.restart_us = o.get_double("restart_us", e.restart_us);
+      p.crashes.push_back(e);
+    }
+  }
+  p.torn_write_prob = root.get_double("torn_write_prob", p.torn_write_prob);
+  p.journal_corrupt_prob =
+      root.get_double("journal_corrupt_prob", p.journal_corrupt_prob);
   if (const json::Value* topo = root.find("topology")) {
     p.topology.ranks_per_node = topo->get_int("ranks_per_node", p.topology.ranks_per_node);
     p.topology.nodes_per_group =

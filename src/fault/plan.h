@@ -33,7 +33,15 @@
 //     corruption; exercised by the integrity guard, docs/INTEGRITY.md);
 //   - stale puts: with probability stale_put_prob a put skips the cache's
 //     overlap invalidation, leaving silently stale entries behind (the
-//     bug class shadow-verify exists to catch).
+//     bug class shadow-verify exists to catch);
+//   - crash-restart epochs: unlike death+revive (which keeps window
+//     memory intact across the outage), a CrashEpoch wipes the rank's
+//     volatile state at restart — exposed window memory zeroed, client
+//     cache/health state reset, in-flight ops dropped (docs/FAULTS.md §9,
+//     docs/DURABILITY.md). torn_write_prob and journal_corrupt_prob
+//     perturb the rank's simulated persistent device at the same instant:
+//     a torn garbage tail appended to the write-ahead journal, and seeded
+//     bit rot over cold journal records.
 //
 // An all-zero (default-constructed) Plan is guaranteed to be a no-op:
 // installing it produces bit-identical virtual-time results to running
@@ -88,6 +96,19 @@ struct PartitionEpoch {
   double until_us = kForever;  ///< exclusive; kForever = never heals
 };
 
+/// One crash of a rank: at `at_us` the rank goes silent (ops targeting it
+/// fail with kRankDead, like death), and at `restart_us` it comes back
+/// *empty* — exposed window memory zeroed, volatile client state (cache,
+/// health, tail-latency estimators) reset, in-flight ops dropped. A rank
+/// that declared crash recovery (kv servers) additionally reports
+/// RECOVERING between the restart and the completion of its replay, and
+/// ops targeting it fast-fail with FailureKind::kRecovering until then.
+struct CrashEpoch {
+  int rank = -1;
+  double at_us = 0.0;       ///< crash instant (silent from here)
+  double restart_us = 0.0;  ///< restart instant (memory wiped here)
+};
+
 struct Plan {
   std::uint64_t seed = 0x5eedfa017ed1ull;
 
@@ -135,6 +156,18 @@ struct Plan {
   /// (silent staleness; docs/INTEGRITY.md).
   double stale_put_prob = 0.0;
 
+  /// Crash-restart epochs (wiped-memory outages; docs/DURABILITY.md).
+  /// A rank may crash several times; epochs must not overlap per rank.
+  std::vector<CrashEpoch> crashes;
+
+  /// Probability, per crash, that the crashed rank's journal gains a torn
+  /// garbage tail (a partially-persisted record) at the crash instant.
+  double torn_write_prob = 0.0;
+
+  /// Probability, per cold journal byte, of a flipped bit applied at the
+  /// crash instant (persistent-device bit rot; docs/DURABILITY.md).
+  double journal_corrupt_prob = 0.0;
+
   /// Maps world ranks to distance tiers for fail_prob.
   net::Topology topology{};
 
@@ -169,6 +202,13 @@ struct Plan {
   Plan& corrupt_storage(double p);
   /// Puts skip the overlap invalidation with probability `p`.
   Plan& stale_puts(double p);
+  /// Rank `rank` crashes at `at_us` and restarts *empty* at `restart_us`
+  /// (window memory zeroed, volatile state wiped; docs/DURABILITY.md).
+  Plan& crash_rank(int rank, double at_us, double restart_us);
+  /// Each crash leaves a torn journal tail with probability `p`.
+  Plan& torn_writes(double p);
+  /// Cold journal bytes rot (one flipped bit) with probability `p` per crash.
+  Plan& corrupt_journal(double p);
 
   // --- serialization (chaos repro artifacts; docs/CHAOS.md) ---
   /// Lossless JSON encoding of every perturbation class (including
@@ -187,6 +227,7 @@ struct Plan {
 bool operator==(const DegradedEpoch&, const DegradedEpoch&);
 bool operator==(const StragglerEpoch&, const StragglerEpoch&);
 bool operator==(const PartitionEpoch&, const PartitionEpoch&);
+bool operator==(const CrashEpoch&, const CrashEpoch&);
 inline bool operator==(const net::Topology& a, const net::Topology& b) {
   return a.ranks_per_node == b.ranks_per_node && a.nodes_per_group == b.nodes_per_group;
 }

@@ -42,6 +42,22 @@ void validate(const StoreConfig& cfg, int nranks) {
                    "kv: hedge_min_samples must be >= 1");
     CLAMPI_REQUIRE(cfg.hedge_window_us > 0.0, "kv: hedge_window_us must be > 0");
   }
+  CLAMPI_REQUIRE(cfg.group_commit_n >= 1, "kv: group_commit_n must be >= 1");
+  CLAMPI_REQUIRE(cfg.snapshot_every_us >= 0.0,
+                 "kv: snapshot_every_us must be >= 0");
+  CLAMPI_REQUIRE(cfg.journal_append_us >= 0.0 && cfg.journal_sync_us >= 0.0 &&
+                     cfg.snapshot_us >= 0.0,
+                 "kv: journal/snapshot latencies must be >= 0");
+  if (cfg.devices != nullptr) {
+    CLAMPI_REQUIRE(cfg.devices->per_rank.size() ==
+                       static_cast<std::size_t>(cfg.nservers),
+                   "kv: devices must hold exactly one device per server");
+    // A journal that cannot hold one max-size record would force an
+    // infinite compact loop on the first append.
+    CLAMPI_REQUIRE(cfg.journal_cap_bytes >=
+                       Journal::record_bytes(cfg.layout.value_capacity),
+                   "kv: journal_cap_bytes must hold at least one record");
+  }
 }
 
 /// Control-flow signal for a won hedge race: thrown by maybe_hedge deep
@@ -109,8 +125,22 @@ Store::Store(rmasim::Process& p, const StoreConfig& cfg)
     });
   }
 
+  // Servers own their crash recovery: the engine must fast-fail ops
+  // against a restarted server (kRecovering) instead of lazily wiping,
+  // because only crash_tick's recovery protocol may rebuild the shard.
+  if (is_server()) p.declare_crash_recovery();
+
   if (is_server()) load_shard();
   p.barrier();  // no reads before every shard is populated
+}
+
+std::shared_ptr<DeviceSet> Store::make_device_set(const StoreConfig& cfg) {
+  auto set = std::make_shared<DeviceSet>();
+  set->per_rank.reserve(static_cast<std::size_t>(cfg.nservers));
+  for (int s = 0; s < cfg.nservers; ++s) {
+    set->per_rank.emplace_back(cfg.journal_cap_bytes, cfg.group_commit_n);
+  }
+  return set;
 }
 
 std::uint64_t Store::key_at(std::uint64_t i) const {
@@ -413,6 +443,7 @@ bool Store::get_impl(std::uint64_t key, std::byte* value_out, GetMeta* meta,
 
 bool Store::get(std::uint64_t key, std::byte* value_out, GetMeta* meta,
                 double deadline_abs) {
+  crash_tick();
   drain_hints();
   double dl = deadline_abs;
   if (dl < 0.0 && cfg_.cache.op_deadline_us > 0.0) {
@@ -434,6 +465,7 @@ bool Store::get(std::uint64_t key, std::byte* value_out, GetMeta* meta,
 }
 
 bool Store::get_uncached(std::uint64_t key, std::byte* value_out, GetMeta* meta) {
+  crash_tick();
   return get_impl(key, value_out, meta, /*cached=*/false);
 }
 
@@ -472,6 +504,7 @@ bool Store::put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
                 std::uint32_t len, PutMeta* meta, bool use_cache) {
   CLAMPI_REQUIRE(len >= 1 && len <= cfg_.layout.value_capacity,
                  "kv: put length outside [1, value_capacity]");
+  crash_tick();
   drain_hints();
   PutMeta local;
   PutMeta* m = meta ? meta : &local;
@@ -503,6 +536,10 @@ bool Store::put(std::uint64_t key, std::uint32_t seq, const std::byte* value,
       win_->put(slot_buf_.data(), nbytes, server, disp);
       win_->flush(server);
       win_->record_target_outcome(server, /*success=*/true);
+      // Write-ahead durability: the acknowledgement below implies the
+      // record is on the replica's device, so a wiped-memory restart can
+      // replay it (docs/DURABILITY.md).
+      journal_write(server, key, seq, value, len);
       ++m->applied;
       m->applied_mask |= 1u << pos;
     } catch (const fault::OpFailedError&) {
@@ -550,6 +587,11 @@ void Store::write_slot_on(int server, std::uint64_t key, const std::byte* slot_b
   win_->put(slot_bytes, nbytes, server, disp);
   win_->flush(server);
   win_->record_target_outcome(server, /*success=*/true);
+  // Repair writes (hints, read-repair, anti-entropy) are durable like
+  // puts: without journaling them, a crash after convergence could lose
+  // writes the original put had already handed off.
+  const SlotMeta sm = load_slot_meta(slot_bytes);
+  journal_write(server, key, sm.seq, slot_bytes + Layout::kSlotHeaderBytes, sm.len);
 }
 
 bool Store::queue_hint(int server, std::uint64_t key, std::uint32_t seq,
@@ -697,6 +739,7 @@ void Store::read_repair(std::uint64_t key, int served_pos, const int* reps,
 }
 
 std::uint64_t Store::anti_entropy_step(std::uint64_t max_keys) {
+  crash_tick();
   drain_hints();
   if (max_keys == 0) max_keys = cfg_.antientropy_keys_per_epoch;
   if (max_keys == 0 || cfg_.replication <= 1) return 0;
@@ -796,6 +839,222 @@ Store::ConvergenceReport Store::verify_convergence() {
     }
   }
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Crash-restart durability (docs/DURABILITY.md)
+// ---------------------------------------------------------------------------
+
+Device* Store::device(int server) const {
+  if (cfg_.devices == nullptr) return nullptr;
+  if (server < 0 || server >= cfg_.nservers) return nullptr;
+  return &cfg_.devices->per_rank[static_cast<std::size_t>(server)];
+}
+
+void Store::journal_write(int server, std::uint64_t key, std::uint32_t seq,
+                          const std::byte* value, std::uint32_t len) {
+  Device* d = device(server);
+  if (d == nullptr) return;
+  const Journal::AppendResult r = d->journal.append(key, seq, value, len);
+  win_->note_kv_journal_append();
+  // Group commit amortizes the sync: every group_commit_n-th append pays
+  // the full sync latency, the rest the cheap buffered append. Charged on
+  // the writing client's clock — the baton serializes device access, so
+  // the charge is equivalent to the server charging it before the ack.
+  double cost = r.synced ? cfg_.journal_sync_us : cfg_.journal_append_us;
+  if (r.compacted) cost += cfg_.snapshot_us;
+  if (cost > 0.0) p_->compute_us(cost);
+}
+
+std::byte* Store::local_slot(std::uint64_t key) {
+  std::uint32_t b = bucket_index(key);
+  std::size_t hops = 0;
+  for (;;) {
+    std::byte* bk = shard_bucket(b);
+    const BucketHeader h = load_header(bk);
+    if (h.count > cfg_.layout.slots_per_bucket) return nullptr;
+    for (std::uint32_t s = 0; s < h.count; ++s) {
+      std::byte* slot = bk + cfg_.layout.slot_offset(s);
+      if (load_slot_meta(slot).key == key) return slot;
+    }
+    if (h.chain == kNoBucket || h.chain >= nbuckets_) return nullptr;
+    if (++hops > nbuckets_) return nullptr;
+    b = h.chain;
+  }
+}
+
+void Store::wipe_volatile() {
+  win_->reset_after_crash(cfg_.wipe_cache_on_crash, cfg_.wipe_health_on_crash,
+                          cfg_.wipe_tail_on_crash);
+  if (cfg_.wipe_cache_on_crash) {
+    // Hint queues are host memory like the cache: a reboot loses them
+    // (the writes they buffered stay recoverable via anti-entropy).
+    for (auto& q : hints_) q.clear();
+    std::fill(drain_ready_.begin(), drain_ready_.end(), 0);
+  }
+  if (cfg_.wipe_tail_on_crash && !lat_est_.empty()) {
+    lat_est_.clear();
+    for (int s = 0; s < cfg_.nservers; ++s) {
+      lat_est_.emplace_back(cfg_.hedge_quantile, cfg_.hedge_window_us);
+    }
+    hedge_backup_ = -1;
+  }
+}
+
+void Store::crash_tick() {
+  const int due = p_->crash_restarts_due(p_->rank());
+  if (due <= crashes_handled_) {
+    if (is_server()) maybe_snapshot();
+    return;
+  }
+  // A later crash's outage may already cover `now` again; recovery then
+  // waits for that epoch's restart instant.
+  const fault::Injector* inj = p_->fault_injector();
+  if (inj != nullptr && inj->dead(p_->rank(), p_->now_us())) return;
+  if (is_server()) {
+    recover_server(due);
+    return;
+  }
+  // Clients have no shard to rebuild: the reboot costs them their
+  // volatile state (cache, health history, tail-latency estimators).
+  p_->begin_crash_recovery();
+  wipe_volatile();
+  p_->end_crash_recovery();
+  crashes_handled_ = due;
+}
+
+void Store::recover_server(int due) {
+  const int rank = p_->rank();
+  // RECOVERING: ops against this rank fast-fail from here to the end of
+  // the protocol; the call also applies the runtime wipe (zeroed shard,
+  // dead in-flight ops) if no lazy wipe beat us to it.
+  p_->begin_crash_recovery();
+  Device* dev = device(rank);
+  const fault::Injector* inj = p_->fault_injector();
+  if (dev != nullptr && inj != nullptr) {
+    // The persistence faults of every unprocessed crash hit the device
+    // now, before replay reads it — they model what the crash instants
+    // left on the platter (torn in-flight write, cold-sector bit rot).
+    for (int idx = crashes_handled_; idx < due; ++idx) {
+      if (inj->torn_write(rank, idx)) {
+        const std::uint64_t gseed = util::mix64(
+            inj->plan().seed ^ (static_cast<std::uint64_t>(rank) << 32) ^
+            static_cast<std::uint64_t>(idx));
+        dev->journal.tear(inj->torn_garbage_len(rank, idx), gseed);
+      }
+      fault::Corruptor rot = inj->journal_corruptor(rank, idx);
+      rot.apply(dev->journal.data(), dev->journal.bytes());
+    }
+  }
+  wipe_volatile();
+
+  // Restore the shard: latest checksum-valid snapshot, else the
+  // deterministic initial population (the journaling-off control loses
+  // every acknowledged write here).
+  bool from_snapshot = false;
+  if (dev != nullptr) {
+    const std::vector<std::byte>* img = dev->snapshots.latest_valid();
+    if (img != nullptr && img->size() == shard_bytes_) {
+      std::memcpy(base_, img->data(), shard_bytes_);
+      win_->note_kv_snapshot_load();
+      from_snapshot = true;
+    }
+  }
+  if (!from_snapshot) {
+    keys_loaded_ = 0;
+    load_shard();
+  } else if (generation_ > 1) {
+    // A reload may have advanced the generation since the snapshot was
+    // taken; restamp so restored buckets pass the generation check.
+    for (std::uint32_t b = 0; b < nbuckets_; ++b) {
+      BucketHeader h = load_header(shard_bucket(b));
+      h.generation = generation_;
+      store_header(shard_bucket(b), h);
+    }
+  }
+
+  // Replay the journal: checksum-verified records apply newest-seq-wins;
+  // failed checksums are dropped (counted) and their keys remembered for
+  // the peer pull below. The scan resynchronizes past rotted spans —
+  // only a tail with no valid record left behind it is torn.
+  std::vector<std::uint64_t> suspects;
+  if (dev != nullptr) {
+    const Journal::ScanResult rep = dev->journal.scan(cfg_.layout.value_capacity);
+    for (const Journal::Record& rec : rep.applied) {
+      std::byte* slot = local_slot(rec.key);
+      if (slot == nullptr) continue;
+      const SlotMeta cur = load_slot_meta(slot);
+      if (rec.seq <= cur.seq) continue;  // snapshot already carries it
+      compose_slot(rec.key, rec.seq, rec.len, rec.value, slot);
+      win_->note_kv_journal_replayed();
+    }
+    for (std::uint64_t i = 0; i < rep.dropped; ++i) {
+      win_->note_kv_torn_record_dropped();
+    }
+    suspects = rep.suspect_keys;
+    const double replay_cost =
+        cfg_.journal_append_us *
+        static_cast<double>(rep.applied.size() + rep.dropped);
+    if (replay_cost > 0.0) p_->compute_us(replay_cost);
+  }
+
+  // Close the gaps the checksums opened: pull each rejected record's key
+  // from live peer replicas and keep the freshest image. Keys parsed out
+  // of desynced garbage locate no slot and are skipped.
+  if (!suspects.empty() && cfg_.recovery_peer_repair && cfg_.replication > 1) {
+    std::sort(suspects.begin(), suspects.end());
+    suspects.erase(std::unique(suspects.begin(), suspects.end()), suspects.end());
+    int reps[kMaxReplicas];
+    for (const std::uint64_t key : suspects) {
+      std::byte* slot = local_slot(key);
+      if (slot == nullptr) continue;
+      std::uint32_t best_seq = load_slot_meta(slot).seq;
+      bool found = false;
+      ring_.replicas(key, cfg_.replication, reps);
+      for (int pos = 0; pos < cfg_.replication; ++pos) {
+        if (reps[pos] == rank) continue;
+        SlotMeta sm;
+        try {
+          if (!read_slot_on(reps[pos], key, /*cached_locate=*/false, &sm)) continue;
+        } catch (const fault::OpFailedError&) {
+          continue;  // peer down or recovering itself: anti-entropy later
+        }
+        if (sm.seq > best_seq) {
+          best_seq = sm.seq;
+          std::memcpy(repair_slot_.data(), repair_buf_.data(),
+                      Layout::kSlotHeaderBytes + sm.len);
+          found = true;
+        }
+      }
+      if (found) {
+        const SlotMeta fm = load_slot_meta(repair_slot_.data());
+        std::memcpy(slot, repair_slot_.data(), Layout::kSlotHeaderBytes + fm.len);
+        win_->note_kv_recovery_repair();
+      }
+    }
+  }
+
+  // Seal recovery with a fresh snapshot: the journal's records are now in
+  // the image (or beyond repair), so the journal restarts empty.
+  if (dev != nullptr) {
+    dev->snapshots.save(base_, shard_bytes_, ++snap_stamp_);
+    dev->journal.truncate();
+    if (cfg_.snapshot_us > 0.0) p_->compute_us(cfg_.snapshot_us);
+    last_snapshot_us_ = p_->now_us();
+  }
+  crashes_handled_ = due;
+  p_->end_crash_recovery();
+}
+
+void Store::maybe_snapshot() {
+  Device* dev = device(p_->rank());
+  if (dev == nullptr || cfg_.snapshot_every_us <= 0.0) return;
+  const double now = p_->now_us();
+  if (now - last_snapshot_us_ < cfg_.snapshot_every_us) return;
+  dev->snapshots.save(base_, shard_bytes_, ++snap_stamp_);
+  dev->journal.truncate();
+  if (cfg_.snapshot_us > 0.0) p_->compute_us(cfg_.snapshot_us);
+  last_snapshot_us_ = now;
 }
 
 void Store::invalidate_cache() { win_->invalidate(); }

@@ -35,6 +35,7 @@
 
 #include "clampi/clampi.h"
 #include "kv/bucket.h"
+#include "kv/journal.h"
 #include "kv/ring.h"
 #include "metrics/quantile.h"
 
@@ -95,6 +96,37 @@ struct StoreConfig {
   /// Virtual-time window of the estimator (a straggler epoch that ends
   /// stops inflating the threshold within two windows).
   double hedge_window_us = 50000.0;
+
+  // --- crash-restart durability (docs/DURABILITY.md) ---
+  /// Per-server persistent devices (journal + snapshot slots). Shared by
+  /// every rank's config — build ONE set with make_device_set() before
+  /// Engine::run and hand the same pointer to all ranks. Null disables
+  /// journaling entirely: a crashed server then restarts from the
+  /// deterministic initial population and loses every acknowledged write
+  /// since (the durability sweep's control cell).
+  std::shared_ptr<DeviceSet> devices;
+  /// Journal device capacity; appends past it self-compact (newest record
+  /// per key survives). Must hold at least one max-size record.
+  std::size_t journal_cap_bytes = std::size_t{1} << 20;
+  /// Group-commit batch: every Nth append pays journal_sync_us, the rest
+  /// pay journal_append_us. Batches only the modelled latency — every
+  /// append is durable on return (journal.h).
+  std::uint32_t group_commit_n = 8;
+  /// Snapshot period in virtual time; a snapshot compacts the journal to
+  /// zero. 0 = snapshots only at recovery end.
+  double snapshot_every_us = 0.0;
+  double journal_append_us = 0.5;  ///< modelled buffered-append cost
+  double journal_sync_us = 5.0;    ///< modelled group-commit sync cost
+  double snapshot_us = 50.0;       ///< modelled snapshot/compaction cost
+  /// Wipe scope of a crash_rank restart: which volatile client-side state
+  /// the reboot destroys (the exposed window memory and in-flight ops are
+  /// always wiped by the runtime).
+  bool wipe_cache_on_crash = true;   ///< CacheCore contents + kv hint queues
+  bool wipe_health_on_crash = true;  ///< per-target health machine
+  bool wipe_tail_on_crash = true;    ///< shedder, deadlines, hedge estimators
+  /// After replay, pull records the checksums rejected from live peer
+  /// replicas (needs replication >= 2 to ever find one).
+  bool recovery_peer_repair = true;
 };
 
 /// How a get was served (one op may touch several buckets: chain follows
@@ -194,6 +226,31 @@ class Store {
   /// keyspace takes ceil(nkeys / budget) calls. Returns replicas repaired.
   std::uint64_t anti_entropy_step(std::uint64_t max_keys = 0);
 
+  // --- crash-restart durability (docs/DURABILITY.md) ---
+  /// Build the shared per-server device set for `cfg`. Call ONCE before
+  /// Engine::run and assign the result to every rank's cfg.devices (the
+  /// devices must outlive the run and must not be re-created per rank:
+  /// they model persistent disks).
+  static std::shared_ptr<DeviceSet> make_device_set(const StoreConfig& cfg);
+
+  /// Crash-boundary processing; call from the rank's main loop (servers:
+  /// every tick, so recovery starts promptly) — get/put/anti_entropy_step
+  /// also call it. When this rank's next crash restart has passed:
+  ///   clients  wipe their volatile state (cache/health/tail per the wipe
+  ///            flags) and resume;
+  ///   servers  enter RECOVERING (ops against them fast-fail kRecovering),
+  ///            apply the crash's persistence faults (torn tail, cold bit
+  ///            rot), restore the latest valid snapshot — or the
+  ///            deterministic initial population when journaling is off or
+  ///            no snapshot verifies — replay the journal (checksum-
+  ///            verified, newest-seq-wins), pull rejected records from
+  ///            live peers, snapshot the recovered shard, truncate the
+  ///            journal and leave RECOVERING.
+  /// Servers with snapshot_every_us > 0 also take periodic snapshots here.
+  void crash_tick();
+  /// Crash restarts this rank has fully processed (recovery runs done).
+  int crash_restarts_handled() const { return crashes_handled_; }
+
   /// Ground-truth convergence check (tests, bench/recovery_sweep): read
   /// every key's slot uncached on every replica and compare seq, length
   /// and value bytes.
@@ -280,6 +337,21 @@ class Store {
   std::uint32_t initial_len(std::uint64_t key) const;
   void load_shard();
   void insert_local(std::uint64_t key);
+  // --- crash-restart durability (docs/DURABILITY.md) ---
+  /// This rank's device (servers with cfg.devices set; else nullptr).
+  Device* device(int server) const;
+  /// Journal one applied slot write on `server`'s device (no-op with
+  /// journaling off) and charge the modelled append/sync latency.
+  void journal_write(int server, std::uint64_t key, std::uint32_t seq,
+                     const std::byte* value, std::uint32_t len);
+  /// Walk this server's own shard for `key`'s slot; nullptr when absent.
+  std::byte* local_slot(std::uint64_t key);
+  /// Drop the volatile state a reboot destroys (per the wipe flags).
+  void wipe_volatile();
+  /// The full server-side recovery protocol (crash_tick's slow path).
+  void recover_server(int due);
+  /// Periodic snapshot + journal truncation (servers, snapshot_every_us).
+  void maybe_snapshot();
   std::byte* shard_bucket(std::uint32_t b) { return base_ + b * cfg_.layout.bucket_bytes(); }
 
   rmasim::Process* p_;
@@ -321,6 +393,11 @@ class Store {
   int hedge_backup_ = -1;  ///< armed backup server for the current primary
                            ///< lookup (-1: hedging inactive for this read)
   std::uint64_t hedge_key_ = 0;         ///< key of the armed lookup
+
+  // --- crash-restart durability state (docs/DURABILITY.md) ---
+  int crashes_handled_ = 0;       ///< restarts this rank already processed
+  std::uint64_t snap_stamp_ = 0;  ///< monotone stamp of the last snapshot
+  double last_snapshot_us_ = 0.0; ///< virtual time of the last periodic one
 };
 
 }  // namespace clampi::kv

@@ -64,6 +64,9 @@ Engine::Engine(Config cfg) : cfg_(std::move(cfg)) {
   }
   pending_.resize(static_cast<std::size_t>(cfg_.nranks));
   nic_free_us_.assign(static_cast<std::size_t>(cfg_.nranks), 0.0);
+  crash_wipes_.assign(static_cast<std::size_t>(cfg_.nranks), 0);
+  crash_recovering_.assign(static_cast<std::size_t>(cfg_.nranks), 0);
+  crash_owner_.assign(static_cast<std::size_t>(cfg_.nranks), 0);
   auto world = std::make_unique<CommObj>();
   world->alive = true;
   world->members.resize(static_cast<std::size_t>(cfg_.nranks));
@@ -562,6 +565,87 @@ std::byte* Process::win_raw(Window w, int target) const {
 }
 
 // ---------------------------------------------------------------------------
+// Crash-restart support (docs/FAULTS.md §9, docs/DURABILITY.md)
+// ---------------------------------------------------------------------------
+
+void Engine::apply_crash_wipe(int wt) {
+  // The crash destroyed the rank's volatile state: its exposed window
+  // memory restarts zeroed, and the completions of ops it issued itself
+  // will never be confirmed (in-flight ops die with the rank).
+  for (auto& w : windows_) {
+    if (w == nullptr || !w->alive) continue;
+    const auto& low = comms_[static_cast<std::size_t>(w->comm_id)]->local_of_world;
+    if (static_cast<std::size_t>(wt) >= low.size()) continue;
+    const int lr = low[static_cast<std::size_t>(wt)];
+    if (lr < 0) continue;
+    auto* base = w->base[static_cast<std::size_t>(lr)];
+    const std::size_t sz = w->size[static_cast<std::size_t>(lr)];
+    if (base != nullptr && sz > 0) std::memset(base, 0, sz);
+  }
+  auto& pend = pending_[static_cast<std::size_t>(wt)];
+  for (auto& per_target : pend.per_window_target) {
+    std::fill(per_target.begin(), per_target.end(), 0.0);
+  }
+  std::fill(pend.per_window_max.begin(), pend.per_window_max.end(), 0.0);
+}
+
+bool Engine::crash_gate(int wt, double now_us) {
+  const fault::Injector* inj = cfg_.injector.get();
+  if (inj == nullptr || inj->plan().crashes.empty()) return false;
+  if (crash_recovering_[static_cast<std::size_t>(wt)] != 0) return true;
+  const int due = inj->restarts_due(wt, now_us);
+  if (due <= crash_wipes_[static_cast<std::size_t>(wt)]) return false;
+  // A rank that declared explicit recovery handles its own wipe inside
+  // begin_crash_recovery(); until then its memory is in an undefined
+  // "just rebooted" state, so ops against it fast-fail.
+  if (crash_owner_[static_cast<std::size_t>(wt)] != 0) return true;
+  // Otherwise the wipe is applied lazily, by the first op that would
+  // observe the restarted rank's memory.
+  apply_crash_wipe(wt);
+  crash_wipes_[static_cast<std::size_t>(wt)] = due;
+  return false;
+}
+
+void Process::declare_crash_recovery() {
+  engine_->crash_owner_[static_cast<std::size_t>(rank_)] = 1;
+}
+
+int Process::crash_restarts_due(int world_rank) const {
+  const fault::Injector* inj = engine_->cfg_.injector.get();
+  if (inj == nullptr) return 0;
+  return inj->restarts_due(world_rank, engine_->ctx(rank_).clock.now_us());
+}
+
+int Process::crash_wipes_applied(int world_rank) const {
+  return engine_->crash_wipes_[static_cast<std::size_t>(world_rank)];
+}
+
+bool Process::crash_recovering(int world_rank) const {
+  const auto r = static_cast<std::size_t>(world_rank);
+  if (engine_->crash_recovering_[r] != 0) return true;
+  if (engine_->crash_owner_[r] == 0) return false;
+  const fault::Injector* inj = engine_->cfg_.injector.get();
+  if (inj == nullptr) return false;
+  return inj->restarts_due(world_rank, engine_->ctx(rank_).clock.now_us()) >
+         engine_->crash_wipes_[r];
+}
+
+int Process::begin_crash_recovery() {
+  const auto r = static_cast<std::size_t>(rank_);
+  const int due = crash_restarts_due(rank_);
+  if (due > engine_->crash_wipes_[r]) {
+    engine_->apply_crash_wipe(rank_);
+    engine_->crash_wipes_[r] = due;
+  }
+  engine_->crash_recovering_[r] = 1;
+  return due;
+}
+
+void Process::end_crash_recovery() {
+  engine_->crash_recovering_[static_cast<std::size_t>(rank_)] = 0;
+}
+
+// ---------------------------------------------------------------------------
 // One-sided operations
 // ---------------------------------------------------------------------------
 
@@ -588,6 +672,14 @@ void Process::get(void* origin, std::size_t bytes, int target, std::size_t disp,
   const auto& m = engine_->model();
   fault::Injector::Verdict fv;
   if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    if (engine_->crash_gate(wt, me.clock.now_us())) {
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kGet, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fault::FailureKind::kRecovering, d);
+    }
     fv = inj->on_op(fault::OpKind::kGet, rank_, wt, bytes, me.clock.now_us());
     if (fv.fail) {
       // Consulted before the eager copy: a failed get delivers no data.
@@ -630,6 +722,14 @@ void Process::put(const void* origin, std::size_t bytes, int target, std::size_t
   const auto& m = engine_->model();
   fault::Injector::Verdict fv;
   if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    if (engine_->crash_gate(wt, me.clock.now_us())) {
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kPut, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fault::FailureKind::kRecovering, d);
+    }
     fv = inj->on_op(fault::OpKind::kPut, rank_, wt, bytes, me.clock.now_us());
     if (fv.fail) {
       // A failed put never reaches the target window.
@@ -671,6 +771,14 @@ void Process::get_blocks(void* origin, int target, std::size_t disp, const Block
   const auto& m = engine_->model();
   fault::Injector::Verdict fv;
   if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    if (engine_->crash_gate(wt, me.clock.now_us())) {
+      me.clock.advance_us(m.issue_us(rank_, wt, total));
+      const fault::OpDesc d{fault::OpKind::kGetBlocks, rank_, wt, disp, total,
+                            me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fault::FailureKind::kRecovering, d);
+    }
     fv = inj->on_op(fault::OpKind::kGetBlocks, rank_, wt, total, me.clock.now_us());
     if (fv.fail) {
       me.clock.advance_us(m.issue_us(rank_, wt, total));
@@ -743,6 +851,14 @@ void Process::flush(int target, Window w) {
       throw fault::OpFailedError(
           is_dead ? fault::FailureKind::kRankDead : fault::FailureKind::kPartitioned, d);
     }
+    if (engine_->crash_gate(wt, me.clock.now_us())) {
+      // The target restarted wiped and is mid-recovery: the flush cannot
+      // confirm completion of ops whose landing zone no longer exists.
+      const fault::OpDesc d{fault::OpKind::kFlush, rank_, wt, 0, 0, me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fault::FailureKind::kRecovering, d);
+    }
   }
   me.clock.advance_to_us(done);
   me.clock.exit_runtime();
@@ -772,6 +888,11 @@ void Process::flush_all(Window w) {
       if (inj->partitioned(rank_, wt, me.clock.now_us())) {
         failed_target = wt;
         failed_kind = fault::FailureKind::kPartitioned;
+        break;
+      }
+      if (engine_->crash_gate(wt, me.clock.now_us())) {
+        failed_target = wt;
+        failed_kind = fault::FailureKind::kRecovering;
         break;
       }
     }
@@ -865,6 +986,14 @@ void Process::get_accumulate(const void* origin, void* result, std::size_t count
   const auto& m = engine_->model();
   fault::Injector::Verdict fv;
   if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    if (engine_->crash_gate(wt, me.clock.now_us())) {
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kAtomic, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fault::FailureKind::kRecovering, d);
+    }
     fv = inj->on_op(fault::OpKind::kAtomic, rank_, wt, bytes, me.clock.now_us());
     if (fv.fail) {
       // A failed atomic neither mutates the window nor fetches old values.
@@ -923,6 +1052,14 @@ void Process::compare_and_swap(const void* desired, const void* expected, void* 
   const auto& m = engine_->model();
   fault::Injector::Verdict fv;
   if (fault::Injector* inj = engine_->cfg_.injector.get()) {
+    if (engine_->crash_gate(wt, me.clock.now_us())) {
+      me.clock.advance_us(m.issue_us(rank_, wt, bytes));
+      const fault::OpDesc d{fault::OpKind::kAtomic, rank_, wt, disp, bytes,
+                            me.clock.now_us()};
+      if (engine_->cfg_.op_observer) engine_->cfg_.op_observer(d, /*failed=*/true);
+      me.clock.exit_runtime();
+      throw fault::OpFailedError(fault::FailureKind::kRecovering, d);
+    }
     fv = inj->on_op(fault::OpKind::kAtomic, rank_, wt, bytes, me.clock.now_us());
     if (fv.fail) {
       me.clock.advance_us(m.issue_us(rank_, wt, bytes));

@@ -209,6 +209,30 @@ class Process {
   /// applications; exposed for tests.
   void yield();
 
+  // --- Crash-restart support (docs/FAULTS.md §9, docs/DURABILITY.md) ---
+  /// Declare that this rank runs an explicit recovery protocol after each
+  /// of its crash restarts (kv servers do). Ops targeting a declared rank
+  /// fast-fail with FailureKind::kRecovering between a restart and the end
+  /// of the rank's begin/end_crash_recovery bracket, instead of observing
+  /// lazily-wiped (zeroed) window memory.
+  void declare_crash_recovery();
+  /// Crash restarts of `world_rank` whose restart instant has passed
+  /// (0 without an injector). The difference against crash_wipes_applied
+  /// is the number of restarts whose wipe is still pending.
+  int crash_restarts_due(int world_rank) const;
+  /// Crash restarts of `world_rank` already folded into window memory.
+  int crash_wipes_applied(int world_rank) const;
+  /// True while ops targeting `world_rank` fast-fail with kRecovering
+  /// (the rank restarted wiped and has not finished its recovery).
+  bool crash_recovering(int world_rank) const;
+  /// Called by the crashed rank itself when it notices its restart:
+  /// applies the memory wipe (zero this rank's segment of every window,
+  /// drop its in-flight ops) unless an op targeting it already wiped
+  /// lazily, and marks the rank RECOVERING. Returns restarts folded in.
+  int begin_crash_recovery();
+  /// Recovery finished: ops targeting this rank flow again.
+  void end_crash_recovery();
+
   Engine& engine() { return *engine_; }
   const net::Model& model() const;
   /// Installed fault injector, or nullptr (perfect network). Exposed so
@@ -377,6 +401,18 @@ class Engine {
   // With serialize_injection: per-world-rank time at which the rank's NIC
   // becomes free again. Guarded by the baton (single running rank).
   std::vector<double> nic_free_us_;
+
+  // --- Crash-restart bookkeeping (docs/FAULTS.md §9). All three are
+  // guarded by the baton (single running rank), like nic_free_us_. ---
+  /// Consulted by every one-sided op and flush with pending work against
+  /// world rank `wt`: applies any due lazy memory wipe and returns true
+  /// when the op must fast-fail with FailureKind::kRecovering.
+  bool crash_gate(int wt, double now_us);
+  /// Zero `wt`'s segment of every live window and drop its in-flight ops.
+  void apply_crash_wipe(int wt);
+  std::vector<int> crash_wipes_;         // restarts folded into memory
+  std::vector<char> crash_recovering_;   // inside a begin/end recovery bracket
+  std::vector<char> crash_owner_;        // rank declared explicit recovery
 
   Config cfg_;
   std::mutex mu_;

@@ -33,7 +33,7 @@ std::string corpus_path(const char* name) {
 }
 
 TEST(ChaosCorpus, CommittedFilesMatchBuilders) {
-  ASSERT_EQ(corpus().size(), 10u);
+  ASSERT_EQ(corpus().size(), 12u);
   for (const CorpusEntry& e : corpus()) {
     SCOPED_TRACE(e.name);
     const std::string on_disk = read_file(corpus_path(e.name));
@@ -86,6 +86,11 @@ TEST(ChaosCorpus, ScenariosExerciseTheirMachinery) {
   EXPECT_GT(by_name.at("spike_storm").faults +
                 by_name.at("spike_storm").stats.retries,
             0u);
+
+  // Crash-restart: the outage failed at least one op, and the run still
+  // replayed clean — the post-restart gets observed the wiped window.
+  EXPECT_GT(by_name.at("crash_restart_wipe").faults, 0u);
+  EXPECT_GT(by_name.at("crash_inflight_epoch").stats.invalidations, 0u);
 }
 
 }  // namespace

@@ -28,6 +28,10 @@ Plan full_plan() {
   p.partition(1, 3, 10000.0);               // symmetric, never heals
   p.slow_rank(2, 8.0, 2000.0, 40000.0);     // straggler epoch
   p.slow_rank(1, 3.5);                      // open-ended straggler
+  p.crash_rank(2, 15000.0, 35000.0);        // wiped-memory crash + restart
+  p.crash_rank(1, 8000.0, 9000.0);
+  p.torn_writes(0.75);
+  p.corrupt_journal(0.0009765625);
   p.topology.ranks_per_node = 4;
   return p;
 }
@@ -58,6 +62,13 @@ TEST(FaultPlanJson, RoundTripsEveryPerturbationClass) {
   EXPECT_DOUBLE_EQ(q.stragglers[0].factor, 8.0);
   EXPECT_DOUBLE_EQ(q.stragglers[0].until_us, 40000.0);
   EXPECT_DOUBLE_EQ(q.stragglers[1].until_us, kForever);
+  ASSERT_EQ(q.crashes.size(), 2u);
+  EXPECT_EQ(q.crashes[0].rank, 2);
+  EXPECT_DOUBLE_EQ(q.crashes[0].at_us, 15000.0);
+  EXPECT_DOUBLE_EQ(q.crashes[0].restart_us, 35000.0);
+  EXPECT_EQ(q.crashes[1].rank, 1);
+  EXPECT_DOUBLE_EQ(q.torn_write_prob, 0.75);
+  EXPECT_DOUBLE_EQ(q.journal_corrupt_prob, 0.0009765625);
   EXPECT_EQ(q.seed, 0xdeadbeefcafef00dull);
 }
 
@@ -84,6 +95,35 @@ TEST(FaultPlanJson, PartitionsKeyOmittedWhenEmpty) {
   q.partition_pair(0, 1, 100.0, 200.0);
   EXPECT_NE(q.to_json().find("partitions"), std::string::npos);
   EXPECT_FALSE(Plan::from_json(q.to_json()).trivial());
+}
+
+TEST(FaultPlanJson, CrashKeysOmittedWhenEmpty) {
+  // Same bit-for-bit corpus argument again: pre-crash artifacts carry no
+  // "crashes", "torn_write_prob" or "journal_corrupt_prob" keys, and a
+  // plan without them must keep that exact byte encoding.
+  Plan p;
+  p.kill_rank(1, 100.0);
+  EXPECT_EQ(p.to_json().find("crashes"), std::string::npos);
+  EXPECT_EQ(p.to_json().find("torn_write_prob"), std::string::npos);
+  EXPECT_EQ(p.to_json().find("journal_corrupt_prob"), std::string::npos);
+  Plan q = p;
+  q.crash_rank(1, 100.0, 200.0);
+  q.torn_writes(1.0);
+  q.corrupt_journal(0.5);
+  EXPECT_NE(q.to_json().find("crashes"), std::string::npos);
+  EXPECT_NE(q.to_json().find("torn_write_prob"), std::string::npos);
+  EXPECT_NE(q.to_json().find("journal_corrupt_prob"), std::string::npos);
+  EXPECT_FALSE(Plan::from_json(q.to_json()).trivial());
+  EXPECT_EQ(Plan::from_json(q.to_json()), q);
+}
+
+TEST(FaultPlanJson, CrashAloneIsNotTrivial) {
+  // A plan whose only perturbation is a crash epoch must still install
+  // an injector (the wipe is the whole point).
+  Plan p;
+  p.crash_rank(1, 100.0, 200.0);
+  EXPECT_FALSE(p.trivial());
+  EXPECT_EQ(Plan::from_json(p.to_json()), p);
 }
 
 TEST(FaultPlanJson, DefaultPlanRoundTripsTrivial) {
